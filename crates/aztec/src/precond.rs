@@ -1,0 +1,269 @@
+//! RAztec preconditioners: Jacobi scaling, Neumann-series polynomial, and
+//! local symmetric Gauss–Seidel — the classic AztecOO set (`AZ_Jacobi`,
+//! `AZ_Neumann`, `AZ_sym_GS`).
+
+use rcomm::Communicator;
+
+use crate::rowmatrix::RowMatrix;
+use crate::vector::Vector;
+use crate::{AztecError, AztecResult};
+
+/// Internal preconditioner object built by [`crate::AztecOO`] from the
+/// option enum.
+pub(crate) trait AzPc: Send + Sync {
+    fn apply(&self, comm: &Communicator, r: &Vector, z: &mut Vector) -> AztecResult<()>;
+}
+
+/// No preconditioning.
+pub(crate) struct NoPc;
+
+impl AzPc for NoPc {
+    fn apply(&self, _comm: &Communicator, r: &Vector, z: &mut Vector) -> AztecResult<()> {
+        z.values_mut().copy_from_slice(r.values());
+        Ok(())
+    }
+}
+
+/// Jacobi scaling (k steps of damped point-Jacobi with zero initial guess
+/// collapse to one diagonal solve; Aztec exposes the single-step form).
+pub(crate) struct JacobiPc {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPc {
+    pub(crate) fn new(a: &dyn RowMatrix) -> AztecResult<Self> {
+        let d = a
+            .extract_diagonal()
+            .ok_or_else(|| AztecError::BadOption("Jacobi needs a matrix diagonal".into()))?;
+        if let Some(row) = d.iter().position(|&x| x == 0.0) {
+            return Err(AztecError::Sparse(format!("zero diagonal at local row {row}")));
+        }
+        Ok(JacobiPc { inv_diag: d.iter().map(|x| 1.0 / x).collect() })
+    }
+}
+
+impl AzPc for JacobiPc {
+    fn apply(&self, _comm: &Communicator, r: &Vector, z: &mut Vector) -> AztecResult<()> {
+        for ((zi, ri), di) in z.values_mut().iter_mut().zip(r.values()).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+        Ok(())
+    }
+}
+
+/// Neumann-series polynomial preconditioner of order `p`:
+/// M⁻¹ = Σ_{k=0}^{p} (I − D⁻¹A)ᵏ · D⁻¹. Works with *any* [`RowMatrix`]
+/// (matrix-free included) as long as the diagonal is available — each term
+/// costs one matvec.
+pub(crate) struct NeumannPc<'a> {
+    a: &'a dyn RowMatrix,
+    inv_diag: Vec<f64>,
+    order: usize,
+}
+
+impl<'a> NeumannPc<'a> {
+    pub(crate) fn new(a: &'a dyn RowMatrix, order: usize) -> AztecResult<Self> {
+        let d = a
+            .extract_diagonal()
+            .ok_or_else(|| AztecError::BadOption("Neumann needs a matrix diagonal".into()))?;
+        if let Some(row) = d.iter().position(|&x| x == 0.0) {
+            return Err(AztecError::Sparse(format!("zero diagonal at local row {row}")));
+        }
+        Ok(NeumannPc { a, inv_diag: d.iter().map(|x| 1.0 / x).collect(), order })
+    }
+}
+
+impl AzPc for NeumannPc<'_> {
+    fn apply(&self, comm: &Communicator, r: &Vector, z: &mut Vector) -> AztecResult<()> {
+        // term ← D⁻¹·r ; z ← term ; repeat: term ← term − D⁻¹·A·term.
+        let mut term = r.clone();
+        for (ti, di) in term.values_mut().iter_mut().zip(&self.inv_diag) {
+            *ti *= di;
+        }
+        z.values_mut().copy_from_slice(term.values());
+        let mut at = Vector::new(r.map().clone());
+        for _ in 0..self.order {
+            self.a.apply(comm, &term, &mut at)?;
+            for ((ti, ai), di) in term.values_mut().iter_mut().zip(at.values()).zip(&self.inv_diag)
+            {
+                *ti -= ai * di;
+            }
+            z.update(1.0, &term)?;
+        }
+        Ok(())
+    }
+}
+
+/// Local symmetric Gauss–Seidel: one forward and one backward sweep on
+/// this rank's diagonal block (assembled rows required).
+pub(crate) struct SymGsPc {
+    /// Local block in local column numbering, CSR arrays.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+    diag_pos: Vec<usize>,
+}
+
+impl SymGsPc {
+    pub(crate) fn new(a: &dyn RowMatrix) -> AztecResult<Self> {
+        let map = a.row_map();
+        let n = map.num_my();
+        let lo = map.min_my_gid();
+        let hi = lo + n;
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut diag_pos = vec![usize::MAX; n];
+        let mut cbuf = Vec::new();
+        let mut vbuf = Vec::new();
+        for i in 0..n {
+            a.extract_my_row(i, &mut cbuf, &mut vbuf).ok_or_else(|| {
+                AztecError::BadOption("sym-GS needs assembled matrix rows".into())
+            })?;
+            for (&c, &v) in cbuf.iter().zip(&vbuf) {
+                if (lo..hi).contains(&c) {
+                    let lc = c - lo;
+                    if lc == i {
+                        diag_pos[i] = col_idx.len();
+                    }
+                    col_idx.push(lc);
+                    values.push(v);
+                }
+            }
+            if diag_pos[i] == usize::MAX {
+                return Err(AztecError::Sparse(format!("no diagonal in local row {i}")));
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        Ok(SymGsPc { row_ptr, col_idx, values, diag_pos })
+    }
+}
+
+impl AzPc for SymGsPc {
+    fn apply(&self, _comm: &Communicator, r: &Vector, z: &mut Vector) -> AztecResult<()> {
+        let n = self.diag_pos.len();
+        let zv = z.values_mut();
+        let rv = r.values();
+        zv.iter_mut().for_each(|x| *x = 0.0);
+        // Forward sweep on (D + L) z = r.
+        for i in 0..n {
+            let mut acc = rv[i];
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                if j < i {
+                    acc -= self.values[k] * zv[j];
+                }
+            }
+            zv[i] = acc / self.values[self.diag_pos[i]];
+        }
+        // Backward sweep: z ← z + D⁻¹(r − A z) in reverse order (GS).
+        for i in (0..n).rev() {
+            let mut acc = rv[i];
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                if j != i {
+                    acc -= self.values[k] * zv[j];
+                }
+            }
+            zv[i] = acc / self.values[self.diag_pos[i]];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Map;
+    use crate::rowmatrix::CrsMatrix;
+    use rcomm::Universe;
+    use rsparse::generate;
+
+    #[test]
+    fn jacobi_pc_scales_by_diagonal() {
+        let a = generate::laplacian_1d(6);
+        let out = Universe::run(2, |comm| {
+            let m = CrsMatrix::from_global(comm, &a).unwrap();
+            let pc = JacobiPc::new(&m).unwrap();
+            let r = Vector::from_global(m.row_map().clone(), &vec![4.0; 6]).unwrap();
+            let mut z = Vector::new(m.row_map().clone());
+            pc.apply(comm, &r, &mut z).unwrap();
+            z.gather_all(comm).unwrap()
+        });
+        for got in out {
+            assert_eq!(got, vec![2.0; 6]);
+        }
+    }
+
+    #[test]
+    fn neumann_pc_improves_with_order() {
+        let a = generate::random_diag_dominant(30, 3, 5);
+        let b = vec![1.0; 30];
+        let out = Universe::run(1, |comm| {
+            let m = CrsMatrix::from_global(comm, &a).unwrap();
+            let r = Vector::from_global(m.row_map().clone(), &b).unwrap();
+            let mut rel = Vec::new();
+            for order in [0usize, 2, 5] {
+                let pc = NeumannPc::new(&m, order).unwrap();
+                let mut z = Vector::new(m.row_map().clone());
+                pc.apply(comm, &r, &mut z).unwrap();
+                let res = rsparse::ops::residual(&a, z.values(), &b).unwrap();
+                rel.push(rsparse::dense::norm2(&res) / rsparse::dense::norm2(&b));
+            }
+            rel
+        });
+        let rel = &out[0];
+        assert!(rel[1] < rel[0], "{rel:?}");
+        assert!(rel[2] < rel[1], "{rel:?}");
+        assert!(rel[2] < 0.05, "order-5 Neumann should be accurate: {rel:?}");
+    }
+
+    #[test]
+    fn sym_gs_reduces_residual() {
+        let a = generate::laplacian_2d(6);
+        let b = vec![1.0; 36];
+        let out = Universe::run(2, |comm| {
+            let m = CrsMatrix::from_global(comm, &a).unwrap();
+            let pc = SymGsPc::new(&m).unwrap();
+            let r = Vector::from_global(m.row_map().clone(), &b).unwrap();
+            let mut z = Vector::new(m.row_map().clone());
+            pc.apply(comm, &r, &mut z).unwrap();
+            z.gather_all(comm).unwrap()
+        });
+        for got in &out {
+            let res = rsparse::ops::residual(&a, got, &b).unwrap();
+            let rel = rsparse::dense::norm2(&res) / 6.0;
+            assert!(rel < 0.9, "rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn preconditioners_reject_matrix_free_when_rows_needed() {
+        struct Free {
+            map: Map,
+        }
+        impl RowMatrix for Free {
+            fn row_map(&self) -> &Map {
+                &self.map
+            }
+            fn apply(
+                &self,
+                _c: &Communicator,
+                x: &Vector,
+                y: &mut Vector,
+            ) -> AztecResult<()> {
+                y.values_mut().copy_from_slice(x.values());
+                Ok(())
+            }
+        }
+        let out = Universe::run(1, |comm| {
+            let op = Free { map: Map::new(4, comm) };
+            (
+                JacobiPc::new(&op).is_err(),
+                NeumannPc::new(&op, 2).is_err(),
+                SymGsPc::new(&op).is_err(),
+            )
+        });
+        assert_eq!(out[0], (true, true, true));
+    }
+}

@@ -1,0 +1,477 @@
+//! RAztec's own iterative methods: CG, GMRES(k) and BiCGStab over
+//! [`Vector`]s. Independent implementations from `rkrylov`'s — RAztec uses
+//! *left* preconditioning (Aztec's convention) where RKSP uses right, so
+//! even the residual the two packages report differs in kind: RAztec's
+//! recurrence tracks the preconditioned residual.
+
+use rcomm::Communicator;
+
+use crate::aztecoo::{AztecOptions, AzWhy};
+use crate::precond::AzPc;
+use crate::rowmatrix::RowMatrix;
+use crate::vector::Vector;
+use crate::AztecResult;
+
+pub(crate) struct RawOutcome {
+    pub why: AzWhy,
+    pub iterations: usize,
+    /// Recurrence residual norm at exit (preconditioned residual).
+    pub rec_residual: f64,
+    pub initial_residual: f64,
+}
+
+fn stop_check(
+    rnorm: f64,
+    r0: f64,
+    bnorm: f64,
+    opts: &AztecOptions,
+    it: usize,
+) -> Option<AzWhy> {
+    let scale = match opts.conv {
+        crate::aztecoo::AzConv::R0 => {
+            if r0 > 0.0 {
+                r0
+            } else {
+                1.0
+            }
+        }
+        crate::aztecoo::AzConv::Rhs => {
+            if bnorm > 0.0 {
+                bnorm
+            } else {
+                1.0
+            }
+        }
+    };
+    if !rnorm.is_finite() {
+        return Some(AzWhy::Breakdown);
+    }
+    if rnorm <= opts.tol * scale {
+        return Some(AzWhy::Normal);
+    }
+    if rnorm > 1e8 * scale.max(1.0) {
+        return Some(AzWhy::Ill);
+    }
+    if it >= opts.max_iter {
+        return Some(AzWhy::Maxits);
+    }
+    None
+}
+
+/// Left-preconditioned CG on M⁻¹A.
+pub(crate) fn cg(
+    comm: &Communicator,
+    a: &dyn RowMatrix,
+    pc: &dyn AzPc,
+    b: &Vector,
+    x: &mut Vector,
+    opts: &AztecOptions,
+) -> AztecResult<RawOutcome> {
+    let map = a.row_map().clone();
+    let bnorm = b.norm2(comm)?;
+    let mut ax = Vector::new(map.clone());
+    a.apply(comm, x, &mut ax)?;
+    let mut r = b.clone();
+    r.update(-1.0, &ax)?;
+    let mut z = Vector::new(map.clone());
+    pc.apply(comm, &r, &mut z)?;
+    let r0 = z.norm2(comm)?; // Aztec-style: preconditioned residual norm
+    if let Some(why) = stop_check(r0, r0, bnorm, opts, 0) {
+        return Ok(RawOutcome { why, iterations: 0, rec_residual: r0, initial_residual: r0 });
+    }
+    let mut p = z.clone();
+    let mut q = Vector::new(map);
+    let mut rz = r.dot(&z, comm)?;
+    let mut it = 0usize;
+    let mut rnorm = r0;
+    let why = loop {
+        it += 1;
+        a.apply(comm, &p, &mut q)?;
+        let pq = p.dot(&q, comm)?;
+        if pq == 0.0 || !pq.is_finite() {
+            break AzWhy::Breakdown;
+        }
+        let alpha = rz / pq;
+        x.update(alpha, &p)?;
+        r.update(-alpha, &q)?;
+        pc.apply(comm, &r, &mut z)?;
+        rnorm = z.norm2(comm)?;
+        if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it) {
+            break why;
+        }
+        let rz_new = r.dot(&z, comm)?;
+        let beta = rz_new / rz;
+        rz = rz_new;
+        p.update2(1.0, &z, beta)?;
+    };
+    Ok(RawOutcome { why, iterations: it, rec_residual: rnorm, initial_residual: r0 })
+}
+
+/// Left-preconditioned restarted GMRES(k) on M⁻¹A.
+pub(crate) fn gmres(
+    comm: &Communicator,
+    a: &dyn RowMatrix,
+    pc: &dyn AzPc,
+    b: &Vector,
+    x: &mut Vector,
+    opts: &AztecOptions,
+) -> AztecResult<RawOutcome> {
+    let map = a.row_map().clone();
+    let k = opts.kspace.max(1);
+    let bnorm = b.norm2(comm)?;
+
+    let mut ax = Vector::new(map.clone());
+    let mut w = Vector::new(map.clone());
+    let precond_residual = |comm: &Communicator,
+                            x: &Vector,
+                            ax: &mut Vector,
+                            out: &mut Vector|
+     -> AztecResult<()> {
+        a.apply(comm, x, ax)?;
+        let mut r = b.clone();
+        r.update(-1.0, ax)?;
+        pc.apply(comm, &r, out)?;
+        Ok(())
+    };
+
+    let mut z = Vector::new(map.clone());
+    precond_residual(comm, x, &mut ax, &mut z)?;
+    let r0 = z.norm2(comm)?;
+    if let Some(why) = stop_check(r0, r0, bnorm, opts, 0) {
+        return Ok(RawOutcome { why, iterations: 0, rec_residual: r0, initial_residual: r0 });
+    }
+
+    let mut it = 0usize;
+    let mut rnorm = r0;
+    let why = 'outer: loop {
+        let beta = rnorm;
+        let mut v0 = z.clone();
+        v0.scale(1.0 / beta);
+        let mut basis = vec![v0];
+        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut cs: Vec<f64> = Vec::with_capacity(k);
+        let mut sn: Vec<f64> = Vec::with_capacity(k);
+        let mut g = vec![0.0; k + 1];
+        g[0] = beta;
+
+        let mut inner = 0usize;
+        let mut cycle_why = None;
+        while inner < k {
+            let j = inner;
+            // w = M⁻¹·A·v_j.
+            a.apply(comm, &basis[j], &mut ax)?;
+            pc.apply(comm, &ax, &mut w)?;
+            let mut hcol = vec![0.0; j + 2];
+            for (i, vi) in basis.iter().enumerate().take(j + 1) {
+                let hij = w.dot(vi, comm)?;
+                hcol[i] = hij;
+                w.update(-hij, vi)?;
+            }
+            let hnext = w.norm2(comm)?;
+            hcol[j + 1] = hnext;
+            for i in 0..j {
+                let t = cs[i] * hcol[i] + sn[i] * hcol[i + 1];
+                hcol[i + 1] = -sn[i] * hcol[i] + cs[i] * hcol[i + 1];
+                hcol[i] = t;
+            }
+            let (c, s) = givens(hcol[j], hcol[j + 1]);
+            cs.push(c);
+            sn.push(s);
+            hcol[j] = c * hcol[j] + s * hcol[j + 1];
+            let gj = g[j];
+            g[j] = c * gj;
+            g[j + 1] = -s * gj;
+            h_cols.push(hcol);
+            it += 1;
+            inner += 1;
+            rnorm = g[j + 1].abs();
+            if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it) {
+                cycle_why = Some(why);
+                break;
+            }
+            if hnext == 0.0 {
+                cycle_why = Some(AzWhy::Normal);
+                break;
+            }
+            let mut vn = w.clone();
+            vn.scale(1.0 / hnext);
+            basis.push(vn);
+        }
+        // y via back substitution; x += V·y.
+        let kk = inner;
+        let mut y = vec![0.0; kk];
+        for i in (0..kk).rev() {
+            let mut acc = g[i];
+            for (jj, yj) in y.iter().enumerate().take(kk).skip(i + 1) {
+                acc -= h_cols[jj][i] * yj;
+            }
+            y[i] = acc / h_cols[i][i];
+        }
+        for (vi, yi) in basis.iter().zip(&y) {
+            x.update(*yi, vi)?;
+        }
+        if let Some(why) = cycle_why {
+            break 'outer why;
+        }
+        precond_residual(comm, x, &mut ax, &mut z)?;
+        rnorm = z.norm2(comm)?;
+        if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it) {
+            break 'outer why;
+        }
+    };
+    Ok(RawOutcome { why, iterations: it, rec_residual: rnorm, initial_residual: r0 })
+}
+
+/// Left-preconditioned BiCGStab on M⁻¹A.
+pub(crate) fn bicgstab(
+    comm: &Communicator,
+    a: &dyn RowMatrix,
+    pc: &dyn AzPc,
+    b: &Vector,
+    x: &mut Vector,
+    opts: &AztecOptions,
+) -> AztecResult<RawOutcome> {
+    let map = a.row_map().clone();
+    let bnorm = b.norm2(comm)?;
+    let mut tmp = Vector::new(map.clone());
+    a.apply(comm, x, &mut tmp)?;
+    let mut raw = b.clone();
+    raw.update(-1.0, &tmp)?;
+    // Iterate on the preconditioned system: r = M⁻¹(b − A x).
+    let mut r = Vector::new(map.clone());
+    pc.apply(comm, &raw, &mut r)?;
+    let r0n = r.norm2(comm)?;
+    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0) {
+        return Ok(RawOutcome { why, iterations: 0, rec_residual: r0n, initial_residual: r0n });
+    }
+    let r_hat = r.clone();
+    let mut p = r.clone();
+    let mut v = Vector::new(map.clone());
+    let mut t = Vector::new(map);
+    let mut rho = r_hat.dot(&r, comm)?;
+    let mut it = 0usize;
+    let mut rnorm = r0n;
+    let why = loop {
+        it += 1;
+        // v = M⁻¹·A·p.
+        a.apply(comm, &p, &mut tmp)?;
+        pc.apply(comm, &tmp, &mut v)?;
+        let rhv = r_hat.dot(&v, comm)?;
+        if rhv == 0.0 || !rhv.is_finite() {
+            break AzWhy::Breakdown;
+        }
+        let alpha = rho / rhv;
+        r.update(-alpha, &v)?; // s stored in r
+        let snorm = r.norm2(comm)?;
+        if let Some(why) = stop_check(snorm, r0n, bnorm, opts, it) {
+            x.update(alpha, &p)?;
+            rnorm = snorm;
+            break why;
+        }
+        // t = M⁻¹·A·s.
+        a.apply(comm, &r, &mut tmp)?;
+        pc.apply(comm, &tmp, &mut t)?;
+        let tt = t.dot(&t, comm)?;
+        if tt == 0.0 {
+            break AzWhy::Breakdown;
+        }
+        let omega = t.dot(&r, comm)? / tt;
+        if omega == 0.0 || !omega.is_finite() {
+            break AzWhy::Breakdown;
+        }
+        x.update(alpha, &p)?;
+        x.update(omega, &r)?;
+        r.update(-omega, &t)?;
+        rnorm = r.norm2(comm)?;
+        if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it) {
+            break why;
+        }
+        let rho_new = r_hat.dot(&r, comm)?;
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + β(p − ω v).
+        for ((pi, ri), vi) in p
+            .values_mut()
+            .iter_mut()
+            .zip(r.values())
+            .zip(v.values())
+        {
+            *pi = ri + beta * (*pi - omega * vi);
+        }
+    };
+    Ok(RawOutcome { why, iterations: it, rec_residual: rnorm, initial_residual: r0n })
+}
+
+/// Left-preconditioned CGS on M⁻¹A (Aztec's `AZ_cgs`).
+pub(crate) fn cgs(
+    comm: &Communicator,
+    a: &dyn RowMatrix,
+    pc: &dyn AzPc,
+    b: &Vector,
+    x: &mut Vector,
+    opts: &AztecOptions,
+) -> AztecResult<RawOutcome> {
+    let map = a.row_map().clone();
+    let bnorm = b.norm2(comm)?;
+    let mut tmp = Vector::new(map.clone());
+    a.apply(comm, x, &mut tmp)?;
+    let mut raw = b.clone();
+    raw.update(-1.0, &tmp)?;
+    let mut r = Vector::new(map.clone());
+    pc.apply(comm, &raw, &mut r)?;
+    let r0n = r.norm2(comm)?;
+    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0) {
+        return Ok(RawOutcome { why, iterations: 0, rec_residual: r0n, initial_residual: r0n });
+    }
+    let r_hat = r.clone();
+    let mut p = r.clone();
+    let mut u = r.clone();
+    let mut v = Vector::new(map.clone());
+    let mut q = Vector::new(map.clone());
+    let mut uhat = Vector::new(map);
+    let mut rho = r_hat.dot(&r, comm)?;
+    let mut it = 0usize;
+    let mut rnorm = r0n;
+    let why = loop {
+        it += 1;
+        if rho == 0.0 || !rho.is_finite() {
+            break AzWhy::Breakdown;
+        }
+        // v = M⁻¹·A·p.
+        a.apply(comm, &p, &mut tmp)?;
+        pc.apply(comm, &tmp, &mut v)?;
+        let sigma = r_hat.dot(&v, comm)?;
+        if sigma == 0.0 || !sigma.is_finite() {
+            break AzWhy::Breakdown;
+        }
+        let alpha = rho / sigma;
+        // q = u − α·v ; û = u + q.
+        for ((qi, ui), vi) in q.values_mut().iter_mut().zip(u.values()).zip(v.values()) {
+            *qi = ui - alpha * vi;
+        }
+        for ((hi, ui), qi) in uhat.values_mut().iter_mut().zip(u.values()).zip(q.values()) {
+            *hi = ui + qi;
+        }
+        // x += α·û ; r −= α·M⁻¹·A·û.
+        x.update(alpha, &uhat)?;
+        a.apply(comm, &uhat, &mut tmp)?;
+        let mut mau = Vector::new(a.row_map().clone());
+        pc.apply(comm, &tmp, &mut mau)?;
+        r.update(-alpha, &mau)?;
+        rnorm = r.norm2(comm)?;
+        if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it) {
+            break why;
+        }
+        let rho_new = r_hat.dot(&r, comm)?;
+        let beta = rho_new / rho;
+        rho = rho_new;
+        // u = r + β·q ; p = u + β·(q + β·p).
+        for ((ui, ri), qi) in u.values_mut().iter_mut().zip(r.values()).zip(q.values()) {
+            *ui = ri + beta * qi;
+        }
+        for ((pi, qi), ui) in p.values_mut().iter_mut().zip(q.values()).zip(u.values()) {
+            *pi = ui + beta * (qi + beta * *pi);
+        }
+    };
+    Ok(RawOutcome { why, iterations: it, rec_residual: rnorm, initial_residual: r0n })
+}
+
+/// Left-preconditioned TFQMR on M⁻¹A (Aztec's `AZ_tfqmr`).
+pub(crate) fn tfqmr(
+    comm: &Communicator,
+    a: &dyn RowMatrix,
+    pc: &dyn AzPc,
+    b: &Vector,
+    x: &mut Vector,
+    opts: &AztecOptions,
+) -> AztecResult<RawOutcome> {
+    let map = a.row_map().clone();
+    let bnorm = b.norm2(comm)?;
+    // Initial preconditioned residual (before the closure below captures
+    // its scratch buffer).
+    let mut r = Vector::new(map.clone());
+    {
+        let mut tmp0 = Vector::new(map.clone());
+        a.apply(comm, x, &mut tmp0)?;
+        let mut raw = b.clone();
+        raw.update(-1.0, &tmp0)?;
+        pc.apply(comm, &raw, &mut r)?;
+    }
+    let mut scratch = Vector::new(map.clone());
+    let mut apply_m = |comm: &Communicator, vin: &Vector, vout: &mut Vector| -> AztecResult<()> {
+        a.apply(comm, vin, &mut scratch)?;
+        pc.apply(comm, &scratch, vout)
+    };
+    let r0n = r.norm2(comm)?;
+    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0) {
+        return Ok(RawOutcome { why, iterations: 0, rec_residual: r0n, initial_residual: r0n });
+    }
+    let r_hat = r.clone();
+    let mut w = r.clone();
+    let mut y = r.clone();
+    let mut v = Vector::new(map.clone());
+    apply_m(comm, &y, &mut v)?;
+    let mut u = v.clone();
+    let mut d = Vector::new(map);
+    let mut theta = 0.0f64;
+    let mut eta = 0.0f64;
+    let mut tau = r0n;
+    let mut rho = r_hat.dot(&r, comm)?;
+    let mut it = 0usize;
+    let mut rnorm = r0n;
+    let why = 'outer: loop {
+        it += 1;
+        let sigma = r_hat.dot(&v, comm)?;
+        if sigma == 0.0 || rho == 0.0 || !sigma.is_finite() {
+            break AzWhy::Breakdown;
+        }
+        let alpha = rho / sigma;
+        for m in 0..2 {
+            if m == 1 {
+                y.update(-alpha, &v)?;
+                apply_m(comm, &y, &mut u)?;
+            }
+            w.update(-alpha, &u)?;
+            let coeff = theta * theta * eta / alpha;
+            for (di, yi) in d.values_mut().iter_mut().zip(y.values()) {
+                *di = yi + coeff * *di;
+            }
+            theta = w.norm2(comm)? / tau;
+            let cfac = 1.0 / (1.0 + theta * theta).sqrt();
+            tau *= theta * cfac;
+            eta = cfac * cfac * alpha;
+            x.update(eta, &d)?;
+            rnorm = tau * ((2 * it) as f64).sqrt();
+            if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it) {
+                break 'outer why;
+            }
+        }
+        let rho_new = r_hat.dot(&w, comm)?;
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for (yi, wi) in y.values_mut().iter_mut().zip(w.values()) {
+            *yi = wi + beta * *yi;
+        }
+        let mut au = Vector::new(a.row_map().clone());
+        apply_m(comm, &y, &mut au)?;
+        for ((vi, ui), aui) in v.values_mut().iter_mut().zip(u.values()).zip(au.values()) {
+            *vi = aui + beta * (ui + beta * *vi);
+        }
+        u = au;
+    };
+    Ok(RawOutcome { why, iterations: it, rec_residual: rnorm, initial_residual: r0n })
+}
+
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() < b.abs() {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    } else {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    }
+}

@@ -1,0 +1,171 @@
+//! Distributed vectors — RAztec's `Epetra_Vector`.
+
+use rcomm::Communicator;
+
+use crate::map::Map;
+use crate::{AztecError, AztecResult};
+
+/// A map plus this rank's coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    map: Map,
+    values: Vec<f64>,
+}
+
+impl Vector {
+    /// Zero vector on a map.
+    pub fn new(map: Map) -> Self {
+        let n = map.num_my();
+        Vector { map, values: vec![0.0; n] }
+    }
+
+    /// Wrap local values (length must match the map).
+    pub fn from_values(map: Map, values: Vec<f64>) -> AztecResult<Self> {
+        if values.len() != map.num_my() {
+            return Err(AztecError::MapMismatch(format!(
+                "vector has {} local values, map owns {}",
+                values.len(),
+                map.num_my()
+            )));
+        }
+        Ok(Vector { map, values })
+    }
+
+    /// Take this rank's slice of a replicated global vector.
+    pub fn from_global(map: Map, global: &[f64]) -> AztecResult<Self> {
+        if global.len() != map.num_global() {
+            return Err(AztecError::MapMismatch(format!(
+                "global vector has {} entries, map describes {}",
+                global.len(),
+                map.num_global()
+            )));
+        }
+        let lo = map.min_my_gid();
+        let hi = lo + map.num_my();
+        let values = global[lo..hi].to_vec();
+        Ok(Vector { map, values })
+    }
+
+    /// The map.
+    pub fn map(&self) -> &Map {
+        &self.map
+    }
+
+    /// Local coefficients.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable local coefficients.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Fill with a constant.
+    pub fn put_scalar(&mut self, s: f64) {
+        self.values.iter_mut().for_each(|v| *v = s);
+    }
+
+    fn check(&self, other: &Vector) -> AztecResult<()> {
+        if !self.map.same_as(other.map()) {
+            return Err(AztecError::MapMismatch("vector maps differ".into()));
+        }
+        Ok(())
+    }
+
+    /// Global dot product.
+    pub fn dot(&self, other: &Vector, comm: &Communicator) -> AztecResult<f64> {
+        self.check(other)?;
+        let local = rsparse::dense::dot(&self.values, &other.values);
+        Ok(comm.allreduce(local, rcomm::sum)?)
+    }
+
+    /// Global 2-norm.
+    pub fn norm2(&self, comm: &Communicator) -> AztecResult<f64> {
+        Ok(self.dot(self, comm)?.sqrt())
+    }
+
+    /// self ← self + a·x.
+    pub fn update(&mut self, a: f64, x: &Vector) -> AztecResult<()> {
+        self.check(x)?;
+        rsparse::dense::axpy(a, &x.values, &mut self.values);
+        Ok(())
+    }
+
+    /// self ← a·x + b·self.
+    pub fn update2(&mut self, a: f64, x: &Vector, b: f64) -> AztecResult<()> {
+        self.check(x)?;
+        for (si, xi) in self.values.iter_mut().zip(&x.values) {
+            *si = a * xi + b * *si;
+        }
+        Ok(())
+    }
+
+    /// self ← a·self.
+    pub fn scale(&mut self, a: f64) {
+        rsparse::dense::scale(a, &mut self.values);
+    }
+
+    /// Replicate the full vector on every rank.
+    pub fn gather_all(&self, comm: &Communicator) -> AztecResult<Vec<f64>> {
+        Ok(comm.allgatherv(&self.values)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcomm::Universe;
+
+    #[test]
+    fn construction_and_blas_ops() {
+        let out = Universe::run(2, |comm| {
+            let map = Map::new(6, comm);
+            let global: Vec<f64> = (0..6).map(|i| i as f64).collect();
+            let x = Vector::from_global(map.clone(), &global).unwrap();
+            let mut y = Vector::new(map.clone());
+            y.put_scalar(1.0);
+            y.update(2.0, &x).unwrap(); // y = 1 + 2i
+            let d = y.dot(&x, comm).unwrap(); // Σ i(1+2i)
+            let n = x.norm2(comm).unwrap();
+            let full = y.gather_all(comm).unwrap();
+            (d, n, full)
+        });
+        let expect_d: f64 = (0..6).map(|i| i as f64 * (1.0 + 2.0 * i as f64)).sum();
+        let expect_n: f64 = (0..6).map(|i| (i * i) as f64).sum::<f64>().sqrt();
+        for (d, n, full) in out {
+            assert!((d - expect_d).abs() < 1e-12);
+            assert!((n - expect_n).abs() < 1e-12);
+            assert_eq!(full, vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0]);
+        }
+    }
+
+    #[test]
+    fn update2_and_scale() {
+        let out = Universe::run(1, |comm| {
+            let map = Map::new(3, comm);
+            let x = Vector::from_values(map.clone(), vec![1.0, 2.0, 3.0]).unwrap();
+            let mut y = Vector::from_values(map, vec![10.0, 10.0, 10.0]).unwrap();
+            y.update2(2.0, &x, 0.5).unwrap(); // y = 2x + 0.5y
+            y.scale(10.0);
+            y.values().to_vec()
+        });
+        assert_eq!(out[0], vec![70.0, 90.0, 110.0]);
+    }
+
+    #[test]
+    fn map_mismatches_are_rejected() {
+        let out = Universe::run(1, |comm| {
+            let m6 = Map::new(6, comm);
+            let m4 = Map::new(4, comm);
+            let a = Vector::new(m6.clone());
+            let mut b = Vector::new(m4.clone());
+            let r1 = b.update(1.0, &a).is_err();
+            let r2 = a.dot(&b, comm).is_err();
+            let r3 = Vector::from_values(m6.clone(), vec![0.0; 2]).is_err();
+            let r4 = Vector::from_global(m4, &[0.0; 9]).is_err();
+            r1 && r2 && r3 && r4
+        });
+        assert!(out[0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Substrate kernel benches: SpMV variants (serial, rayon, distributed)
+//! and sparse-format conversions — the building blocks whose costs bound
+//! the interface overhead the paper measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcomm::Universe;
+use rsparse::{generate, BlockRowPartition, DistCsrMatrix, DistVector, MsrMatrix};
+
+fn spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for m in [50usize, 100, 200] {
+        let a = generate::laplacian_2d(m);
+        let x = generate::random_vector(a.cols(), 7);
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("serial", m), &m, |b, _| {
+            let mut y = vec![0.0; a.rows()];
+            b.iter(|| a.matvec_into(&x, &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", m), &m, |b, _| {
+            b.iter(|| a.matvec_par(&x).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dist4", m), &m, |b, _| {
+            b.iter(|| {
+                Universe::run(4, |comm| {
+                    let part = BlockRowPartition::even(a.rows(), comm.size());
+                    let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+                    let dx = DistVector::from_global(part, comm.rank(), &x).unwrap();
+                    // Time several matvecs so the distribution cost
+                    // amortizes like a solver's would.
+                    let mut dy = da.matvec(comm, &dx).unwrap();
+                    for _ in 0..9 {
+                        da.matvec_into(comm, &dx, &mut dy).unwrap();
+                    }
+                    dy.local()[0]
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert");
+    let a = generate::laplacian_2d(100);
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+    group.bench_function("csr_to_coo", |b| b.iter(|| a.to_coo()));
+    let coo = a.to_coo();
+    group.bench_function("coo_to_csr", |b| b.iter(|| coo.to_csr()));
+    group.bench_function("csr_to_csc", |b| b.iter(|| a.to_csc()));
+    group.bench_function("csr_to_msr", |b| b.iter(|| MsrMatrix::from_csr(&a).unwrap()));
+    group.bench_function("csr_transpose", |b| b.iter(|| a.transpose()));
+    group.finish();
+}
+
+fn assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembly");
+    for m in [100usize, 200] {
+        group.bench_with_input(BenchmarkId::new("paper_problem", m), &m, |b, &m| {
+            let p = rmesh::paper_problem(m);
+            b.iter(|| p.assemble_global());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, spmv, conversions, assembly);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches behind the paper's two results artifacts:
+//!
+//! * `tab1/*` — Table 1: the RKSP component through the CCA/LISI path vs
+//!   the native path at increasing problem sizes (fixed rank count);
+//! * `fig5/*` — Figure 5: all three packages, both paths, across rank
+//!   counts at a fixed size.
+//!
+//! Sizes are scaled down from the paper's (these run inside `cargo
+//! bench`); the full-size regeneration is `cargo run --release --bin
+//! table1` / `--bin figure5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lisi_bench::{paper_workload, run_cca, run_native, Package};
+use rcomm::Universe;
+
+fn tab1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab1");
+    group.sample_size(10);
+    for m in [20usize, 40, 60] {
+        let w = paper_workload(m);
+        group.bench_with_input(BenchmarkId::new("cca", w.nnz()), &w, |b, w| {
+            b.iter(|| Universe::run(4, |comm| run_cca(comm, Package::Rksp, w).seconds));
+        });
+        group.bench_with_input(BenchmarkId::new("native", w.nnz()), &w, |b, w| {
+            b.iter(|| Universe::run(4, |comm| run_native(comm, Package::Rksp, w).seconds));
+        });
+    }
+    group.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let w = paper_workload(40);
+    for package in Package::ALL {
+        for p in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-cca", package.name()), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| Universe::run(p, |comm| run_cca(comm, package, &w).seconds));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-native", package.name()), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| Universe::run(p, |comm| run_native(comm, package, &w).seconds));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tab1, fig5);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerate the paper's Figure 5: CCA-component vs native execution
+//! time for the RKSP / RAztec / RSLU packages on 1, 2, 4 and 8
+//! processors, at the paper's problem size (m = 200, nnz = 199 200).
+//!
+//! ```text
+//! cargo run -p lisi-bench --release --bin figure5 [-- --quick]
+//! ```
+//!
+//! The paper's claim is visual: the two curves per package are "almost
+//! overlaid on each other". The text output prints both series plus the
+//! overhead percentage so the overlay claim can be checked numerically.
+
+use lisi_bench::tables::{figure5_series, format_figure5};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (m, reps) = if quick { (50usize, 3) } else { (200usize, 10) };
+    let counts = [1usize, 2, 4, 8];
+    eprintln!(
+        "Figure 5 reproduction: m = {m} (nnz = {}), ranks {counts:?}, {reps} runs each",
+        5 * m * m - 4 * m
+    );
+    let points = figure5_series(m, &counts, reps);
+    println!("{}", format_figure5(&points));
+    println!("paper claim: per package, CCA and NonCCA curves nearly overlay (small overhead).");
+}

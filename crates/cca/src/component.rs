@@ -1,0 +1,48 @@
+//! The component contract.
+
+use crate::error::CcaResult;
+use crate::services::Services;
+
+/// A CCA component: one `set_services` call wires it to the framework,
+/// during which it registers its provides ports and declares its uses
+/// ports — the direct analogue of `gov.cca.Component.setServices`.
+pub trait Component: Send + Sync {
+    /// Called exactly once when the component is instantiated. The
+    /// component keeps a clone of `services` if it needs to fetch uses
+    /// ports later (the usual case).
+    fn set_services(&mut self, services: &Services) -> CcaResult<()>;
+
+    /// Component type name (diagnostics; defaults to the Rust type name).
+    fn type_name(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Widget {
+        wired: bool,
+    }
+
+    impl Component for Widget {
+        fn set_services(&mut self, _services: &Services) -> CcaResult<()> {
+            self.wired = true;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_type_name_is_rust_path() {
+        let w = Widget { wired: false };
+        assert!(w.type_name().contains("Widget"));
+    }
+
+    #[test]
+    fn set_services_is_callable() {
+        let mut w = Widget { wired: false };
+        w.set_services(&Services::new("w")).unwrap();
+        assert!(w.wired);
+    }
+}

@@ -1,0 +1,107 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Result alias for framework operations.
+pub type CcaResult<T> = Result<T, CcaError>;
+
+/// Errors from the component framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcaError {
+    /// A component id is unknown (destroyed or never created).
+    NoSuchComponent(String),
+    /// A port name is not registered on the named side.
+    NoSuchPort {
+        /// Component instance name.
+        component: String,
+        /// Port name.
+        port: String,
+        /// "uses" or "provides".
+        kind: &'static str,
+    },
+    /// Port types disagree between a uses and a provides port.
+    TypeMismatch {
+        /// Uses-side declared type.
+        uses_type: String,
+        /// Provides-side declared type.
+        provides_type: String,
+    },
+    /// A uses port is not currently connected.
+    NotConnected {
+        /// Component instance name.
+        component: String,
+        /// Port name.
+        port: String,
+    },
+    /// A uses port is already connected (disconnect first).
+    AlreadyConnected {
+        /// Component instance name.
+        component: String,
+        /// Port name.
+        port: String,
+    },
+    /// The fetched port could not be downcast to the requested Rust type.
+    WrongPortType {
+        /// Port name.
+        port: String,
+    },
+    /// A port type name is absent from the SIDL registry.
+    UnknownSidlType(String),
+    /// A duplicate registration (instance name or port name).
+    Duplicate(String),
+    /// A component's `set_services` failed.
+    SetServices(String),
+}
+
+impl fmt::Display for CcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message())
+    }
+}
+
+impl CcaError {
+    fn message(&self) -> String {
+        match self {
+            CcaError::NoSuchComponent(c) => format!("no such component '{c}'"),
+            CcaError::NoSuchPort { component, port, kind } => {
+                format!("component '{component}' has no {kind} port '{port}'")
+            }
+            CcaError::TypeMismatch { uses_type, provides_type } => format!(
+                "port type mismatch: uses side expects '{uses_type}', provider offers '{provides_type}'"
+            ),
+            CcaError::NotConnected { component, port } => {
+                format!("uses port '{port}' of '{component}' is not connected")
+            }
+            CcaError::AlreadyConnected { component, port } => {
+                format!("uses port '{port}' of '{component}' is already connected")
+            }
+            CcaError::WrongPortType { port } => {
+                format!("port '{port}' holds a different Rust type than requested")
+            }
+            CcaError::UnknownSidlType(t) => format!("port type '{t}' not found in SIDL registry"),
+            CcaError::Duplicate(d) => format!("duplicate registration: {d}"),
+            CcaError::SetServices(m) => format!("set_services failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CcaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offenders() {
+        let e = CcaError::NoSuchComponent("solver".into());
+        assert!(e.to_string().contains("solver"));
+        let e = CcaError::TypeMismatch {
+            uses_type: "lisi.SparseSolver".into(),
+            provides_type: "lisi.MatrixFree".into(),
+        };
+        assert!(e.to_string().contains("lisi.SparseSolver"));
+        assert!(e.to_string().contains("lisi.MatrixFree"));
+        let e = CcaError::NotConnected { component: "app".into(), port: "solver".into() };
+        assert!(e.to_string().contains("app"));
+    }
+}

@@ -1,0 +1,37 @@
+//! `cca` — a Common Component Architecture framework (Ccaffeine stand-in).
+//!
+//! The CCA model (paper §4): a *component* is a collection of *ports*;
+//! ports a component implements are **provides** ports, ports it plans to
+//! call are **uses** ports. A framework instantiates components, wires
+//! uses ports to provides ports, and can rewire them at run time —
+//! dynamic solver switching (paper Figure 4) is exactly a disconnect +
+//! reconnect. Under SPMD execution every rank runs one instance of each
+//! component; the set of instances is the component's *cohort*.
+//!
+//! * [`Services`] — the per-component handle through which it registers
+//!   provides ports ([`Services::add_provides_port`]), declares uses ports
+//!   ([`Services::register_uses_port`]) and fetches connected ports
+//!   ([`Services::get_port`]);
+//! * [`Component`] — the component contract (`set_services`, the CCA
+//!   `setServices` call);
+//! * [`Framework`] + [`BuilderService`] — instantiation, connection,
+//!   disconnection, dynamic replacement, with port-type checking against
+//!   a [`sidl`] interface registry;
+//! * [`sidl`] — a parser for the SIDL subset the paper uses, with the
+//!   LISI 0.1 specification from the paper embedded verbatim
+//!   ([`sidl::LISI_SIDL`]); the framework checks connections against
+//!   parsed interface names, reproducing Babel's conformance role.
+
+#![warn(missing_docs)]
+
+mod component;
+mod error;
+mod framework;
+mod services;
+
+pub mod sidl;
+
+pub use component::Component;
+pub use error::{CcaError, CcaResult};
+pub use framework::{BuilderEvent, BuilderService, ComponentId, Framework};
+pub use services::{PortRecord, Services, WeakServices};

@@ -1,0 +1,166 @@
+//! Abstract syntax for the SIDL subset.
+
+/// A parsed SIDL file: one package with enums and interfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SidlFile {
+    /// Package name (possibly dotted).
+    pub package: String,
+    /// Version string, e.g. `"0.1"`.
+    pub version: String,
+    /// Enum definitions in order.
+    pub enums: Vec<EnumDef>,
+    /// Interface definitions in order.
+    pub interfaces: Vec<InterfaceDef>,
+}
+
+/// `enum Name { A, B, C }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variant names in order.
+    pub variants: Vec<String>,
+}
+
+/// `interface Name extends base { methods }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDef {
+    /// Interface name.
+    pub name: String,
+    /// Qualified base interface, if any.
+    pub extends: Option<String>,
+    /// Methods in order (overloads repeat the name with distinct
+    /// suffixes).
+    pub methods: Vec<MethodDef>,
+}
+
+/// One method signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDef {
+    /// Return type.
+    pub ret: SidlType,
+    /// Method name (without the overload suffix).
+    pub name: String,
+    /// Babel overload suffix (`name[suffix]`), if present.
+    pub overload_suffix: Option<String>,
+    /// Parameters in order.
+    pub params: Vec<ParamDef>,
+}
+
+impl MethodDef {
+    /// The Babel "long name": `name_suffix` for overloads, `name`
+    /// otherwise — what generated bindings actually call the function.
+    pub fn long_name(&self) -> String {
+        match &self.overload_suffix {
+            Some(s) => format!("{}_{s}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Parameter passing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamMode {
+    /// Caller → callee.
+    In,
+    /// Both directions (r-arrays support only `in` and `inout`).
+    InOut,
+    /// Callee → caller (not allowed for r-arrays).
+    Out,
+}
+
+/// One parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    /// Passing mode.
+    pub mode: ParamMode,
+    /// Declared type.
+    pub ty: SidlType,
+    /// Parameter name.
+    pub name: String,
+    /// Shape annotation for r-arrays (`x(length)`); empty otherwise.
+    pub shape: Vec<String>,
+}
+
+/// The SIDL types this subset knows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SidlType {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    Long,
+    /// Boolean.
+    Bool,
+    /// 32-bit float.
+    Float,
+    /// 64-bit float.
+    Double,
+    /// String.
+    String_,
+    /// No value (return type only).
+    Void,
+    /// Raw array `rarray<elem, dims>`.
+    RArray {
+        /// Element type.
+        elem: Box<SidlType>,
+        /// Dimensionality.
+        dims: usize,
+    },
+    /// A named (enum or interface) type.
+    Named(String),
+}
+
+impl SidlType {
+    /// Parse a primitive type keyword.
+    pub fn from_keyword(word: &str) -> Option<SidlType> {
+        Some(match word {
+            "int" => SidlType::Int,
+            "long" => SidlType::Long,
+            "bool" => SidlType::Bool,
+            "float" => SidlType::Float,
+            "double" => SidlType::Double,
+            "string" => SidlType::String_,
+            "void" => SidlType::Void,
+            _ => return None,
+        })
+    }
+
+    /// Is this type legal as an r-array element? (Babel: int, long,
+    /// float, double, fcomplex, dcomplex.)
+    pub fn rarray_legal_element(&self) -> bool {
+        matches!(self, SidlType::Int | SidlType::Long | SidlType::Float | SidlType::Double)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_names_encode_overloads() {
+        let m = MethodDef {
+            ret: SidlType::Int,
+            name: "setupMatrix".into(),
+            overload_suffix: Some("few_args".into()),
+            params: vec![],
+        };
+        assert_eq!(m.long_name(), "setupMatrix_few_args");
+        let m2 = MethodDef { overload_suffix: None, ..m };
+        assert_eq!(m2.long_name(), "setupMatrix");
+    }
+
+    #[test]
+    fn keyword_types_parse() {
+        assert_eq!(SidlType::from_keyword("int"), Some(SidlType::Int));
+        assert_eq!(SidlType::from_keyword("string"), Some(SidlType::String_));
+        assert_eq!(SidlType::from_keyword("SparseStruct"), None);
+    }
+
+    #[test]
+    fn rarray_element_legality_follows_babel() {
+        assert!(SidlType::Double.rarray_legal_element());
+        assert!(SidlType::Int.rarray_legal_element());
+        assert!(!SidlType::Bool.rarray_legal_element());
+        assert!(!SidlType::String_.rarray_legal_element());
+    }
+}

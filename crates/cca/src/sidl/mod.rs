@@ -1,0 +1,219 @@
+//! A parser for the SIDL subset the CCA-LISI paper uses.
+//!
+//! Babel's role in the paper is to take interfaces written in SIDL and
+//! generate language bindings; inside a single-language reproduction the
+//! useful remnant of that role is *machine-checked interface conformance*:
+//! the LISI specification is data, not prose. This module parses SIDL
+//! packages (enums + interfaces with `in`/`inout`/`out` parameters,
+//! `rarray<T,n>` raw-array types with shape annotations, and `[suffix]`
+//! method overloads), and [`SidlRegistry`] lets the framework validate
+//! port types while tests assert that the Rust traits implement every
+//! method of the spec.
+//!
+//! [`LISI_SIDL`] is the paper's "CCA LISI SIDL Interface" listing
+//! (§7.2), transcribed with its obvious scanner typos corrected.
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{EnumDef, InterfaceDef, MethodDef, ParamDef, ParamMode, SidlFile, SidlType};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;
+
+use std::collections::BTreeMap;
+
+/// The LISI 0.1 specification from the paper (code listing in §7.2).
+pub const LISI_SIDL: &str = r#"
+package lisi version 0.1 {
+  enum SparseStruct { CSR, COO, MSR, VBR, FEM }
+  enum ID { MATRIX, PRECONDITIONER }
+
+  interface MatrixFree extends gov.cca.Port {
+    int matMult(in ID id,
+                in rarray<double,1> x(length),
+                inout rarray<double,1> y(length),
+                in int length);
+  }
+
+  interface SparseSolver extends gov.cca.Port {
+    int initialize(in long comm);
+    int setBlockSize(in int bs);
+    int setStartRow(in int startrow);
+    int setLocalRows(in int rows);
+    int setLocalNNZ(in int nnz);
+    int setGlobalCols(in int cols);
+    int setupMatrix[few_args](
+      in rarray<double,1> Values(NNZ),
+      in rarray<int,1> Rows(NNZ),
+      in rarray<int,1> Columns(NNZ),
+      in int NNZ);
+    int setupMatrix[media_args](
+      in rarray<double,1> Values(NNZ),
+      in rarray<int,1> Rows(RowsLength),
+      in rarray<int,1> Columns(NNZ),
+      in SparseStruct DataStruct,
+      in int RowsLength, in int NNZ);
+    int setupMatrix[large_args](
+      in rarray<double,1> Values(NNZ),
+      in rarray<int,1> Rows(RowsLength),
+      in rarray<int,1> Columns(NNZ),
+      in SparseStruct DataStruct,
+      in int RowsLength,
+      in int NNZ, in int Offset);
+    int setupRHS(
+      in rarray<double,1> RightHandSide(NumLocalRow),
+      in int NumLocalRow, in int nRhs);
+    int solve(
+      inout rarray<double,1> Solution(NumLocalRow),
+      inout rarray<double,1> Status(StatusLength),
+      in int NumLocalRow, in int StatusLength);
+    int set(in string key, in string value);
+    int setInt(in string key, in int value);
+    int setBool(in string key, in bool value);
+    int setDouble(in string key, in double value);
+    string get_all();
+  }
+}
+"#;
+
+/// A lookup table of parsed interfaces, keyed by fully qualified name
+/// (`package.Interface`). `gov.cca.Port` is predefined (it is the base
+/// port type every CCA port extends).
+#[derive(Debug, Clone, Default)]
+pub struct SidlRegistry {
+    interfaces: BTreeMap<String, InterfaceDef>,
+    enums: BTreeMap<String, EnumDef>,
+}
+
+impl SidlRegistry {
+    /// Parse SIDL source and build a registry from it.
+    pub fn parse(source: &str) -> Result<Self, String> {
+        let file = parse(source)?;
+        let mut reg = SidlRegistry::default();
+        reg.add_file(&file);
+        Ok(reg)
+    }
+
+    /// The registry for the paper's LISI specification.
+    pub fn lisi() -> Self {
+        Self::parse(LISI_SIDL).expect("embedded LISI spec must parse")
+    }
+
+    /// Merge a parsed file into the registry.
+    pub fn add_file(&mut self, file: &SidlFile) {
+        for i in &file.interfaces {
+            self.interfaces.insert(format!("{}.{}", file.package, i.name), i.clone());
+        }
+        for e in &file.enums {
+            self.enums.insert(format!("{}.{}", file.package, e.name), e.clone());
+        }
+    }
+
+    /// Does the registry define (or predefine) this interface?
+    pub fn has_interface(&self, qualified: &str) -> bool {
+        qualified == "gov.cca.Port" || self.interfaces.contains_key(qualified)
+    }
+
+    /// Fetch an interface definition.
+    pub fn interface(&self, qualified: &str) -> Option<&InterfaceDef> {
+        self.interfaces.get(qualified)
+    }
+
+    /// Fetch an enum definition.
+    pub fn enum_def(&self, qualified: &str) -> Option<&EnumDef> {
+        self.enums.get(qualified)
+    }
+
+    /// All interface names, sorted.
+    pub fn interface_names(&self) -> Vec<String> {
+        self.interfaces.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lisi_spec_parses_and_registers() {
+        let reg = SidlRegistry::lisi();
+        assert!(reg.has_interface("lisi.SparseSolver"));
+        assert!(reg.has_interface("lisi.MatrixFree"));
+        assert!(reg.has_interface("gov.cca.Port"));
+        assert!(!reg.has_interface("lisi.Nope"));
+        assert_eq!(
+            reg.interface_names(),
+            vec!["lisi.MatrixFree".to_string(), "lisi.SparseSolver".to_string()]
+        );
+    }
+
+    #[test]
+    fn lisi_enums_match_the_paper() {
+        let reg = SidlRegistry::lisi();
+        let ss = reg.enum_def("lisi.SparseStruct").unwrap();
+        assert_eq!(ss.variants, vec!["CSR", "COO", "MSR", "VBR", "FEM"]);
+        let id = reg.enum_def("lisi.ID").unwrap();
+        assert_eq!(id.variants, vec!["MATRIX", "PRECONDITIONER"]);
+    }
+
+    #[test]
+    fn sparse_solver_has_the_papers_method_set() {
+        let reg = SidlRegistry::lisi();
+        let iface = reg.interface("lisi.SparseSolver").unwrap();
+        assert_eq!(iface.extends.as_deref(), Some("gov.cca.Port"));
+        let names: Vec<&str> = iface.methods.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "initialize",
+                "setBlockSize",
+                "setStartRow",
+                "setLocalRows",
+                "setLocalNNZ",
+                "setGlobalCols",
+                "setupMatrix",
+                "setupMatrix",
+                "setupMatrix",
+                "setupRHS",
+                "solve",
+                "set",
+                "setInt",
+                "setBool",
+                "setDouble",
+                "get_all",
+            ]
+        );
+        // Overload suffixes distinguish the three setupMatrix flavours.
+        let suffixes: Vec<_> = iface
+            .methods
+            .iter()
+            .filter(|m| m.name == "setupMatrix")
+            .map(|m| m.overload_suffix.clone().unwrap())
+            .collect();
+        assert_eq!(suffixes, vec!["few_args", "media_args", "large_args"]);
+    }
+
+    #[test]
+    fn rarray_parameters_carry_shapes_and_modes() {
+        let reg = SidlRegistry::lisi();
+        let iface = reg.interface("lisi.SparseSolver").unwrap();
+        let solve = iface.methods.iter().find(|m| m.name == "solve").unwrap();
+        assert_eq!(solve.params.len(), 4);
+        assert_eq!(solve.params[0].mode, ParamMode::InOut);
+        assert_eq!(solve.params[0].name, "Solution");
+        assert_eq!(solve.params[0].shape, vec!["NumLocalRow".to_string()]);
+        assert!(matches!(
+            &solve.params[0].ty,
+            SidlType::RArray { elem, dims: 1 } if **elem == SidlType::Double
+        ));
+        let get_all = iface.methods.iter().find(|m| m.name == "get_all").unwrap();
+        assert_eq!(get_all.ret, SidlType::String_);
+        assert!(get_all.params.is_empty());
+
+        let mf = reg.interface("lisi.MatrixFree").unwrap();
+        let mat_mult = &mf.methods[0];
+        assert_eq!(mat_mult.params[0].ty, SidlType::Named("ID".into()));
+        assert_eq!(mat_mult.params[2].mode, ParamMode::InOut);
+    }
+}

@@ -1,0 +1,280 @@
+//! Recursive-descent parser for the SIDL subset.
+
+use crate::sidl::ast::*;
+use crate::sidl::lexer::{tokenize, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse one SIDL package.
+pub fn parse(src: &str) -> Result<SidlFile, String> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let file = p.package()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing tokens after package (at {})", p.pos));
+    }
+    Ok(file)
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, String> {
+        let t = self.tokens.get(self.pos).cloned().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), String> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(format!("expected {t:?}, got {got:?}"))
+        }
+    }
+
+    fn word(&mut self) -> Result<String, String> {
+        match self.next()? {
+            Token::Word(w) => Ok(w),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), String> {
+        let w = self.word()?;
+        if w == kw {
+            Ok(())
+        } else {
+            Err(format!("expected '{kw}', got '{w}'"))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn package(&mut self) -> Result<SidlFile, String> {
+        self.keyword("package")?;
+        let package = self.word()?;
+        self.keyword("version")?;
+        let version = self.word()?;
+        // Braces around the body are standard SIDL but the paper's listing
+        // omits them — accept both.
+        let braced = self.eat(&Token::LBrace);
+        let mut enums = Vec::new();
+        let mut interfaces = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Word(w)) if w == "enum" => {
+                    self.pos += 1;
+                    enums.push(self.enum_def()?);
+                }
+                Some(Token::Word(w)) if w == "interface" => {
+                    self.pos += 1;
+                    interfaces.push(self.interface_def()?);
+                }
+                Some(Token::RBrace) if braced => {
+                    self.pos += 1;
+                    break;
+                }
+                None if !braced => break,
+                other => return Err(format!("expected enum/interface, got {other:?}")),
+            }
+        }
+        Ok(SidlFile { package, version, enums, interfaces })
+    }
+
+    fn enum_def(&mut self) -> Result<EnumDef, String> {
+        let name = self.word()?;
+        self.expect(&Token::LBrace)?;
+        let mut variants = Vec::new();
+        loop {
+            if self.eat(&Token::RBrace) {
+                break;
+            }
+            variants.push(self.word()?);
+            // Optional trailing comma.
+            self.eat(&Token::Comma);
+        }
+        if variants.is_empty() {
+            return Err(format!("enum {name} has no variants"));
+        }
+        Ok(EnumDef { name, variants })
+    }
+
+    fn interface_def(&mut self) -> Result<InterfaceDef, String> {
+        let name = self.word()?;
+        let extends = if matches!(self.peek(), Some(Token::Word(w)) if w == "extends") {
+            self.pos += 1;
+            Some(self.word()?)
+        } else {
+            None
+        };
+        self.expect(&Token::LBrace)?;
+        let mut methods = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            methods.push(self.method()?);
+        }
+        Ok(InterfaceDef { name, extends, methods })
+    }
+
+    fn method(&mut self) -> Result<MethodDef, String> {
+        let ret = self.type_expr()?;
+        let name = self.word()?;
+        let overload_suffix = if self.eat(&Token::LBracket) {
+            let s = self.word()?;
+            self.expect(&Token::RBracket)?;
+            Some(s)
+        } else {
+            None
+        };
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                params.push(self.param()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        self.expect(&Token::Semi)?;
+        Ok(MethodDef { ret, name, overload_suffix, params })
+    }
+
+    fn param(&mut self) -> Result<ParamDef, String> {
+        let mode = match self.word()?.as_str() {
+            "in" => ParamMode::In,
+            "inout" => ParamMode::InOut,
+            "out" => ParamMode::Out,
+            other => return Err(format!("expected parameter mode, got '{other}'")),
+        };
+        let ty = self.type_expr()?;
+        if let SidlType::RArray { elem, .. } = &ty {
+            if !elem.rarray_legal_element() {
+                return Err(format!("illegal rarray element type {elem:?}"));
+            }
+            if mode == ParamMode::Out {
+                return Err("rarray parameters cannot be 'out' (Babel restriction)".into());
+            }
+        }
+        let name = self.word()?;
+        // Optional shape annotation `(dim, dim, …)`.
+        let mut shape = Vec::new();
+        if self.eat(&Token::LParen) {
+            loop {
+                shape.push(self.word()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        Ok(ParamDef { mode, ty, name, shape })
+    }
+
+    fn type_expr(&mut self) -> Result<SidlType, String> {
+        let w = self.word()?;
+        if w == "rarray" {
+            self.expect(&Token::Lt)?;
+            let elem = self.type_expr()?;
+            self.expect(&Token::Comma)?;
+            let dims_word = self.word()?;
+            let dims: usize =
+                dims_word.parse().map_err(|_| format!("bad rarray rank '{dims_word}'"))?;
+            self.expect(&Token::Gt)?;
+            return Ok(SidlType::RArray { elem: Box::new(elem), dims });
+        }
+        Ok(SidlType::from_keyword(&w).unwrap_or(SidlType::Named(w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_package_parses() {
+        let f = parse("package p version 1.0 { }").unwrap();
+        assert_eq!(f.package, "p");
+        assert_eq!(f.version, "1.0");
+        assert!(f.enums.is_empty() && f.interfaces.is_empty());
+    }
+
+    #[test]
+    fn unbraced_package_body_is_accepted() {
+        let f = parse("package p version 2 enum E { A, B }").unwrap();
+        assert_eq!(f.enums[0].variants, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn trailing_comma_in_enum_is_tolerated() {
+        let f = parse("package p version 1 { enum E { A, B, } }").unwrap();
+        assert_eq!(f.enums[0].variants, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn methods_parse_with_overloads_and_shapes() {
+        let src = "package p version 1 {
+            interface I extends gov.cca.Port {
+                int f[variant](in rarray<double,1> x(n), in int n);
+                void g();
+                string h(in I other);
+            }
+        }";
+        let f = parse(src).unwrap();
+        let i = &f.interfaces[0];
+        assert_eq!(i.extends.as_deref(), Some("gov.cca.Port"));
+        assert_eq!(i.methods.len(), 3);
+        assert_eq!(i.methods[0].long_name(), "f_variant");
+        assert_eq!(i.methods[0].params[0].shape, vec!["n"]);
+        assert_eq!(i.methods[1].ret, SidlType::Void);
+        assert_eq!(i.methods[2].params[0].ty, SidlType::Named("I".into()));
+    }
+
+    #[test]
+    fn babel_rarray_restrictions_are_enforced() {
+        // 'out' rarray is illegal.
+        let bad = "package p version 1 {
+            interface I { int f(out rarray<double,1> x(n)); }
+        }";
+        assert!(parse(bad).unwrap_err().contains("out"));
+        // bool rarray element is illegal.
+        let bad2 = "package p version 1 {
+            interface I { int f(in rarray<bool,1> x(n)); }
+        }";
+        assert!(parse(bad2).unwrap_err().contains("element"));
+    }
+
+    #[test]
+    fn malformed_inputs_report_errors() {
+        assert!(parse("interface X {}").is_err()); // no package
+        assert!(parse("package p version 1 { enum E { } }").is_err()); // empty enum
+        assert!(parse("package p version 1 { interface I { int f(in int); } }").is_err());
+        assert!(parse("package p version 1 { junk }").is_err());
+        assert!(parse("package p version 1 { } extra").is_err());
+    }
+
+    #[test]
+    fn multidimensional_rarrays_parse() {
+        let src = "package p version 1 {
+            interface I { int f(in rarray<int,2> a(r, c), in int r, in int c); }
+        }";
+        let f = parse(src).unwrap();
+        let m = &f.interfaces[0].methods[0];
+        assert!(matches!(&m.params[0].ty, SidlType::RArray { dims: 2, .. }));
+        assert_eq!(m.params[0].shape, vec!["r", "c"]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests on the SIDL layer: the parser must never panic on
+//! arbitrary input, and valid generated packages must round-trip through
+//! the registry.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fuzz: arbitrary strings may fail to parse, but must never panic.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = cca::sidl::parse(&input);
+    }
+
+    /// Fuzz with SIDL-flavoured tokens to reach deeper parser states.
+    #[test]
+    fn parser_never_panics_on_tokeny_soup(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "package", "version", "interface", "enum", "extends", "in",
+                "inout", "out", "int", "double", "rarray", "<", ">", "{",
+                "}", "(", ")", ";", ",", "[", "]", "x", "Foo", "gov.cca.Port",
+                "1", "0.1",
+            ]),
+            0..40,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = cca::sidl::parse(&input);
+    }
+
+    /// Generated valid packages parse and register.
+    #[test]
+    fn generated_interfaces_round_trip(
+        pkg in "[a-z][a-z0-9]{0,8}",
+        iface in "[A-Z][A-Za-z0-9]{0,8}",
+        n_methods in 0usize..5,
+    ) {
+        let mut src = format!("package {pkg} version 1.0 {{ interface {iface} {{ ");
+        for i in 0..n_methods {
+            src.push_str(&format!("int m{i}(in int a{i}); "));
+        }
+        src.push_str("} }");
+        let reg = cca::sidl::SidlRegistry::parse(&src).unwrap();
+        let q = format!("{pkg}.{iface}");
+        prop_assert!(reg.has_interface(&q));
+        prop_assert_eq!(reg.interface(&q).unwrap().methods.len(), n_methods);
+    }
+}
+
+#[test]
+fn registry_reparses_its_own_embedded_spec_deterministically() {
+    let a = cca::sidl::SidlRegistry::lisi();
+    let b = cca::sidl::SidlRegistry::parse(cca::sidl::LISI_SIDL).unwrap();
+    assert_eq!(a.interface_names(), b.interface_names());
+    let ia = a.interface("lisi.SparseSolver").unwrap();
+    let ib = b.interface("lisi.SparseSolver").unwrap();
+    assert_eq!(ia, ib);
+}

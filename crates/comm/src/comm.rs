@@ -1,0 +1,606 @@
+//! The [`Communicator`]: point-to-point messaging with MPI matching rules.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::envelope::{child_context, Context, Envelope, COLLECTIVE_BIT};
+use crate::error::{CommError, CommResult};
+use crate::Tag;
+
+/// Wildcard source for [`Communicator::recv_any`]-style matching.
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag.
+pub const ANY_TAG: Tag = -1;
+
+/// How long a blocking receive may wait before the runtime declares a
+/// suspected deadlock. Mismatched SPMD code fails fast instead of hanging
+/// the test suite. Override with `RCOMM_DEADLOCK_TIMEOUT_SECS`.
+fn deadlock_timeout() -> Duration {
+    static SECS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let secs = *SECS.get_or_init(|| {
+        std::env::var("RCOMM_DEADLOCK_TIMEOUT_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(30)
+    });
+    Duration::from_secs(secs)
+}
+
+/// Completion information for a receive, mirroring `MPI_Status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvStatus {
+    /// World rank of the sender.
+    pub source: usize,
+    /// Tag the message was sent with.
+    pub tag: Tag,
+}
+
+/// Shared wiring of the universe: one mailbox sender per world rank.
+pub(crate) struct Wiring {
+    pub senders: Vec<Sender<Envelope>>,
+}
+
+/// Per-thread inbox. All communicators held by one rank share it, so a
+/// message for a *different* communicator that arrives while we are
+/// receiving is stashed in `pending` and found later by its own
+/// communicator — the classic "unexpected message queue".
+pub(crate) struct PostOffice {
+    pub receiver: Receiver<Envelope>,
+    pub pending: VecDeque<Envelope>,
+}
+
+/// A communication context shared by a group of ranks.
+///
+/// `Communicator` is `Send` (it can be moved into the rank's thread) but
+/// deliberately not `Clone`: like an `MPI_Comm`, each rank holds exactly one
+/// handle per communicator. New communicators come from [`Communicator::dup`]
+/// and [`Communicator::split`].
+pub struct Communicator {
+    /// Rank within this communicator.
+    rank: usize,
+    /// Ranks in this communicator, as world ranks (index = local rank).
+    members: Arc<Vec<usize>>,
+    /// This communicator's user context.
+    context: Context,
+    /// Monotone salt so successive `split`/`dup` calls derive fresh
+    /// contexts; advanced identically on every member.
+    split_salt: AtomicU64,
+    wiring: Arc<Wiring>,
+    post: Arc<Mutex<PostOffice>>,
+}
+
+impl Communicator {
+    pub(crate) fn new(
+        rank: usize,
+        members: Arc<Vec<usize>>,
+        context: Context,
+        wiring: Arc<Wiring>,
+        post: Arc<Mutex<PostOffice>>,
+    ) -> Self {
+        Communicator { rank, members, context, split_salt: AtomicU64::new(1), wiring, post }
+    }
+
+    /// This process's rank in `0..self.size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True on rank 0, the conventional root.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// World rank of local rank `r`.
+    fn world_rank(&self, r: usize) -> CommResult<usize> {
+        self.members
+            .get(r)
+            .copied()
+            .ok_or(CommError::RankOutOfRange { rank: r, size: self.size() })
+    }
+
+    fn check_tag(tag: Tag) -> CommResult<()> {
+        if tag < 0 {
+            return Err(CommError::InvalidTag(tag));
+        }
+        Ok(())
+    }
+
+    /// Send `value` to local rank `dest` with `tag`.
+    ///
+    /// Sends are *eager*: the payload is moved into the destination mailbox
+    /// and the call returns immediately (like a buffered MPI send). Sending
+    /// to self is allowed and is matched by a later receive.
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> CommResult<()> {
+        Self::check_tag(tag)?;
+        self.send_ctx(dest, tag, self.context, value)
+    }
+
+    pub(crate) fn send_ctx<T: Send + 'static>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        context: Context,
+        value: T,
+    ) -> CommResult<()> {
+        let world_dest = self.world_rank(dest)?;
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            context,
+            payload: Box::new(value),
+        };
+        self.wiring.senders[world_dest]
+            .send(env)
+            .map_err(|_| CommError::PeerGone(dest))
+    }
+
+    /// Receive a `T` from local rank `src` with tag `tag` on this
+    /// communicator, blocking until a matching message arrives.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> CommResult<T> {
+        Self::check_tag(tag)?;
+        self.recv_match(Some(src), Some(tag), self.context).map(|(v, _)| v)
+    }
+
+    /// Receive from any source and/or any tag. Pass [`ANY_SOURCE`] /
+    /// [`ANY_TAG`] (negative sentinels) for wildcards. Returns the payload
+    /// together with a [`RecvStatus`] identifying the actual sender/tag.
+    pub fn recv_any<T: Send + 'static>(
+        &self,
+        src: i32,
+        tag: Tag,
+    ) -> CommResult<(T, RecvStatus)> {
+        let src = if src == ANY_SOURCE { None } else { Some(src as usize) };
+        let tag = if tag == ANY_TAG { None } else { Some(tag) };
+        self.recv_match(src, tag, self.context)
+    }
+
+    /// Non-blocking probe: is a matching message already available?
+    pub fn iprobe(&self, src: i32, tag: Tag) -> CommResult<Option<RecvStatus>> {
+        let srco = if src == ANY_SOURCE { None } else { Some(src as usize) };
+        let tago = if tag == ANY_TAG { None } else { Some(tag) };
+        if let Some(s) = srco {
+            // Validate rank; probing a bogus source is a caller bug.
+            self.world_rank(s)?;
+        }
+        let mut post = self.post.lock();
+        // Drain everything already delivered into the pending queue so the
+        // scan below sees it.
+        while let Ok(env) = post.receiver.try_recv() {
+            post.pending.push_back(env);
+        }
+        Ok(post
+            .pending
+            .iter()
+            .find(|e| e.matches(srco, tago, self.context))
+            .map(|e| RecvStatus { source: e.src, tag: e.tag }))
+    }
+
+    /// Combined send+receive, deadlock-free regardless of ordering — the
+    /// workhorse of halo exchanges.
+    pub fn sendrecv<T: Send + 'static, U: Send + 'static>(
+        &self,
+        dest: usize,
+        send_tag: Tag,
+        value: T,
+        src: usize,
+        recv_tag: Tag,
+    ) -> CommResult<U> {
+        self.send(dest, send_tag, value)?;
+        self.recv(src, recv_tag)
+    }
+
+    /// Core matching receive. Scans the pending queue first, then pulls
+    /// from the mailbox, stashing non-matching arrivals back into pending.
+    pub(crate) fn recv_match<T: Send + 'static>(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        context: Context,
+    ) -> CommResult<(T, RecvStatus)> {
+        if let Some(s) = src {
+            self.world_rank(s)?;
+        }
+        let mut post = self.post.lock();
+        // 1. Previously stashed messages, in arrival order (MPI's
+        //    non-overtaking rule between a given pair).
+        if let Some(pos) = post.pending.iter().position(|e| e.matches(src, tag, context)) {
+            let env = post.pending.remove(pos).expect("position just found");
+            return Self::unpack(env);
+        }
+        // 2. Block on the mailbox.
+        let deadline = std::time::Instant::now() + deadlock_timeout();
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match post.receiver.recv_timeout(remaining) {
+                Ok(env) => {
+                    if env.matches(src, tag, context) {
+                        return Self::unpack(env);
+                    }
+                    post.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::DeadlockSuspected { rank: self.rank, src, tag });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerGone(usize::MAX));
+                }
+            }
+        }
+    }
+
+    fn unpack<T: Send + 'static>(env: Envelope) -> CommResult<(T, RecvStatus)> {
+        let status = RecvStatus { source: env.src, tag: env.tag };
+        let boxed: Box<dyn Any + Send> = env.payload;
+        match boxed.downcast::<T>() {
+            Ok(v) => Ok((*v, status)),
+            Err(_) => Err(CommError::TypeMismatch { expected: std::any::type_name::<T>() }),
+        }
+    }
+
+    /// The context used for internal collective traffic.
+    #[inline]
+    pub(crate) fn collective_context(&self) -> Context {
+        self.context | COLLECTIVE_BIT
+    }
+
+    /// Duplicate this communicator: same group, fresh context, so traffic
+    /// on the duplicate can never match traffic on the original.
+    ///
+    /// Collective: every member must call it.
+    pub fn dup(&self) -> CommResult<Communicator> {
+        let salt = self.split_salt.fetch_add(1, Ordering::Relaxed);
+        let ctx = child_context(self.context, salt, u64::MAX);
+        Ok(Communicator::new(
+            self.rank,
+            Arc::clone(&self.members),
+            ctx,
+            Arc::clone(&self.wiring),
+            Arc::clone(&self.post),
+        ))
+    }
+
+    /// Split into sub-communicators by `color`; members with equal color end
+    /// up in the same child, ordered by `key` (ties broken by parent rank).
+    ///
+    /// Collective: every member must call it with its own color/key. Unlike
+    /// MPI there is no `MPI_UNDEFINED`; use a dedicated color for ranks that
+    /// should idle, and simply don't use the resulting communicator there.
+    pub fn split(&self, color: u64, key: i64) -> CommResult<Communicator> {
+        // Gather (color, key) from everyone so all ranks agree on the
+        // resulting groups. allgather runs on the collective context.
+        let triples: Vec<(u64, i64, usize)> =
+            crate::collectives::allgather(self, (color, key, self.rank))?;
+        let mut mine: Vec<(u64, i64, usize)> =
+            triples.into_iter().filter(|(c, _, _)| *c == color).collect();
+        mine.sort_by_key(|&(_, k, r)| (k, r));
+        let my_new_rank = mine
+            .iter()
+            .position(|&(_, _, r)| r == self.rank)
+            .expect("own rank must appear in its color group");
+        let members: Vec<usize> = mine
+            .iter()
+            .map(|&(_, _, r)| self.members[r])
+            .collect();
+        let salt = self.split_salt.fetch_add(1, Ordering::Relaxed);
+        let ctx = child_context(self.context, salt, color);
+        Ok(Communicator::new(
+            my_new_rank,
+            Arc::new(members),
+            ctx,
+            Arc::clone(&self.wiring),
+            Arc::clone(&self.post),
+        ))
+    }
+
+    // -- Collectives: thin forwarding wrappers so call sites read like MPI. -
+
+    /// Synchronize all ranks (dissemination barrier).
+    pub fn barrier(&self) -> CommResult<()> {
+        crate::collectives::barrier(self)
+    }
+
+    /// Broadcast `value` from `root` to every rank; returns the value on
+    /// all ranks.
+    pub fn bcast<T: Send + Clone + 'static>(&self, root: usize, value: T) -> CommResult<T> {
+        crate::collectives::bcast(self, root, value)
+    }
+
+    /// Reduce everyone's contribution onto `root` with the associative
+    /// combiner `op`; non-root ranks receive `None`.
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> CommResult<Option<T>>
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        crate::collectives::reduce(self, root, value, op)
+    }
+
+    /// Reduce and redistribute: every rank receives the combined value.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> CommResult<T>
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        crate::collectives::allreduce(self, value, op)
+    }
+
+    /// Element-wise all-reduce over equal-length slices.
+    pub fn allreduce_vec<T, F>(&self, values: &[T], op: F) -> CommResult<Vec<T>>
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        crate::collectives::allreduce_vec(self, values, op)
+    }
+
+    /// Gather one value per rank onto `root` (rank order); `None` elsewhere.
+    pub fn gather<T: Send + Clone + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> CommResult<Option<Vec<T>>> {
+        crate::collectives::gather(self, root, value)
+    }
+
+    /// Gather variable-length slices onto `root`, concatenated in rank
+    /// order.
+    pub fn gatherv<T: Send + Clone + 'static>(
+        &self,
+        root: usize,
+        values: &[T],
+    ) -> CommResult<Option<Vec<T>>> {
+        crate::collectives::gatherv(self, root, values)
+    }
+
+    /// Gather one value per rank onto **all** ranks.
+    pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> CommResult<Vec<T>> {
+        crate::collectives::allgather(self, value)
+    }
+
+    /// Gather variable-length slices onto all ranks, concatenated in rank
+    /// order.
+    pub fn allgatherv<T: Send + Clone + 'static>(&self, values: &[T]) -> CommResult<Vec<T>> {
+        crate::collectives::allgatherv(self, values)
+    }
+
+    /// Scatter `chunks[i]` from `root` to rank `i`.
+    pub fn scatter<T: Send + Clone + 'static>(
+        &self,
+        root: usize,
+        chunks: Option<Vec<Vec<T>>>,
+    ) -> CommResult<Vec<T>> {
+        crate::collectives::scatter(self, root, chunks)
+    }
+
+    /// Personalized all-to-all exchange: `chunks[i]` goes to rank `i`; the
+    /// result's `i`-th entry came from rank `i`.
+    pub fn alltoall<T: Send + Clone + 'static>(
+        &self,
+        chunks: Vec<Vec<T>>,
+    ) -> CommResult<Vec<Vec<T>>> {
+        crate::collectives::alltoall(self, chunks)
+    }
+
+    /// Inclusive prefix scan: rank `r` receives `op(v_0, …, v_r)`.
+    pub fn scan<T, F>(&self, value: T, op: F) -> CommResult<T>
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        crate::collectives::scan(self, value, op)
+    }
+
+    /// Exclusive prefix scan: rank 0 receives `None`, rank `r > 0` receives
+    /// `op(v_0, …, v_{r-1})`.
+    pub fn exscan<T, F>(&self, value: T, op: F) -> CommResult<Option<T>>
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        crate::collectives::exscan(self, value, op)
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .field("context", &self.context)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CommError, Universe, ANY_SOURCE, ANY_TAG};
+
+    #[test]
+    fn rank_and_size_are_consistent() {
+        let out = Universe::run(3, |c| (c.rank(), c.size(), c.is_root()));
+        assert_eq!(out, vec![(0, 3, true), (1, 3, false), (2, 3, false)]);
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = Universe::run(4, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 0, c.rank()).unwrap();
+            c.recv::<usize>(prev, 0).unwrap()
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn self_send_is_matched() {
+        let out = Universe::run(2, |c| {
+            c.send(c.rank(), 5, 42i32).unwrap();
+            c.recv::<i32>(c.rank(), 5).unwrap()
+        });
+        assert_eq!(out, vec![42, 42]);
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, "first").unwrap();
+                c.send(1, 2, "second").unwrap();
+                String::new()
+            } else {
+                // Receive in the opposite order of sending.
+                let b: &str = c.recv(0, 2).unwrap();
+                let a: &str = c.recv(0, 1).unwrap();
+                format!("{a},{b}")
+            }
+        });
+        assert_eq!(out[1], "first,second");
+    }
+
+    #[test]
+    fn fifo_between_pairs_is_preserved() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100 {
+                    c.send(1, 0, i as i64).unwrap();
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| c.recv::<i64>(0, 0).unwrap()).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn wildcard_receive_reports_status() {
+        let out = Universe::run(3, |c| {
+            if c.rank() == 0 {
+                let mut seen = vec![];
+                for _ in 0..2 {
+                    let (v, st) = c.recv_any::<usize>(ANY_SOURCE, ANY_TAG).unwrap();
+                    seen.push((v, st.source, st.tag));
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                c.send(0, c.rank() as i32 * 10, c.rank()).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(out[0], vec![(1, 1, 10), (2, 2, 20)]);
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, 1.5f64).unwrap();
+                None
+            } else {
+                Some(c.recv::<i32>(0, 0).unwrap_err())
+            }
+        });
+        assert!(matches!(out[1], Some(CommError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn negative_tag_rejected() {
+        let out = Universe::run(1, |c| c.send(0, -3, 0u8).unwrap_err());
+        assert_eq!(out[0], CommError::InvalidTag(-3));
+    }
+
+    #[test]
+    fn rank_out_of_range_rejected() {
+        let out = Universe::run(2, |c| c.send(5, 0, 0u8).unwrap_err());
+        assert_eq!(out[0], CommError::RankOutOfRange { rank: 5, size: 2 });
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        let out = Universe::run(2, |c| {
+            let other = 1 - c.rank();
+            c.sendrecv::<usize, usize>(other, 0, c.rank(), other, 0).unwrap()
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn iprobe_sees_pending_message() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, 7u8).unwrap();
+                c.barrier().unwrap();
+                true
+            } else {
+                c.barrier().unwrap();
+                let st = c.iprobe(ANY_SOURCE, ANY_TAG).unwrap();
+                let found = matches!(st, Some(s) if s.source == 0 && s.tag == 9);
+                let _ = c.recv::<u8>(0, 9).unwrap();
+                found && c.iprobe(0, 9).unwrap().is_none()
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn dup_isolates_traffic() {
+        let out = Universe::run(2, |c| {
+            let d = c.dup().unwrap();
+            if c.rank() == 0 {
+                // Same (dest, tag) on both communicators; contexts must keep
+                // them apart.
+                c.send(1, 0, "parent").unwrap();
+                d.send(1, 0, "child").unwrap();
+                String::new()
+            } else {
+                let on_child: &str = d.recv(0, 0).unwrap();
+                let on_parent: &str = c.recv(0, 0).unwrap();
+                format!("{on_parent}/{on_child}")
+            }
+        });
+        assert_eq!(out[1], "parent/child");
+    }
+
+    #[test]
+    fn split_forms_correct_groups() {
+        let out = Universe::run(4, |c| {
+            // Evens and odds, reverse-ordered by key.
+            let color = (c.rank() % 2) as u64;
+            let sub = c.split(color, -(c.rank() as i64)).unwrap();
+            let members = sub.allgather(c.rank()).unwrap();
+            (sub.rank(), sub.size(), members)
+        });
+        // Evens: ranks {0,2}, keys {0,-2} → order [2,0].
+        assert_eq!(out[0], (1, 2, vec![2, 0]));
+        assert_eq!(out[2], (0, 2, vec![2, 0]));
+        // Odds: ranks {1,3}, keys {-1,-3} → order [3,1].
+        assert_eq!(out[1], (1, 2, vec![3, 1]));
+        assert_eq!(out[3], (0, 2, vec![3, 1]));
+    }
+
+    #[test]
+    fn split_subcommunicator_collectives_work() {
+        let out = Universe::run(4, |c| {
+            let color = (c.rank() / 2) as u64;
+            let sub = c.split(color, c.rank() as i64).unwrap();
+            sub.allreduce(c.rank(), |a, b| a + b).unwrap()
+        });
+        assert_eq!(out, vec![1, 1, 5, 5]);
+    }
+}

@@ -1,0 +1,51 @@
+//! `rcomm` — an in-process message-passing runtime modelled on MPI.
+//!
+//! The CCA-LISI paper runs its experiments as SPMD programs over MPI on a
+//! distributed-memory cluster. This crate reproduces that substrate inside a
+//! single process: [`Universe::run`] spawns one OS thread per *rank*, and the
+//! ranks communicate **only** through their [`Communicator`] — typed
+//! point-to-point messages with MPI matching semantics (source/tag/context,
+//! wildcard receives, FIFO per pair) plus the usual collective operations
+//! (barrier, broadcast, reduce, all-reduce, gather(v), scatter(v),
+//! all-gather(v), all-to-all, scan) built on top of point-to-point with
+//! binomial-tree and ring algorithms.
+//!
+//! Because all inter-rank traffic flows through this API, code written
+//! against it has the same *structure* as the MPI original: block-row data
+//! distribution, halo exchange, reductions inside dot products, gathers of
+//! solution vectors. Only the transport differs (crossbeam channels instead
+//! of a network), which is irrelevant for the paper's measurements — both
+//! the CCA and the non-CCA call paths run on the identical substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use rcomm::Universe;
+//!
+//! // Sum rank ids across 4 ranks with an all-reduce.
+//! let results = Universe::run(4, |comm| {
+//!     comm.allreduce(comm.rank() as i64, |a, b| a + b).unwrap()
+//! });
+//! assert_eq!(results, vec![6, 6, 6, 6]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod comm;
+mod envelope;
+mod error;
+mod reduce;
+mod timer;
+mod universe;
+
+pub mod collectives;
+
+pub use comm::{Communicator, RecvStatus, ANY_SOURCE, ANY_TAG};
+pub use error::{CommError, CommResult};
+pub use reduce::{land, lor, max, maxloc, min, minloc, prod, sum};
+pub use timer::Stopwatch;
+pub use universe::Universe;
+
+/// Message tag type (MPI uses `int`; only non-negative tags are valid for
+/// sends, negative values are reserved for wildcards and internal use).
+pub type Tag = i32;

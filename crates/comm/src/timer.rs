@@ -1,0 +1,99 @@
+//! Wall-clock timing helper, the `MPI_Wtime` of this runtime.
+
+use std::time::{Duration, Instant};
+
+/// A resettable stopwatch with accumulating segments, used by the benchmark
+/// harness to time setup and solve phases separately.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+    accumulated: Duration,
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Stopwatch { started: None, accumulated: Duration::ZERO }
+    }
+
+    /// A stopwatch that is already running.
+    pub fn started() -> Self {
+        Stopwatch { started: Some(Instant::now()), accumulated: Duration::ZERO }
+    }
+
+    /// Begin (or resume) timing. Idempotent while running.
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stop timing and fold the segment into the accumulated total.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.accumulated += t0.elapsed();
+        }
+    }
+
+    /// Total accumulated time, including the live segment if running.
+    pub fn elapsed(&self) -> Duration {
+        match self.started {
+            Some(t0) => self.accumulated + t0.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Total accumulated time in seconds, the unit the paper reports.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Reset to zero, stopped.
+    pub fn reset(&mut self) {
+        self.started = None;
+        self.accumulated = Duration::ZERO;
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_segments() {
+        let mut sw = Stopwatch::new();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+        sw.start();
+        std::thread::sleep(Duration::from_millis(5));
+        sw.stop();
+        let first = sw.elapsed();
+        assert!(first >= Duration::from_millis(4));
+        sw.start();
+        std::thread::sleep(Duration::from_millis(5));
+        sw.stop();
+        assert!(sw.elapsed() > first);
+    }
+
+    #[test]
+    fn start_is_idempotent_and_reset_zeroes() {
+        let mut sw = Stopwatch::started();
+        sw.start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.seconds() > 0.0);
+        sw.reset();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn elapsed_ticks_while_running() {
+        let sw = Stopwatch::started();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() >= Duration::from_millis(1));
+    }
+}

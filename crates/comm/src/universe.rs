@@ -1,0 +1,170 @@
+//! SPMD launcher: spawn one thread per rank, wire them up, collect results.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::comm::{Communicator, PostOffice, Wiring};
+use crate::envelope::WORLD_CONTEXT;
+
+/// The SPMD execution environment, playing the role of `mpiexec`.
+///
+/// [`Universe::run`] is the single entry point: it spawns `n` OS threads,
+/// hands each a world [`Communicator`] of size `n`, runs the supplied
+/// closure on every rank, and returns the per-rank results in rank order.
+/// A panic on any rank propagates (after the other ranks either finish or
+/// fail with `PeerGone`/`DeadlockSuspected`), so test failures are loud.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n` ranks and collect each rank's return value, indexed
+    /// by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or if any rank's closure panics.
+    pub fn run<F, R>(n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(n > 0, "a universe needs at least one rank");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| unbounded()).unzip();
+        let wiring = Arc::new(Wiring { senders });
+        let members: Arc<Vec<usize>> = Arc::new((0..n).collect());
+
+        let mut comms: Vec<Communicator> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| {
+                let post = Arc::new(Mutex::new(PostOffice {
+                    receiver,
+                    pending: VecDeque::new(),
+                }));
+                Communicator::new(
+                    rank,
+                    Arc::clone(&members),
+                    WORLD_CONTEXT,
+                    Arc::clone(&wiring),
+                    post,
+                )
+            })
+            .collect();
+
+        let fref = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .drain(..)
+                .map(|comm| {
+                    scope.spawn(move || {
+                        let r = fref(&comm);
+                        // Keep the communicator (and thus our mailbox
+                        // sender handles) alive until the closure returns,
+                        // so peers never observe a closed channel while
+                        // still working.
+                        drop(comm);
+                        r
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic payload>");
+                        panic!("rank {rank} panicked: {msg}")
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Convenience: run the same closure at several rank counts, returning
+    /// `(n, results)` pairs — the shape of the paper's scaling experiments
+    /// (1, 2, 4, 8 processors).
+    pub fn run_scaling<F, R>(counts: &[usize], f: F) -> Vec<(usize, Vec<R>)>
+    where
+        F: Fn(&Communicator) -> R + Send + Sync,
+        R: Send,
+    {
+        counts.iter().map(|&n| (n, Self::run(n, &f))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_rank_ordered() {
+        let out = Universe::run(8, |c| c.rank() * c.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn single_rank_universe_works() {
+        let out = Universe::run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.allreduce(41, |a, b| a + b).unwrap() + 1
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_is_rejected() {
+        let _ = Universe::run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_propagates_with_rank_id() {
+        let _ = Universe::run(2, |c| {
+            if c.rank() == 1 {
+                panic!("boom on purpose");
+            }
+        });
+    }
+
+    #[test]
+    fn run_scaling_covers_each_count() {
+        let out = Universe::run_scaling(&[1, 2, 4], |c| c.size());
+        assert_eq!(out.len(), 3);
+        for (n, rs) in out {
+            assert_eq!(rs, vec![n; n]);
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_does_not_lose_messages() {
+        // Stress the unexpected-message queue: every rank sends to every
+        // other rank with many tags, receives in reverse order.
+        let out = Universe::run(4, |c| {
+            let p = c.size();
+            for dest in 0..p {
+                for t in 0..20 {
+                    c.send(dest, t, (c.rank(), t)).unwrap();
+                }
+            }
+            let mut sum = 0usize;
+            for src in (0..p).rev() {
+                for t in (0..20).rev() {
+                    let (r, tt): (usize, i32) = c.recv(src, t).unwrap();
+                    assert_eq!((r, tt), (src, t));
+                    sum += 1;
+                }
+            }
+            sum
+        });
+        assert_eq!(out, vec![80; 4]);
+    }
+}

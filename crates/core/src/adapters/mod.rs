@@ -1,0 +1,172 @@
+//! The solver-package adapters: each implements [`SparseSolverPort`] over
+//! one underlying library, converting LISI's generic inputs and
+//! parameters to the package's native forms. This is the reusable "CCA
+//! toolkit" the paper's abstract promises — swap the adapter, keep the
+//! application.
+
+mod raztec_adapter;
+mod rksp_adapter;
+mod rmg_adapter;
+mod rslu_adapter;
+
+pub use raztec_adapter::RaztecAdapter;
+pub use rksp_adapter::RkspAdapter;
+pub use rmg_adapter::RmgAdapter;
+pub use rslu_adapter::RsluAdapter;
+
+use std::sync::Arc;
+
+use crate::error::LisiResult;
+use crate::traits::MatrixFreePort;
+
+/// Implements every [`crate::SparseSolverPort`] method except `solve` by
+/// delegating to the adapter's `state: parking_lot::Mutex<LisiState>`
+/// field. Each adapter supplies only its package-specific `solve`.
+macro_rules! lisi_common_methods {
+    () => {
+        fn initialize(&self, comm: rcomm::Communicator) -> crate::error::LisiResult<()> {
+            self.state.lock().comm = Some(comm);
+            Ok(())
+        }
+
+        fn set_block_size(&self, bs: usize) -> crate::error::LisiResult<()> {
+            if bs == 0 {
+                return Err(crate::error::LisiError::InvalidInput(
+                    "block size must be positive".into(),
+                ));
+            }
+            self.state.lock().block_size = bs;
+            Ok(())
+        }
+
+        fn set_start_row(&self, start_row: usize) -> crate::error::LisiResult<()> {
+            self.state.lock().start_row = Some(start_row);
+            Ok(())
+        }
+
+        fn set_local_rows(&self, rows: usize) -> crate::error::LisiResult<()> {
+            self.state.lock().local_rows = Some(rows);
+            Ok(())
+        }
+
+        fn set_local_nnz(&self, nnz: usize) -> crate::error::LisiResult<()> {
+            self.state.lock().local_nnz = Some(nnz);
+            Ok(())
+        }
+
+        fn set_global_cols(&self, cols: usize) -> crate::error::LisiResult<()> {
+            self.state.lock().global_cols = Some(cols);
+            Ok(())
+        }
+
+        fn setup_matrix_coo(
+            &self,
+            values: &[f64],
+            rows: &[usize],
+            columns: &[usize],
+        ) -> crate::error::LisiResult<()> {
+            self.state.lock().ingest_matrix(
+                values,
+                rows,
+                columns,
+                crate::types::SparseStruct::Coo,
+                0,
+            )
+        }
+
+        fn setup_matrix(
+            &self,
+            values: &[f64],
+            rows: &[usize],
+            columns: &[usize],
+            structure: crate::types::SparseStruct,
+        ) -> crate::error::LisiResult<()> {
+            self.state.lock().ingest_matrix(values, rows, columns, structure, 0)
+        }
+
+        fn setup_matrix_offset(
+            &self,
+            values: &[f64],
+            rows: &[usize],
+            columns: &[usize],
+            structure: crate::types::SparseStruct,
+            offset: usize,
+        ) -> crate::error::LisiResult<()> {
+            self.state.lock().ingest_matrix(values, rows, columns, structure, offset)
+        }
+
+        fn setup_rhs(&self, rhs: &[f64], n_rhs: usize) -> crate::error::LisiResult<()> {
+            self.state.lock().ingest_rhs(rhs, n_rhs)
+        }
+
+        fn set(&self, key: &str, value: &str) -> crate::error::LisiResult<()> {
+            self.state.lock().options.set(key, value);
+            Ok(())
+        }
+
+        fn set_int(&self, key: &str, value: i64) -> crate::error::LisiResult<()> {
+            self.state.lock().options.set_int(key, value);
+            Ok(())
+        }
+
+        fn set_bool(&self, key: &str, value: bool) -> crate::error::LisiResult<()> {
+            self.state.lock().options.set_bool(key, value);
+            Ok(())
+        }
+
+        fn set_double(&self, key: &str, value: f64) -> crate::error::LisiResult<()> {
+            self.state.lock().options.set_double(key, value);
+            Ok(())
+        }
+
+        fn get_all(&self) -> String {
+            let st = self.state.lock();
+            let mut out = format!("package={}\n", Self::PACKAGE_NAME);
+            out.push_str(&st.options.dump());
+            out
+        }
+    };
+}
+pub(crate) use lisi_common_methods;
+
+/// Common constructor surface shared by the adapters.
+macro_rules! lisi_adapter_boilerplate {
+    ($name:ident) => {
+        impl $name {
+            /// Fresh, un-initialized adapter.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Connect the application's matrix-free port (done by the
+            /// CCA component when the `"matrix-free"` uses port is
+            /// wired).
+            pub fn set_matrix_free(
+                &self,
+                port: std::sync::Arc<dyn crate::traits::MatrixFreePort>,
+            ) {
+                self.state.lock().matrix_free = Some(port);
+            }
+        }
+    };
+}
+pub(crate) use lisi_adapter_boilerplate;
+
+/// Fetch the matrix-free port or explain what is missing.
+pub(crate) fn require_matrix_free(
+    state: &crate::state::LisiState,
+) -> LisiResult<Arc<dyn MatrixFreePort>> {
+    state.matrix_free.clone().ok_or_else(|| {
+        crate::error::LisiError::BadPhase(
+            "matrix_free=true but no MatrixFree port is connected".into(),
+        )
+    })
+}
+
+/// Is the matrix-free mode requested?
+pub(crate) fn matrix_free_requested(state: &crate::state::LisiState) -> bool {
+    state
+        .options
+        .get_parsed::<bool>("matrix_free")
+        .unwrap_or(false)
+}

@@ -1,0 +1,306 @@
+//! The RAztec (Trilinos/AztecOO-like) adapter: LISI's generic keys are
+//! translated to Aztec option enums, and matrix-free solves ride on
+//! RAztec's own `RowMatrix` virtual-matrix trait.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rcomm::{Communicator, Stopwatch};
+use raztec::{AztecOO, AztecOptions, AzConv, AzPrecond, AzSolver, AzWhy, CrsMatrix, Map, RowMatrix, Vector};
+
+use crate::error::{LisiError, LisiResult};
+use crate::state::LisiState;
+use crate::status::SolveReport;
+use crate::traits::{MatrixFreePort, SparseSolverPort};
+use crate::types::OperatorId;
+
+/// LISI over the RAztec iterative package.
+#[derive(Default)]
+pub struct RaztecAdapter {
+    state: Mutex<LisiState>,
+}
+
+super::lisi_adapter_boilerplate!(RaztecAdapter);
+
+/// A `RowMatrix` that forwards multiplications to the application's
+/// `MatrixFree` port — RAztec's native matrix-free mechanism (the
+/// `Epetra_RowMatrix` route the paper cites in §5.5).
+struct MfRowMatrix {
+    map: Map,
+    port: Arc<dyn MatrixFreePort>,
+}
+
+impl RowMatrix for MfRowMatrix {
+    fn row_map(&self) -> &Map {
+        &self.map
+    }
+
+    fn apply(
+        &self,
+        _comm: &Communicator,
+        x: &Vector,
+        y: &mut Vector,
+    ) -> raztec::AztecResult<()> {
+        self.port
+            .mat_mult(OperatorId::Matrix, x.values(), y.values_mut())
+            .map_err(|e| raztec::AztecError::Sparse(e.to_string()))
+    }
+}
+
+impl RaztecAdapter {
+    const PACKAGE_NAME: &'static str = "raztec";
+
+    fn aztec_options(state: &LisiState) -> LisiResult<AztecOptions> {
+        let mut opts = AztecOptions::default();
+        if let Some(s) = state.options.get_first(&["solver", "az_solver"]) {
+            opts.solver = AzSolver::parse(&s).map_err(LisiError::from)?;
+        }
+        if let Some(p) = state.options.get_first(&["preconditioner", "az_precond"]) {
+            opts.precond = AzPrecond::parse(&p).map_err(LisiError::from)?;
+        }
+        if let AzPrecond::Neumann { .. } = opts.precond {
+            if let Some(ord) = state.options.get_parsed::<usize>("poly_ord") {
+                opts.precond = AzPrecond::Neumann { order: ord };
+            }
+        }
+        if let Some(t) = state.options.get_first(&["tol", "az_tol"]) {
+            opts.tol = t
+                .parse()
+                .map_err(|_| LisiError::BadParameter { key: "tol".into(), reason: t.clone() })?;
+        }
+        if let Some(m) = state.options.get_first(&["maxits", "az_max_iter"]) {
+            opts.max_iter = m.parse().map_err(|_| LisiError::BadParameter {
+                key: "maxits".into(),
+                reason: m.clone(),
+            })?;
+        }
+        if let Some(k) = state.options.get_first(&["restart", "az_kspace"]) {
+            opts.kspace = k.parse().map_err(|_| LisiError::BadParameter {
+                key: "restart".into(),
+                reason: k.clone(),
+            })?;
+        }
+        if let Some(c) = state.options.get("conv") {
+            opts.conv = match c.as_str() {
+                "r0" => AzConv::R0,
+                "rhs" => AzConv::Rhs,
+                other => {
+                    return Err(LisiError::BadParameter {
+                        key: "conv".into(),
+                        reason: other.into(),
+                    })
+                }
+            };
+        }
+        Ok(opts)
+    }
+}
+
+impl SparseSolverPort for RaztecAdapter {
+    super::lisi_common_methods!();
+
+    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        let st = self.state.lock();
+        st.check_solve_buffers(solution, status)?;
+        let mut setup_sw = Stopwatch::started();
+        let partition = st.build_partition()?;
+        let comm = st.comm()?;
+        let rank = comm.rank();
+        let local_rows = partition.local_rows(rank);
+        let map = Map::from_partition(partition, rank);
+        let opts = Self::aztec_options(&st)?;
+
+        let operator: Box<dyn RowMatrix> = if super::matrix_free_requested(&st) {
+            let port = super::require_matrix_free(&st)?;
+            Box::new(MfRowMatrix { map: map.clone(), port })
+        } else {
+            let (matrix, _) = st.require_system()?;
+            Box::new(
+                CrsMatrix::from_local_rows(comm, map.clone(), matrix.clone())
+                    .map_err(LisiError::from)?,
+            )
+        };
+        setup_sw.stop();
+
+        let rhs = st.require_rhs()?;
+        let n_rhs = st.n_rhs;
+        let mut az = AztecOO::new(operator.as_ref());
+        az.set_options(opts);
+
+        let mut solve_sw = Stopwatch::started();
+        let mut report = SolveReport {
+            converged: true,
+            setup_seconds: setup_sw.seconds() + st.convert_seconds,
+            ..Default::default()
+        };
+        for k in 0..n_rhs {
+            let b = Vector::from_values(
+                map.clone(),
+                rhs[k * local_rows..(k + 1) * local_rows].to_vec(),
+            )
+            .map_err(LisiError::from)?;
+            let mut x = Vector::from_values(
+                map.clone(),
+                solution[k * local_rows..(k + 1) * local_rows].to_vec(),
+            )
+            .map_err(LisiError::from)?;
+            let stat = az.iterate(comm, &b, &mut x).map_err(LisiError::from)?;
+            solution[k * local_rows..(k + 1) * local_rows].copy_from_slice(x.values());
+            report.converged &= stat.why.converged();
+            report.iterations = report.iterations.max(stat.its);
+            report.residual = report.residual.max(stat.true_residual);
+            report.reason = match stat.why {
+                AzWhy::Normal => 1,
+                AzWhy::Maxits => -1,
+                AzWhy::Breakdown => -2,
+                AzWhy::Ill => -3,
+            };
+        }
+        solve_sw.stop();
+        report.solve_seconds = solve_sw.seconds();
+        report.write_into(status);
+        if report.converged {
+            Ok(())
+        } else {
+            Err(LisiError::Package(format!(
+                "RAztec did not converge (reason code {})",
+                report.reason
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::{SolveReport, STATUS_LEN};
+    use rcomm::Universe;
+    use rsparse::BlockRowPartition;
+
+    #[test]
+    fn solves_the_paper_problem_in_parallel() {
+        let man = rmesh::manufactured::paper_manufactured(9);
+        let n = man.exact.len();
+        for p in [1usize, 3] {
+            let a = man.matrix.clone();
+            let b = man.rhs.clone();
+            let out = Universe::run(p, |comm| {
+                let part = BlockRowPartition::even(n, comm.size());
+                let range = part.range(comm.rank());
+                let local = a.row_block(range.start, range.end).unwrap();
+                let solver = RaztecAdapter::new();
+                solver.initialize(comm.dup().unwrap()).unwrap();
+                solver.set_start_row(range.start).unwrap();
+                solver.set_local_rows(range.len()).unwrap();
+                solver.set_global_cols(n).unwrap();
+                solver.set("solver", "gmres").unwrap();
+                solver.set("preconditioner", "jacobi").unwrap();
+                solver.set_double("tol", 1e-10).unwrap();
+                solver
+                    .setup_matrix(
+                        local.values(),
+                        local.row_ptr(),
+                        local.col_idx(),
+                        crate::SparseStruct::Csr,
+                    )
+                    .unwrap();
+                solver.setup_rhs(&b[range.clone()], 1).unwrap();
+                let mut x = vec![0.0; range.len()];
+                let mut status = [0.0; STATUS_LEN];
+                solver.solve(&mut x, &mut status).unwrap();
+                (SolveReport::from_slice(&status), comm.allgatherv(&x).unwrap())
+            });
+            let (rep, full) = &out[0];
+            assert!(rep.converged, "p = {p}");
+            assert!(man.error_inf(full) < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn aztec_specific_keys_are_honoured() {
+        let st = {
+            let s = LisiState {
+                options: {
+                    let mut o = rkrylov::Options::new();
+                    o.set("solver", "bicgstab");
+                    o.set("preconditioner", "neumann");
+                    o.set_int("poly_ord", 5);
+                    o.set("conv", "rhs");
+                    o.set_int("restart", 17);
+                    o
+                },
+                ..LisiState::default()
+            };
+            s
+        };
+        let opts = RaztecAdapter::aztec_options(&st).unwrap();
+        assert_eq!(opts.solver, AzSolver::BiCgStab);
+        assert_eq!(opts.precond, AzPrecond::Neumann { order: 5 });
+        assert_eq!(opts.conv, AzConv::Rhs);
+        assert_eq!(opts.kspace, 17);
+    }
+
+    #[test]
+    fn bad_parameter_values_are_reported() {
+        let st = LisiState {
+            options: {
+                let mut o = rkrylov::Options::new();
+                o.set("tol", "very-small-please");
+                o
+            },
+            ..LisiState::default()
+        };
+        assert!(matches!(
+            RaztecAdapter::aztec_options(&st),
+            Err(LisiError::BadParameter { .. })
+        ));
+        let st2 = LisiState {
+            options: {
+                let mut o = rkrylov::Options::new();
+                o.set("conv", "vibes");
+                o
+            },
+            ..LisiState::default()
+        };
+        assert!(RaztecAdapter::aztec_options(&st2).is_err());
+    }
+
+    #[test]
+    fn matrix_free_uses_the_rowmatrix_route() {
+        struct Identity {
+            n: usize,
+        }
+        impl MatrixFreePort for Identity {
+            fn mat_mult(
+                &self,
+                _id: OperatorId,
+                x: &[f64],
+                y: &mut [f64],
+            ) -> LisiResult<()> {
+                assert_eq!(x.len(), self.n);
+                y.copy_from_slice(x);
+                Ok(())
+            }
+        }
+        let n = 8;
+        let out = Universe::run(1, |comm| {
+            let solver = RaztecAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(n).unwrap();
+            solver.set_global_cols(n).unwrap();
+            solver.set_matrix_free(Arc::new(Identity { n }));
+            solver.set_bool("matrix_free", true).unwrap();
+            solver.set("solver", "cg").unwrap();
+            solver.set("preconditioner", "none").unwrap();
+            let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            solver.setup_rhs(&b, 1).unwrap();
+            let mut x = vec![0.0; n];
+            let mut status = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut status).unwrap();
+            x
+        });
+        // Identity system: x = b.
+        assert_eq!(out[0], (0..n).map(|i| i as f64).collect::<Vec<_>>());
+    }
+}

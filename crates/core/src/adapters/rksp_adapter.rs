@@ -1,0 +1,386 @@
+//! The RKSP (PETSc-like) adapter — the reference LISI implementation,
+//! including the matrix-free path through the `lisi.MatrixFree` port.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rcomm::{Communicator, Stopwatch};
+use rkrylov::{Ksp, KspConfig, LinearOperator, MatOperator, Preconditioner, ShellOperator};
+use rsparse::{DistCsrMatrix, DistVector};
+
+use crate::error::{LisiError, LisiResult};
+use crate::state::LisiState;
+use crate::status::SolveReport;
+use crate::traits::{MatrixFreePort, SparseSolverPort};
+use crate::types::OperatorId;
+
+/// Cached per-epoch objects so repeated solves reuse the distributed
+/// matrix and preconditioner (paper §5.2 b/c).
+#[derive(Default)]
+struct Cache {
+    /// `(matrix_epoch, options fingerprint)` the cache was built for.
+    key: Option<(u64, String)>,
+    operator: Option<Arc<MatOperator>>,
+    pc: Option<Arc<dyn Preconditioner>>,
+}
+
+/// LISI over the RKSP iterative package.
+#[derive(Default)]
+pub struct RkspAdapter {
+    state: Mutex<LisiState>,
+    cache: Mutex<Cache>,
+}
+
+super::lisi_adapter_boilerplate!(RkspAdapter);
+
+impl RkspAdapter {
+    const PACKAGE_NAME: &'static str = "rksp";
+
+    /// The preconditioner that forwards to the application's
+    /// `MatrixFree` port with `ID = PRECONDITIONER`.
+    fn matrix_free_pc(port: Arc<dyn MatrixFreePort>) -> Arc<dyn Preconditioner> {
+        struct MfPc {
+            port: Arc<dyn MatrixFreePort>,
+        }
+        impl Preconditioner for MfPc {
+            fn apply(
+                &self,
+                _comm: &Communicator,
+                r: &DistVector,
+                z: &mut DistVector,
+            ) -> Result<(), rkrylov::KspError> {
+                self.port
+                    .mat_mult(OperatorId::Preconditioner, r.local(), z.local_mut())
+                    .map_err(|e| rkrylov::KspError::Nonconforming(e.to_string()))
+            }
+            fn name(&self) -> &'static str {
+                "matrix-free"
+            }
+        }
+        Arc::new(MfPc { port })
+    }
+}
+
+impl SparseSolverPort for RkspAdapter {
+    super::lisi_common_methods!();
+
+    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        let st = self.state.lock();
+        st.check_solve_buffers(solution, status)?;
+        let mut setup_sw = Stopwatch::started();
+        let partition = st.build_partition()?;
+        let comm = st.comm()?;
+        let rank = comm.rank();
+        let local_rows = partition.local_rows(rank);
+
+        let matrix_free = super::matrix_free_requested(&st);
+        let mf_pc = matrix_free
+            && st.options.get("preconditioner").as_deref() == Some("matrix_free");
+        let cfg = if mf_pc {
+            // "matrix_free" is not a package preconditioner name; the port
+            // below supplies the application's preconditioner instead.
+            let mut opts = st.options.clone();
+            opts.set("preconditioner", "none");
+            KspConfig::from_options(&opts).map_err(LisiError::from)?
+        } else {
+            KspConfig::from_options(&st.options).map_err(LisiError::from)?
+        };
+        let ksp = Ksp::new(cfg).map_err(LisiError::from)?;
+
+        // Build (or reuse) the operator and preconditioner.
+        let fingerprint = st.options.dump();
+        let (operator, pc): (Arc<dyn LinearOperator>, Arc<dyn Preconditioner>) = if matrix_free
+        {
+            let port = super::require_matrix_free(&st)?;
+            let apply_port = Arc::clone(&port);
+            let shell = ShellOperator::new(partition.clone(), move |_, x, y| {
+                apply_port
+                    .mat_mult(OperatorId::Matrix, x.local(), y.local_mut())
+                    .map_err(|e| e.to_string())
+            });
+            let pc: Arc<dyn Preconditioner> =
+                if mf_pc {
+                    Self::matrix_free_pc(port)
+                } else {
+                    ksp.make_pc(&shell).map_err(LisiError::from)?.into()
+                };
+            let op: Arc<dyn LinearOperator> = Arc::new(shell);
+            (op, pc)
+        } else {
+            let mut cache = self.cache.lock();
+            let key = (st.matrix_epoch, fingerprint.clone());
+            if cache.key.as_ref() != Some(&key) {
+                let (matrix, _) = st.require_system()?;
+                let dist =
+                    DistCsrMatrix::from_local_rows(comm, partition.clone(), matrix.clone())?;
+                let op = Arc::new(MatOperator::new(dist));
+                let pc: Arc<dyn Preconditioner> =
+                    ksp.make_pc(op.as_ref()).map_err(LisiError::from)?.into();
+                cache.key = Some(key);
+                cache.operator = Some(op);
+                cache.pc = Some(pc);
+            }
+            let op: Arc<dyn LinearOperator> = cache.operator.clone().expect("filled above");
+            (op, cache.pc.clone().expect("filled above"))
+        };
+        setup_sw.stop();
+
+        let rhs = st.require_rhs()?.to_vec();
+        let n_rhs = st.n_rhs;
+        let mut solve_sw = Stopwatch::started();
+        let mut report = SolveReport {
+            converged: true,
+            setup_seconds: setup_sw.seconds() + st.convert_seconds,
+            ..Default::default()
+        };
+        for k in 0..n_rhs {
+            let b = DistVector::from_local(
+                partition.clone(),
+                rank,
+                rhs[k * local_rows..(k + 1) * local_rows].to_vec(),
+            )?;
+            let mut x = DistVector::from_local(
+                partition.clone(),
+                rank,
+                solution[k * local_rows..(k + 1) * local_rows].to_vec(),
+            )?;
+            let res = ksp
+                .solve_with_pc(comm, operator.as_ref(), pc.as_ref(), &b, &mut x)
+                .map_err(LisiError::from)?;
+            solution[k * local_rows..(k + 1) * local_rows].copy_from_slice(x.local());
+            report.converged &= res.converged();
+            report.iterations = report.iterations.max(res.iterations);
+            report.residual = report.residual.max(res.final_residual);
+            report.reason = match res.reason {
+                rkrylov::ConvergedReason::RelativeTolerance => 1,
+                rkrylov::ConvergedReason::AbsoluteTolerance => 2,
+                rkrylov::ConvergedReason::MaxIterations => -1,
+                rkrylov::ConvergedReason::Breakdown => -2,
+                rkrylov::ConvergedReason::Diverged => -3,
+            };
+        }
+        solve_sw.stop();
+        report.solve_seconds = solve_sw.seconds();
+        report.write_into(status);
+        if report.converged {
+            Ok(())
+        } else {
+            Err(LisiError::Package(format!(
+                "RKSP did not converge (reason code {})",
+                report.reason
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::{SolveReport, STATUS_LEN};
+    use rcomm::Universe;
+    use rsparse::BlockRowPartition;
+
+    /// Drive the adapter exactly as an application would, on `p` ranks.
+    fn solve_paper_problem(p: usize, opts: &[(&str, &str)]) -> (SolveReport, f64) {
+        let m = 10;
+        let man = rmesh::manufactured::paper_manufactured(m);
+        let n = man.exact.len();
+        let a = man.matrix.clone();
+        let b = man.rhs.clone();
+        let out = Universe::run(p, |comm| {
+            let part = BlockRowPartition::even(n, comm.size());
+            let rank = comm.rank();
+            let range = part.range(rank);
+            let local = a.row_block(range.start, range.end).unwrap();
+
+            let solver = RkspAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(range.start).unwrap();
+            solver.set_local_rows(range.len()).unwrap();
+            solver.set_local_nnz(local.nnz()).unwrap();
+            solver.set_global_cols(n).unwrap();
+            for (k, v) in opts {
+                solver.set(k, v).unwrap();
+            }
+            // Feed CSR arrays with *global* rows realized as local ptr.
+            solver
+                .setup_matrix(
+                    local.values(),
+                    local.row_ptr(),
+                    local.col_idx(),
+                    crate::SparseStruct::Csr,
+                )
+                .unwrap();
+            solver.setup_rhs(&b[range.clone()], 1).unwrap();
+            let mut x = vec![0.0; range.len()];
+            let mut status = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut status).unwrap();
+            (SolveReport::from_slice(&status), comm.allgatherv(&x).unwrap())
+        });
+        let (rep, full) = &out[0];
+        (rep.clone(), man.error_inf(full))
+    }
+
+    #[test]
+    fn serial_solve_recovers_manufactured_solution() {
+        let (rep, err) = solve_paper_problem(
+            1,
+            &[("solver", "bicgstab"), ("preconditioner", "ilu"), ("tol", "1e-10")],
+        );
+        assert!(rep.converged);
+        assert!(rep.iterations > 0);
+        assert!(err < 1e-6, "err = {err}");
+        assert!(rep.residual < 1e-6);
+        assert!(rep.solve_seconds > 0.0);
+    }
+
+    #[test]
+    fn parallel_solve_matches() {
+        for p in [2usize, 4] {
+            let (rep, err) = solve_paper_problem(
+                p,
+                &[("solver", "gmres"), ("preconditioner", "jacobi"), ("tol", "1e-10")],
+            );
+            assert!(rep.converged, "p = {p}");
+            assert!(err < 1e-6, "p = {p}: err = {err}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_solves_columnwise() {
+        let n = 36;
+        let a = rsparse::generate::laplacian_2d(6);
+        let x1 = rsparse::generate::random_vector(n, 1);
+        let x2 = rsparse::generate::random_vector(n, 2);
+        let mut b = a.matvec(&x1).unwrap();
+        b.extend(a.matvec(&x2).unwrap());
+        let out = Universe::run(1, |comm| {
+            let solver = RkspAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(n).unwrap();
+            solver.set_global_cols(n).unwrap();
+            solver.set("solver", "cg").unwrap();
+            solver.set("preconditioner", "icc").unwrap();
+            solver.set_double("tol", 1e-11).unwrap();
+            solver
+                .setup_matrix(a.values(), a.row_ptr(), a.col_idx(), crate::SparseStruct::Csr)
+                .unwrap();
+            solver.setup_rhs(&b, 2).unwrap();
+            let mut x = vec![0.0; 2 * n];
+            let mut status = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut status).unwrap();
+            x
+        });
+        for (g, e) in out[0][..n].iter().zip(&x1) {
+            assert!((g - e).abs() < 1e-7);
+        }
+        for (g, e) in out[0][n..].iter().zip(&x2) {
+            assert!((g - e).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn matrix_free_solve_through_the_port() {
+        // The application provides A·x (a 1-D Laplacian stencil) through
+        // the MatrixFree port; no assembled matrix ever reaches the
+        // solver.
+        struct Stencil {
+            n: usize,
+        }
+        impl MatrixFreePort for Stencil {
+            fn mat_mult(
+                &self,
+                id: OperatorId,
+                x: &[f64],
+                y: &mut [f64],
+            ) -> LisiResult<()> {
+                assert_eq!(id, OperatorId::Matrix);
+                for i in 0..self.n {
+                    let mut acc = 2.0 * x[i];
+                    if i > 0 {
+                        acc -= x[i - 1];
+                    }
+                    if i + 1 < self.n {
+                        acc -= x[i + 1];
+                    }
+                    y[i] = acc;
+                }
+                Ok(())
+            }
+        }
+        let n = 24;
+        let a = rsparse::generate::laplacian_1d(n);
+        let x_true = rsparse::generate::random_vector(n, 9);
+        let b = a.matvec(&x_true).unwrap();
+        let out = Universe::run(1, |comm| {
+            let solver = RkspAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(n).unwrap();
+            solver.set_global_cols(n).unwrap();
+            solver.set_matrix_free(Arc::new(Stencil { n }));
+            solver.set_bool("matrix_free", true).unwrap();
+            solver.set("solver", "cg").unwrap();
+            solver.set("preconditioner", "none").unwrap();
+            solver.set_double("tol", 1e-11).unwrap();
+            solver.setup_rhs(&b, 1).unwrap();
+            let mut x = vec![0.0; n];
+            let mut status = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut status).unwrap();
+            (x, SolveReport::from_slice(&status))
+        });
+        let (x, rep) = &out[0];
+        assert!(rep.converged);
+        for (g, e) in x.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn matrix_free_without_port_is_a_phase_error() {
+        let out = Universe::run(1, |comm| {
+            let solver = RkspAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(2).unwrap();
+            solver.set_global_cols(2).unwrap();
+            solver.set_bool("matrix_free", true).unwrap();
+            solver.setup_rhs(&[1.0, 1.0], 1).unwrap();
+            let mut x = [0.0; 2];
+            let mut s = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut s).unwrap_err()
+        });
+        assert!(matches!(&out[0], LisiError::BadPhase(_)));
+    }
+
+    #[test]
+    fn get_all_names_the_package_and_parameters() {
+        let solver = RkspAdapter::new();
+        solver.set("solver", "gmres").unwrap();
+        solver.set_int("maxits", 500).unwrap();
+        let dump = solver.get_all();
+        assert!(dump.contains("package=rksp"));
+        assert!(dump.contains("solver=gmres"));
+        assert!(dump.contains("maxits=500"));
+    }
+
+    #[test]
+    fn unknown_solver_name_is_a_package_error_with_code() {
+        let out = Universe::run(1, |comm| {
+            let solver = RkspAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(1).unwrap();
+            solver.set_global_cols(1).unwrap();
+            solver.set("solver", "quantum").unwrap();
+            solver.setup_matrix_coo(&[1.0], &[0], &[0]).unwrap();
+            solver.setup_rhs(&[1.0], 1).unwrap();
+            let mut x = [0.0];
+            let mut s = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut s).unwrap_err()
+        });
+        assert!(out[0].code() < 0);
+        assert!(out[0].to_string().contains("quantum"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The RSLU (SuperLU-like) direct-solver adapter. Demonstrates the part
+//! of LISI's design the paper worries most about (§5.1): auxiliary
+//! objects — the symbolic analysis and the LU factors — that live
+//! *between* calls and must be reused invisibly behind the common
+//! interface.
+
+use parking_lot::Mutex;
+use rcomm::Stopwatch;
+use rdirect::{DistRslu, Ordering, RsluOptions};
+use rsparse::{DistCsrMatrix, DistVector};
+
+use crate::error::{LisiError, LisiResult};
+use crate::state::LisiState;
+use crate::status::SolveReport;
+use crate::traits::SparseSolverPort;
+
+#[derive(Default)]
+struct Cache {
+    /// Epoch of the matrix the current factorization belongs to.
+    factored_epoch: Option<u64>,
+    solver: Option<DistRslu>,
+}
+
+/// LISI over the RSLU sparse direct package.
+#[derive(Default)]
+pub struct RsluAdapter {
+    state: Mutex<LisiState>,
+    cache: Mutex<Cache>,
+}
+
+super::lisi_adapter_boilerplate!(RsluAdapter);
+
+impl RsluAdapter {
+    const PACKAGE_NAME: &'static str = "rslu";
+
+    fn rslu_options(state: &LisiState) -> LisiResult<RsluOptions> {
+        let mut opts = RsluOptions::default();
+        if let Some(o) = state.options.get_first(&["ordering", "permc_spec"]) {
+            opts.ordering = Ordering::parse(&o).ok_or_else(|| LisiError::BadParameter {
+                key: "ordering".into(),
+                reason: o.clone(),
+            })?;
+        }
+        if let Some(t) = state.options.get_first(&["pivot_tol", "diag_pivot_thresh"]) {
+            opts.pivot_threshold = t.parse().map_err(|_| LisiError::BadParameter {
+                key: "pivot_tol".into(),
+                reason: t.clone(),
+            })?;
+        }
+        if let Some(r) = state.options.get_parsed::<bool>("refine") {
+            opts.refine = r;
+        }
+        if let Some(e) = state.options.get_parsed::<bool>("equil") {
+            opts.equilibrate = e;
+        }
+        Ok(opts)
+    }
+}
+
+impl SparseSolverPort for RsluAdapter {
+    super::lisi_common_methods!();
+
+    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        let st = self.state.lock();
+        st.check_solve_buffers(solution, status)?;
+        if super::matrix_free_requested(&st) {
+            return Err(LisiError::Unsupported(
+                "a direct solver cannot run matrix-free (it factors explicit entries)".into(),
+            ));
+        }
+        let mut setup_sw = Stopwatch::started();
+        let partition = st.build_partition()?;
+        let comm = st.comm()?;
+        let rank = comm.rank();
+        let local_rows = partition.local_rows(rank);
+
+        // Factor only when the matrix changed since the cached
+        // factorization (usage scenarios §5.2 b/c: reuse across RHS).
+        let mut cache = self.cache.lock();
+        if cache.factored_epoch != Some(st.matrix_epoch) {
+            let (matrix, _) = st.require_system()?;
+            let dist = DistCsrMatrix::from_local_rows(comm, partition.clone(), matrix.clone())?;
+            let mut solver = DistRslu::new(Self::rslu_options(&st)?);
+            solver.factorize(comm, &dist).map_err(LisiError::from)?;
+            cache.solver = Some(solver);
+            cache.factored_epoch = Some(st.matrix_epoch);
+        }
+        setup_sw.stop();
+
+        let rhs = st.require_rhs()?;
+        let n_rhs = st.n_rhs;
+        let solver = cache.solver.as_mut().expect("factored above");
+        let mut solve_sw = Stopwatch::started();
+        let mut residual: f64 = 0.0;
+        for k in 0..n_rhs {
+            let b = DistVector::from_local(
+                partition.clone(),
+                rank,
+                rhs[k * local_rows..(k + 1) * local_rows].to_vec(),
+            )?;
+            let x = solver.solve(comm, &partition, &b).map_err(LisiError::from)?;
+            solution[k * local_rows..(k + 1) * local_rows].copy_from_slice(x.local());
+            // Global residual via the local rows (collective reduction).
+            let (matrix, _) = st.require_system()?;
+            let x_full = x.allgather_full(comm)?;
+            let mut local_res = 0.0f64;
+            for lr in 0..local_rows {
+                let (cols, vals) = matrix.row(lr);
+                let mut acc = b.local()[lr];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc -= v * x_full[c];
+                }
+                local_res += acc * acc;
+            }
+            let global: f64 = comm.allreduce(local_res, rcomm::sum)?;
+            residual = residual.max(global.sqrt());
+        }
+        solve_sw.stop();
+
+        let report = SolveReport {
+            converged: true,
+            iterations: 0, // direct solve
+            residual,
+            setup_seconds: setup_sw.seconds() + st.convert_seconds,
+            solve_seconds: solve_sw.seconds(),
+            reason: 1,
+        };
+        report.write_into(status);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::{SolveReport, STATUS_LEN};
+    use rcomm::Universe;
+    use rsparse::BlockRowPartition;
+
+    fn run_direct(p: usize, opts: &[(&str, &str)]) -> (SolveReport, f64) {
+        let man = rmesh::manufactured::paper_manufactured(8);
+        let n = man.exact.len();
+        let a = man.matrix.clone();
+        let b = man.rhs.clone();
+        let out = Universe::run(p, |comm| {
+            let part = BlockRowPartition::even(n, comm.size());
+            let range = part.range(comm.rank());
+            let local = a.row_block(range.start, range.end).unwrap();
+            let solver = RsluAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(range.start).unwrap();
+            solver.set_local_rows(range.len()).unwrap();
+            solver.set_global_cols(n).unwrap();
+            for (k, v) in opts {
+                solver.set(k, v).unwrap();
+            }
+            solver
+                .setup_matrix(
+                    local.values(),
+                    local.row_ptr(),
+                    local.col_idx(),
+                    crate::SparseStruct::Csr,
+                )
+                .unwrap();
+            solver.setup_rhs(&b[range.clone()], 1).unwrap();
+            let mut x = vec![0.0; range.len()];
+            let mut status = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut status).unwrap();
+            (SolveReport::from_slice(&status), comm.allgatherv(&x).unwrap())
+        });
+        let (rep, full) = &out[0];
+        (rep.clone(), man.error_inf(full))
+    }
+
+    #[test]
+    fn direct_solve_is_exact_serial_and_parallel() {
+        for p in [1usize, 2, 4] {
+            let (rep, err) = run_direct(p, &[]);
+            assert!(rep.converged, "p = {p}");
+            assert_eq!(rep.iterations, 0, "direct solvers report zero iterations");
+            assert!(err < 1e-8, "p = {p}: err = {err}");
+            assert!(rep.residual < 1e-8);
+        }
+    }
+
+    #[test]
+    fn orderings_are_selectable_through_generic_keys() {
+        for ord in ["natural", "rcm", "mmd"] {
+            let (rep, err) = run_direct(1, &[("ordering", ord)]);
+            assert!(rep.converged, "{ord}");
+            assert!(err < 1e-8, "{ord}");
+        }
+        // Unknown ordering is a parameter error.
+        let man = rmesh::manufactured::paper_manufactured(4);
+        let n = man.exact.len();
+        let out = Universe::run(1, |comm| {
+            let solver = RsluAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(n).unwrap();
+            solver.set_global_cols(n).unwrap();
+            solver.set("ordering", "chaotic").unwrap();
+            solver
+                .setup_matrix(
+                    man.matrix.values(),
+                    man.matrix.row_ptr(),
+                    man.matrix.col_idx(),
+                    crate::SparseStruct::Csr,
+                )
+                .unwrap();
+            solver.setup_rhs(&man.rhs, 1).unwrap();
+            let mut x = vec![0.0; n];
+            let mut s = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut s).unwrap_err()
+        });
+        assert!(matches!(&out[0], LisiError::BadParameter { .. }));
+    }
+
+    #[test]
+    fn factors_are_reused_across_repeated_solves() {
+        // Time is an unreliable witness; use the epoch cache directly:
+        // solve twice, mutate nothing, and verify the cached epoch stays.
+        let a = rsparse::generate::random_diag_dominant(30, 3, 5);
+        let out = Universe::run(1, |comm| {
+            let solver = RsluAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(30).unwrap();
+            solver.set_global_cols(30).unwrap();
+            solver
+                .setup_matrix(a.values(), a.row_ptr(), a.col_idx(), crate::SparseStruct::Csr)
+                .unwrap();
+            let x1 = rsparse::generate::random_vector(30, 1);
+            let b1 = a.matvec(&x1).unwrap();
+            solver.setup_rhs(&b1, 1).unwrap();
+            let mut x = vec![0.0; 30];
+            let mut s = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut s).unwrap();
+            let epoch_after_first = solver.cache.lock().factored_epoch;
+
+            // New RHS, same matrix: no refactorization.
+            let x2 = rsparse::generate::random_vector(30, 2);
+            let b2 = a.matvec(&x2).unwrap();
+            solver.setup_rhs(&b2, 1).unwrap();
+            solver.solve(&mut x, &mut s).unwrap();
+            let epoch_after_second = solver.cache.lock().factored_epoch;
+
+            // New matrix values: epoch bumps, refactorization happens.
+            let scaled = rsparse::ops::scale(2.0, &a);
+            solver
+                .setup_matrix(
+                    scaled.values(),
+                    scaled.row_ptr(),
+                    scaled.col_idx(),
+                    crate::SparseStruct::Csr,
+                )
+                .unwrap();
+            let b3 = scaled.matvec(&x1).unwrap();
+            solver.setup_rhs(&b3, 1).unwrap();
+            solver.solve(&mut x, &mut s).unwrap();
+            let epoch_after_third = solver.cache.lock().factored_epoch;
+            let err: f64 =
+                x.iter().zip(&x1).map(|(g, e)| (g - e).abs()).fold(0.0, f64::max);
+            (epoch_after_first, epoch_after_second, epoch_after_third, err)
+        });
+        let (e1, e2, e3, err) = out[0];
+        assert_eq!(e1, Some(1));
+        assert_eq!(e2, Some(1), "same matrix, same factorization");
+        assert_eq!(e3, Some(2), "new matrix must refactor");
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn multi_rhs_direct_solve() {
+        let a = rsparse::generate::random_diag_dominant(20, 3, 9);
+        let x1 = rsparse::generate::random_vector(20, 3);
+        let x2 = rsparse::generate::random_vector(20, 4);
+        let mut b = a.matvec(&x1).unwrap();
+        b.extend(a.matvec(&x2).unwrap());
+        let out = Universe::run(2, |comm| {
+            let part = BlockRowPartition::even(20, comm.size());
+            let range = part.range(comm.rank());
+            let local = a.row_block(range.start, range.end).unwrap();
+            let solver = RsluAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(range.start).unwrap();
+            solver.set_local_rows(range.len()).unwrap();
+            solver.set_global_cols(20).unwrap();
+            solver
+                .setup_matrix(
+                    local.values(),
+                    local.row_ptr(),
+                    local.col_idx(),
+                    crate::SparseStruct::Csr,
+                )
+                .unwrap();
+            // Column-major multi-RHS chunks.
+            let mut local_b = b[range.clone()].to_vec();
+            local_b.extend(&b[20 + range.start..20 + range.end]);
+            solver.setup_rhs(&local_b, 2).unwrap();
+            let mut x = vec![0.0; 2 * range.len()];
+            let mut s = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut s).unwrap();
+            let first = comm.allgatherv(&x[..range.len()]).unwrap();
+            let second = comm.allgatherv(&x[range.len()..]).unwrap();
+            (first, second)
+        });
+        let (f, s) = &out[0];
+        for (g, e) in f.iter().zip(&x1) {
+            assert!((g - e).abs() < 1e-9);
+        }
+        for (g, e) in s.iter().zip(&x2) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_free_is_unsupported() {
+        let out = Universe::run(1, |comm| {
+            let solver = RsluAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(2).unwrap();
+            solver.set_global_cols(2).unwrap();
+            solver.set_bool("matrix_free", true).unwrap();
+            solver.setup_rhs(&[1.0, 1.0], 1).unwrap();
+            let mut x = [0.0; 2];
+            let mut s = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut s).unwrap_err()
+        });
+        assert!(matches!(&out[0], LisiError::Unsupported(_)));
+    }
+}

@@ -1,0 +1,695 @@
+//! Shared adapter plumbing: the phase state machine every adapter drives,
+//! plus the input-format conversion layer (paper §5.3 — "the interface
+//! works as an adapter to convert the input data format to the libraries'
+//! internal data structure and frees up users from doing it by their
+//! own").
+
+use std::sync::Arc;
+
+use rcomm::Communicator;
+use rsparse::{BlockRowPartition, CooMatrix, CsrMatrix};
+
+use crate::error::{LisiError, LisiResult};
+use crate::traits::MatrixFreePort;
+use crate::types::SparseStruct;
+
+/// Mutable state behind every adapter's interior mutability.
+pub struct LisiState {
+    /// The solver-owned communicator (set by `initialize`).
+    pub comm: Option<Communicator>,
+    /// Uniform block size (VBR) / element arity (FEM); default 1.
+    pub block_size: usize,
+    /// First global row owned here.
+    pub start_row: Option<usize>,
+    /// Rows owned here.
+    pub local_rows: Option<usize>,
+    /// Declared local nonzeros.
+    pub local_nnz: Option<usize>,
+    /// Global column count.
+    pub global_cols: Option<usize>,
+    /// Converted local matrix (local rows × global cols), if assembled.
+    pub matrix: Option<CsrMatrix>,
+    /// Incremented on every successful matrix setup, so adapters know
+    /// when cached factorizations/preconditioners go stale.
+    pub matrix_epoch: u64,
+    /// Local right-hand-side storage (column-major for multiple RHS).
+    pub rhs: Option<Vec<f64>>,
+    /// Number of right-hand sides.
+    pub n_rhs: usize,
+    /// Generic parameter database (LISI's `set*` methods write here).
+    pub options: rkrylov::Options,
+    /// The application's matrix-free port, when connected.
+    pub matrix_free: Option<Arc<dyn MatrixFreePort>>,
+    /// Seconds spent converting input formats (part of setup time).
+    pub convert_seconds: f64,
+}
+
+impl Default for LisiState {
+    fn default() -> Self {
+        LisiState {
+            comm: None,
+            block_size: 1,
+            start_row: None,
+            local_rows: None,
+            local_nnz: None,
+            global_cols: None,
+            matrix: None,
+            matrix_epoch: 0,
+            rhs: None,
+            n_rhs: 1,
+            options: rkrylov::Options::new(),
+            matrix_free: None,
+            convert_seconds: 0.0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LisiState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LisiState")
+            .field("initialized", &self.comm.is_some())
+            .field("start_row", &self.start_row)
+            .field("local_rows", &self.local_rows)
+            .field("global_cols", &self.global_cols)
+            .field("has_matrix", &self.matrix.is_some())
+            .field("matrix_epoch", &self.matrix_epoch)
+            .field("n_rhs", &self.n_rhs)
+            .finish()
+    }
+}
+
+impl LisiState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        LisiState::default()
+    }
+
+    /// The communicator, or `NotInitialized`.
+    pub fn comm(&self) -> LisiResult<&Communicator> {
+        self.comm.as_ref().ok_or(LisiError::NotInitialized)
+    }
+
+    fn dist_params(&self) -> LisiResult<(usize, usize, usize)> {
+        match (self.start_row, self.local_rows, self.global_cols) {
+            (Some(s), Some(l), Some(g)) => Ok((s, l, g)),
+            _ => Err(LisiError::BadPhase(
+                "setStartRow/setLocalRows/setGlobalCols must precede matrix setup".into(),
+            )),
+        }
+    }
+
+    /// Build the global block-row partition from every rank's declared
+    /// `(start_row, local_rows)` — collective (one allgather), with
+    /// consistency checking.
+    pub fn build_partition(&self) -> LisiResult<BlockRowPartition> {
+        let comm = self.comm()?;
+        let (start, rows, global) = self.dist_params()?;
+        let pairs: Vec<(usize, usize)> = comm.allgather((start, rows))?;
+        let mut offsets = Vec::with_capacity(pairs.len() + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for (r, &(s, l)) in pairs.iter().enumerate() {
+            if s != acc {
+                return Err(LisiError::InvalidInput(format!(
+                    "rank {r} declared start row {s}, expected {acc} (non-contiguous block rows)"
+                )));
+            }
+            acc += l;
+            offsets.push(acc);
+        }
+        if acc != global {
+            return Err(LisiError::InvalidInput(format!(
+                "declared rows sum to {acc}, but global size is {global}"
+            )));
+        }
+        BlockRowPartition::from_offsets(offsets)
+            .map_err(|e| LisiError::InvalidInput(e.to_string()))
+    }
+
+    /// Convert one of the five input formats into the local CSR block and
+    /// store it. `offset` is the index base (0 or 1).
+    pub fn ingest_matrix(
+        &mut self,
+        values: &[f64],
+        rows: &[usize],
+        columns: &[usize],
+        structure: SparseStruct,
+        offset: usize,
+    ) -> LisiResult<()> {
+        let t0 = std::time::Instant::now();
+        let (start, local_rows, global_cols) = self.dist_params()?;
+        let matrix = match structure {
+            SparseStruct::Coo => {
+                self.check_nnz(values.len())?;
+                if rows.len() != values.len() || columns.len() != values.len() {
+                    return Err(LisiError::InvalidInput(format!(
+                        "COO arrays disagree: {} values, {} rows, {} columns",
+                        values.len(),
+                        rows.len(),
+                        columns.len()
+                    )));
+                }
+                let mut coo = CooMatrix::new(local_rows, global_cols);
+                for ((&gr, &gc), &v) in rows.iter().zip(columns).zip(values) {
+                    let gr = sub_offset(gr, offset, "row")?;
+                    let gc = sub_offset(gc, offset, "column")?;
+                    let lr = gr.checked_sub(start).filter(|&l| l < local_rows).ok_or_else(
+                        || {
+                            LisiError::InvalidInput(format!(
+                                "row {gr} is not owned by this rank ([{start}, {})",
+                                start + local_rows
+                            ))
+                        },
+                    )?;
+                    coo.push(lr, gc, v).map_err(|e| LisiError::InvalidInput(e.to_string()))?;
+                }
+                coo.to_csr()
+            }
+            SparseStruct::Csr => {
+                self.check_nnz(values.len())?;
+                if rows.len() != local_rows + 1 {
+                    return Err(LisiError::InvalidInput(format!(
+                        "CSR row pointer must have local_rows + 1 = {} entries, got {}",
+                        local_rows + 1,
+                        rows.len()
+                    )));
+                }
+                rsparse::convert::csr_arrays_to_csr(
+                    local_rows,
+                    global_cols,
+                    values,
+                    rows,
+                    columns,
+                    offset,
+                )
+                .map_err(|e| LisiError::InvalidInput(e.to_string()))?
+            }
+            SparseStruct::Msr => {
+                msr_local_to_csr(local_rows, global_cols, start, values, columns, offset)?
+            }
+            SparseStruct::Vbr => {
+                self.vbr_local_to_csr(values, rows, columns, offset, start)?
+            }
+            SparseStruct::Fem => {
+                if start != 0 || local_rows != global_cols {
+                    return Err(LisiError::Unsupported(
+                        "FEM element input requires a serial (single-rank) matrix; \
+                         distributed element assembly is outside LISI 0.1"
+                            .into(),
+                    ));
+                }
+                self.fem_to_csr(values, columns, offset)?
+            }
+        };
+        if matrix.cols() != global_cols {
+            return Err(LisiError::InvalidInput("converted width mismatch".into()));
+        }
+        self.matrix = Some(matrix);
+        self.matrix_epoch += 1;
+        self.convert_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn check_nnz(&self, got: usize) -> LisiResult<()> {
+        if let Some(declared) = self.local_nnz {
+            if declared != got {
+                return Err(LisiError::InvalidInput(format!(
+                    "setLocalNNZ declared {declared} nonzeros, arrays carry {got}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// VBR with uniform `block_size`: `rows` = block-row pointers,
+    /// `columns` = global block-column indices, `values` = dense
+    /// column-major blocks.
+    fn vbr_local_to_csr(
+        &self,
+        values: &[f64],
+        rows: &[usize],
+        columns: &[usize],
+        offset: usize,
+        start: usize,
+    ) -> LisiResult<CsrMatrix> {
+        let (_, local_rows, global_cols) = self.dist_params()?;
+        let bs = self.block_size;
+        if local_rows % bs != 0 || global_cols % bs != 0 || start % bs != 0 {
+            return Err(LisiError::InvalidInput(format!(
+                "VBR block size {bs} must divide start row {start}, local rows {local_rows} \
+                 and global columns {global_cols}"
+            )));
+        }
+        let nbr = local_rows / bs;
+        if rows.len() != nbr + 1 {
+            return Err(LisiError::InvalidInput(format!(
+                "VBR block-row pointer needs {} entries, got {}",
+                nbr + 1,
+                rows.len()
+            )));
+        }
+        let nblocks = sub_offset(rows[nbr], offset, "block pointer")?;
+        if columns.len() < nblocks || values.len() != nblocks * bs * bs {
+            return Err(LisiError::InvalidInput(format!(
+                "VBR arrays disagree: {} blocks, {} block columns, {} values",
+                nblocks,
+                columns.len(),
+                values.len()
+            )));
+        }
+        let mut coo = CooMatrix::new(local_rows, global_cols);
+        for br in 0..nbr {
+            let lo = sub_offset(rows[br], offset, "block pointer")?;
+            let hi = sub_offset(rows[br + 1], offset, "block pointer")?;
+            for k in lo..hi {
+                let bc = sub_offset(columns[k], offset, "block column")?;
+                if (bc + 1) * bs > global_cols {
+                    return Err(LisiError::InvalidInput(format!(
+                        "block column {bc} exceeds the matrix width"
+                    )));
+                }
+                let base = k * bs * bs;
+                for lc in 0..bs {
+                    for lr in 0..bs {
+                        let v = values[base + lc * bs + lr];
+                        if v != 0.0 {
+                            coo.push(br * bs + lr, bc * bs + lc, v)
+                                .map_err(|e| LisiError::InvalidInput(e.to_string()))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(coo.to_csr())
+    }
+
+    /// FEM with uniform element arity `block_size`: `columns` =
+    /// concatenated connectivity, `values` = concatenated row-major
+    /// element matrices.
+    fn fem_to_csr(
+        &self,
+        values: &[f64],
+        columns: &[usize],
+        offset: usize,
+    ) -> LisiResult<CsrMatrix> {
+        let (_, _, n) = self.dist_params()?;
+        let k = self.block_size;
+        if k == 0 || columns.len() % k != 0 {
+            return Err(LisiError::InvalidInput(format!(
+                "FEM connectivity length {} is not a multiple of the element arity {k}",
+                columns.len()
+            )));
+        }
+        let n_el = columns.len() / k;
+        if values.len() != n_el * k * k {
+            return Err(LisiError::InvalidInput(format!(
+                "FEM values must hold {} entries ({} elements × {k}²), got {}",
+                n_el * k * k,
+                n_el,
+                values.len()
+            )));
+        }
+        let mut fem = rsparse::FemAssembly::new(n);
+        for e in 0..n_el {
+            let dofs: Vec<usize> = columns[e * k..(e + 1) * k]
+                .iter()
+                .map(|&d| sub_offset(d, offset, "dof"))
+                .collect::<LisiResult<_>>()?;
+            let mat = values[e * k * k..(e + 1) * k * k].to_vec();
+            let element = rsparse::fem::Element::new(dofs, mat)
+                .map_err(|err| LisiError::InvalidInput(err.to_string()))?;
+            fem.add_element(element).map_err(|err| LisiError::InvalidInput(err.to_string()))?;
+        }
+        Ok(fem.to_csr())
+    }
+
+    /// Store the right-hand side(s).
+    pub fn ingest_rhs(&mut self, rhs: &[f64], n_rhs: usize) -> LisiResult<()> {
+        let (_, local_rows, _) = self.dist_params()?;
+        if n_rhs == 0 {
+            return Err(LisiError::InvalidInput("nRhs must be positive".into()));
+        }
+        if rhs.len() != local_rows * n_rhs {
+            return Err(LisiError::InvalidInput(format!(
+                "RHS must hold local_rows × nRhs = {} entries, got {}",
+                local_rows * n_rhs,
+                rhs.len()
+            )));
+        }
+        self.rhs = Some(rhs.to_vec());
+        self.n_rhs = n_rhs;
+        Ok(())
+    }
+
+    /// The assembled system, or the phase error.
+    pub fn require_system(&self) -> LisiResult<(&CsrMatrix, &[f64])> {
+        let m = self
+            .matrix
+            .as_ref()
+            .ok_or_else(|| LisiError::BadPhase("setupMatrix must precede solve".into()))?;
+        let b = self
+            .rhs
+            .as_deref()
+            .ok_or_else(|| LisiError::BadPhase("setupRHS must precede solve".into()))?;
+        Ok((m, b))
+    }
+
+    /// The RHS alone (matrix-free solves have no assembled matrix).
+    pub fn require_rhs(&self) -> LisiResult<&[f64]> {
+        self.rhs
+            .as_deref()
+            .ok_or_else(|| LisiError::BadPhase("setupRHS must precede solve".into()))
+    }
+
+    /// Validate a caller-provided solution/status buffer pair.
+    pub fn check_solve_buffers(&self, solution: &[f64], status: &[f64]) -> LisiResult<()> {
+        let (_, local_rows, _) = self.dist_params()?;
+        if solution.len() != local_rows * self.n_rhs {
+            return Err(LisiError::InvalidInput(format!(
+                "solution buffer must hold local_rows × nRhs = {} entries, got {}",
+                local_rows * self.n_rhs,
+                solution.len()
+            )));
+        }
+        if status.len() < crate::status::STATUS_LEN {
+            return Err(LisiError::InvalidInput(format!(
+                "status buffer needs at least {} entries, got {}",
+                crate::status::STATUS_LEN,
+                status.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn sub_offset(v: usize, offset: usize, what: &str) -> LisiResult<usize> {
+    v.checked_sub(offset).ok_or_else(|| {
+        LisiError::InvalidInput(format!("{what} index {v} underflows the index base {offset}"))
+    })
+}
+
+/// MSR (SPARSKIT layout) with *global* column indices, local rows: the
+/// diagonal slots `val[0..n]` refer to global columns `start + i`.
+fn msr_local_to_csr(
+    local_rows: usize,
+    global_cols: usize,
+    start: usize,
+    val: &[f64],
+    ja: &[usize],
+    offset: usize,
+) -> LisiResult<CsrMatrix> {
+    let n = local_rows;
+    if val.len() != ja.len() || val.len() < n + 1 {
+        return Err(LisiError::InvalidInput(format!(
+            "MSR arrays must be equal length ≥ n + 1 = {}, got val = {}, ja = {}",
+            n + 1,
+            val.len(),
+            ja.len()
+        )));
+    }
+    let ptr = |i: usize| -> LisiResult<usize> {
+        let p = sub_offset(ja[i], offset, "MSR pointer")?;
+        if !(n + 1..=val.len()).contains(&p) {
+            return Err(LisiError::InvalidInput(format!(
+                "MSR pointer {p} out of range [{}..={}]",
+                n + 1,
+                val.len()
+            )));
+        }
+        Ok(p)
+    };
+    if ptr(0)? != n + 1 {
+        return Err(LisiError::InvalidInput("MSR ja[0] must point just past the diagonal".into()));
+    }
+    let mut coo = CooMatrix::new(n, global_cols);
+    for i in 0..n {
+        if val[i] != 0.0 {
+            coo.push(i, start + i, val[i])
+                .map_err(|e| LisiError::InvalidInput(e.to_string()))?;
+        }
+        let (lo, hi) = (ptr(i)?, ptr(i + 1)?);
+        if hi < lo {
+            return Err(LisiError::InvalidInput("MSR pointers must be non-decreasing".into()));
+        }
+        for k in lo..hi {
+            let gc = sub_offset(ja[k], offset, "MSR column")?;
+            coo.push(i, gc, val[k]).map_err(|e| LisiError::InvalidInput(e.to_string()))?;
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcomm::Universe;
+    use rsparse::generate;
+
+    fn seeded_state(start: usize, local: usize, global: usize) -> LisiState {
+        let mut st = LisiState::new();
+        st.start_row = Some(start);
+        st.local_rows = Some(local);
+        st.global_cols = Some(global);
+        st
+    }
+
+    #[test]
+    fn phase_errors_before_setters() {
+        let mut st = LisiState::new();
+        assert!(matches!(
+            st.ingest_matrix(&[], &[], &[], SparseStruct::Coo, 0),
+            Err(LisiError::BadPhase(_))
+        ));
+        assert!(matches!(st.comm(), Err(LisiError::NotInitialized)));
+        assert!(matches!(st.require_system(), Err(LisiError::BadPhase(_))));
+    }
+
+    #[test]
+    fn coo_ingest_localizes_rows_and_checks_ownership() {
+        let mut st = seeded_state(2, 2, 5);
+        // Global rows 2 and 3, global columns anywhere.
+        st.ingest_matrix(
+            &[1.0, 2.0, 3.0],
+            &[2, 3, 3],
+            &[0, 3, 4],
+            SparseStruct::Coo,
+            0,
+        )
+        .unwrap();
+        let m = st.matrix.as_ref().unwrap();
+        assert_eq!(m.shape(), (2, 5));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 3), 2.0);
+        assert_eq!(m.get(1, 4), 3.0);
+        assert_eq!(st.matrix_epoch, 1);
+        // A row outside [2, 4) is rejected.
+        assert!(st
+            .ingest_matrix(&[1.0], &[0], &[0], SparseStruct::Coo, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn nnz_declaration_is_enforced() {
+        let mut st = seeded_state(0, 2, 2);
+        st.local_nnz = Some(3);
+        assert!(matches!(
+            st.ingest_matrix(&[1.0], &[0], &[0], SparseStruct::Coo, 0),
+            Err(LisiError::InvalidInput(_))
+        ));
+        st.local_nnz = Some(1);
+        st.ingest_matrix(&[1.0], &[0], &[0], SparseStruct::Coo, 0).unwrap();
+    }
+
+    #[test]
+    fn csr_ingest_with_fortran_offset() {
+        let mut st = seeded_state(0, 2, 3);
+        // 1-based CSR of [[1,0,2],[0,3,0]].
+        st.ingest_matrix(
+            &[1.0, 2.0, 3.0],
+            &[1, 3, 4],
+            &[1, 3, 2],
+            SparseStruct::Csr,
+            1,
+        )
+        .unwrap();
+        let m = st.matrix.as_ref().unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn msr_ingest_maps_diagonal_to_global_start() {
+        // Rank owning rows 2..4 of a 4-column problem; MSR block:
+        // local row 0: diag 5 at global col 2, off-diag 1 at col 0.
+        // local row 1: diag 6 at global col 3.
+        let mut st = seeded_state(2, 2, 4);
+        let val = [5.0, 6.0, 0.0, 1.0];
+        let ja = [3usize, 4, 4, 0];
+        st.ingest_matrix(&val, &[], &ja, SparseStruct::Msr, 0).unwrap();
+        let m = st.matrix.as_ref().unwrap();
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 3), 6.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn vbr_ingest_respects_block_layout() {
+        // 2×2 blocks, local rows 0..2 of a 4-wide matrix, one block at
+        // block-column 1: [[1,3],[2,4]] column-major = [1,2,3,4].
+        let mut st = seeded_state(0, 2, 4);
+        st.block_size = 2;
+        st.ingest_matrix(&[1.0, 2.0, 3.0, 4.0], &[0, 1], &[1], SparseStruct::Vbr, 0)
+            .unwrap();
+        let m = st.matrix.as_ref().unwrap();
+        assert_eq!(m.get(0, 2), 1.0);
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(m.get(0, 3), 3.0);
+        assert_eq!(m.get(1, 3), 4.0);
+        // Block size must divide the distribution.
+        let mut bad = seeded_state(0, 3, 4);
+        bad.block_size = 2;
+        assert!(bad
+            .ingest_matrix(&[0.0; 4], &[0, 1], &[0], SparseStruct::Vbr, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn fem_ingest_assembles_and_is_serial_only() {
+        let mut st = seeded_state(0, 3, 3);
+        st.block_size = 2;
+        // Two bar elements sharing dof 1, each with matrix [1,-1;-1,1].
+        let e = [1.0, -1.0, -1.0, 1.0];
+        let values: Vec<f64> = e.iter().chain(e.iter()).copied().collect();
+        let conn = [0usize, 1, 1, 2];
+        st.ingest_matrix(&values, &[], &conn, SparseStruct::Fem, 0).unwrap();
+        let m = st.matrix.as_ref().unwrap();
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), -1.0);
+        // Parallel FEM is rejected.
+        let mut par = seeded_state(2, 2, 4);
+        par.block_size = 2;
+        assert!(matches!(
+            par.ingest_matrix(&values, &[], &conn, SparseStruct::Fem, 0),
+            Err(LisiError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn all_formats_produce_the_same_matrix() {
+        // Serial sanity: the same matrix through COO/CSR/MSR/VBR must be
+        // identical in CSR form.
+        let a = generate::random_diag_dominant(8, 3, 21);
+        let nnz = a.nnz();
+        let mk = || {
+            let mut st = seeded_state(0, 8, 8);
+            st.local_nnz = Some(nnz);
+            st
+        };
+        // COO.
+        let coo = a.to_coo();
+        let (r, c, v) = coo.triplets();
+        let mut s1 = mk();
+        s1.ingest_matrix(v, r, c, SparseStruct::Coo, 0).unwrap();
+        // CSR.
+        let mut s2 = mk();
+        s2.ingest_matrix(a.values(), a.row_ptr(), a.col_idx(), SparseStruct::Csr, 0)
+            .unwrap();
+        // MSR.
+        let msr = rsparse::MsrMatrix::from_csr(&a).unwrap();
+        let (val, ja) = msr.parts();
+        let mut s3 = mk();
+        s3.local_nnz = None; // MSR carries a padded diagonal
+        s3.ingest_matrix(val, &[], ja, SparseStruct::Msr, 0).unwrap();
+        // VBR with bs = 2, arrays in the LISI uniform-block convention.
+        let bs = 2usize;
+        let nbr = 8 / bs;
+        let mut bptr = vec![0usize];
+        let mut bindx: Vec<usize> = Vec::new();
+        let mut bvals: Vec<f64> = Vec::new();
+        for br in 0..nbr {
+            let mut present: Vec<usize> = Vec::new();
+            for lr in 0..bs {
+                for &c in a.row(br * bs + lr).0 {
+                    if !present.contains(&(c / bs)) {
+                        present.push(c / bs);
+                    }
+                }
+            }
+            present.sort_unstable();
+            for &bc in &present {
+                let base = bvals.len();
+                bvals.resize(base + bs * bs, 0.0);
+                for lr in 0..bs {
+                    let (cs, vs) = a.row(br * bs + lr);
+                    for (&c, &v) in cs.iter().zip(vs) {
+                        if c / bs == bc {
+                            bvals[base + (c % bs) * bs + lr] = v;
+                        }
+                    }
+                }
+                bindx.push(bc);
+            }
+            bptr.push(bindx.len());
+        }
+        let mut s4 = mk();
+        s4.local_nnz = None; // VBR pads blocks with zeros
+        s4.block_size = bs;
+        s4.ingest_matrix(&bvals, &bptr, &bindx, SparseStruct::Vbr, 0).unwrap();
+
+        assert_eq!(s1.matrix, s2.matrix);
+        assert_eq!(s1.matrix, s3.matrix);
+        assert_eq!(s1.matrix, s4.matrix);
+    }
+
+    #[test]
+    fn rhs_validation() {
+        let mut st = seeded_state(0, 4, 4);
+        assert!(st.ingest_rhs(&[1.0; 4], 1).is_ok());
+        assert_eq!(st.n_rhs, 1);
+        assert!(st.ingest_rhs(&[1.0; 8], 2).is_ok());
+        assert_eq!(st.n_rhs, 2);
+        assert!(st.ingest_rhs(&[1.0; 3], 1).is_err());
+        assert!(st.ingest_rhs(&[], 0).is_err());
+    }
+
+    #[test]
+    fn solve_buffer_validation() {
+        let mut st = seeded_state(0, 4, 4);
+        st.ingest_rhs(&[0.0; 4], 1).unwrap();
+        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 6]).is_ok());
+        assert!(st.check_solve_buffers(&[0.0; 3], &[0.0; 6]).is_err());
+        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn partition_builds_from_per_rank_declarations() {
+        let out = Universe::run(3, |comm| {
+            let part = BlockRowPartition::even(10, comm.size());
+            let mut st = LisiState::new();
+            st.comm = Some(comm.dup().unwrap());
+            st.start_row = Some(part.start_row(comm.rank()));
+            st.local_rows = Some(part.local_rows(comm.rank()));
+            st.global_cols = Some(10);
+            st.build_partition().unwrap()
+        });
+        for p in out {
+            assert_eq!(p.offsets(), &[0, 4, 7, 10]);
+        }
+    }
+
+    #[test]
+    fn inconsistent_partition_is_rejected() {
+        let out = Universe::run(2, |comm| {
+            let mut st = LisiState::new();
+            st.comm = Some(comm.dup().unwrap());
+            // Both ranks claim start 0 — overlapping blocks.
+            st.start_row = Some(0);
+            st.local_rows = Some(5);
+            st.global_cols = Some(10);
+            st.build_partition().is_err()
+        });
+        assert_eq!(out, vec![true, true]);
+    }
+}

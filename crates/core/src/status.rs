@@ -1,0 +1,110 @@
+//! The post-solve status array.
+//!
+//! The paper (§5.1) flags the post-solve phase as a design question:
+//! "how the statistics information gets returned and in what order".
+//! LISI's `solve` takes an `inout rarray<double,1> Status(StatusLength)`;
+//! this module pins down the layout every adapter writes, so applications
+//! can interpret the array without knowing which package ran:
+//!
+//! | index | meaning |
+//! |-------|---------|
+//! | 0     | converged flag (1.0 / 0.0) |
+//! | 1     | iteration count (direct solvers report 0) |
+//! | 2     | final residual norm ‖b − A·x‖₂ (global) |
+//! | 3     | setup time in seconds (matrix conversion + factorization/preconditioner) |
+//! | 4     | solve time in seconds |
+//! | 5     | package-specific reason/diagnostic code |
+
+/// Required minimum length of the status array.
+pub const STATUS_LEN: usize = 6;
+
+/// Index of the converged flag.
+pub const STATUS_CONVERGED: usize = 0;
+/// Index of the iteration count.
+pub const STATUS_ITERATIONS: usize = 1;
+/// Index of the final residual norm.
+pub const STATUS_RESIDUAL: usize = 2;
+/// Index of the setup time (seconds).
+pub const STATUS_SETUP_SECONDS: usize = 3;
+/// Index of the solve time (seconds).
+pub const STATUS_SOLVE_SECONDS: usize = 4;
+/// Index of the package-specific reason code.
+pub const STATUS_REASON: usize = 5;
+
+/// A typed view of the solve outcome; adapters build one and serialize it
+/// into the caller's array.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveReport {
+    /// Did the solver converge / complete?
+    pub converged: bool,
+    /// Iterations used (0 for direct solvers).
+    pub iterations: usize,
+    /// Final global residual norm.
+    pub residual: f64,
+    /// Seconds spent in setup (conversion, factorization, preconditioner).
+    pub setup_seconds: f64,
+    /// Seconds spent in the solve phase.
+    pub solve_seconds: f64,
+    /// Package-specific reason code.
+    pub reason: i32,
+}
+
+impl SolveReport {
+    /// Write into a caller-provided status array (≥ [`STATUS_LEN`]
+    /// entries; extra entries are zeroed).
+    pub fn write_into(&self, status: &mut [f64]) {
+        debug_assert!(status.len() >= STATUS_LEN);
+        status.iter_mut().for_each(|s| *s = 0.0);
+        status[STATUS_CONVERGED] = if self.converged { 1.0 } else { 0.0 };
+        status[STATUS_ITERATIONS] = self.iterations as f64;
+        status[STATUS_RESIDUAL] = self.residual;
+        status[STATUS_SETUP_SECONDS] = self.setup_seconds;
+        status[STATUS_SOLVE_SECONDS] = self.solve_seconds;
+        status[STATUS_REASON] = self.reason as f64;
+    }
+
+    /// Parse a status array back (applications and tests).
+    pub fn from_slice(status: &[f64]) -> SolveReport {
+        SolveReport {
+            converged: status.first().copied().unwrap_or(0.0) != 0.0,
+            iterations: status.get(STATUS_ITERATIONS).copied().unwrap_or(0.0) as usize,
+            residual: status.get(STATUS_RESIDUAL).copied().unwrap_or(f64::NAN),
+            setup_seconds: status.get(STATUS_SETUP_SECONDS).copied().unwrap_or(0.0),
+            solve_seconds: status.get(STATUS_SOLVE_SECONDS).copied().unwrap_or(0.0),
+            reason: status.get(STATUS_REASON).copied().unwrap_or(0.0) as i32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_array() {
+        let rep = SolveReport {
+            converged: true,
+            iterations: 42,
+            residual: 1.5e-9,
+            setup_seconds: 0.25,
+            solve_seconds: 1.75,
+            reason: 7,
+        };
+        let mut arr = [9.0; STATUS_LEN + 2];
+        rep.write_into(&mut arr);
+        assert_eq!(arr[STATUS_CONVERGED], 1.0);
+        assert_eq!(arr[STATUS_ITERATIONS], 42.0);
+        assert_eq!(arr[STATUS_LEN], 0.0, "extra entries are zeroed");
+        let back = SolveReport::from_slice(&arr);
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn nonconvergence_is_zero_flag() {
+        let rep = SolveReport { converged: false, ..Default::default() };
+        let mut arr = [0.0; STATUS_LEN];
+        rep.write_into(&mut arr);
+        assert_eq!(arr[STATUS_CONVERGED], 0.0);
+        assert!(!SolveReport::from_slice(&arr).converged);
+    }
+}

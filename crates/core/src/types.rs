@@ -1,0 +1,105 @@
+//! The LISI enums from the SIDL specification.
+
+use crate::error::{LisiError, LisiResult};
+
+/// Input array formats the `setupMatrix` overloads accept — the SIDL
+/// `enum SparseStruct { CSR, COO, MSR, VBR, FEM }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparseStruct {
+    /// Compressed sparse row: `Rows` is the row-pointer array.
+    Csr,
+    /// Coordinate triplets: `Rows[k], Columns[k], Values[k]`.
+    Coo,
+    /// Modified sparse row (SPARSKIT layout): `Values`/`Columns` carry the
+    /// combined `(val, ja)` arrays; `Rows` is unused.
+    Msr,
+    /// Variable block row with a uniform block size (`setBlockSize`):
+    /// `Rows` is the block-row pointer array, `Columns` the block-column
+    /// indices, `Values` the dense column-major blocks.
+    Vbr,
+    /// Finite-element contributions with a uniform element arity
+    /// (`setBlockSize`): `Columns` is the concatenated connectivity,
+    /// `Values` the concatenated row-major element matrices.
+    Fem,
+}
+
+impl SparseStruct {
+    /// All variants (ablation sweeps iterate this).
+    pub const ALL: [SparseStruct; 5] = [
+        SparseStruct::Csr,
+        SparseStruct::Coo,
+        SparseStruct::Msr,
+        SparseStruct::Vbr,
+        SparseStruct::Fem,
+    ];
+
+    /// SIDL variant name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SparseStruct::Csr => "CSR",
+            SparseStruct::Coo => "COO",
+            SparseStruct::Msr => "MSR",
+            SparseStruct::Vbr => "VBR",
+            SparseStruct::Fem => "FEM",
+        }
+    }
+
+    /// Parse a SIDL variant name (case-insensitive).
+    pub fn parse(name: &str) -> LisiResult<Self> {
+        Ok(match name.to_ascii_uppercase().as_str() {
+            "CSR" => SparseStruct::Csr,
+            "COO" => SparseStruct::Coo,
+            "MSR" => SparseStruct::Msr,
+            "VBR" => SparseStruct::Vbr,
+            "FEM" => SparseStruct::Fem,
+            other => {
+                return Err(LisiError::InvalidInput(format!("unknown SparseStruct '{other}'")))
+            }
+        })
+    }
+}
+
+/// Which operator a `MatrixFree` callback should apply — the SIDL
+/// `enum ID { MATRIX, PRECONDITIONER }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorId {
+    /// Apply the coefficient matrix.
+    Matrix,
+    /// Apply the (approximate inverse) preconditioner.
+    Preconditioner,
+}
+
+impl OperatorId {
+    /// SIDL variant name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorId::Matrix => "MATRIX",
+            OperatorId::Preconditioner => "PRECONDITIONER",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_match_the_sidl_spec() {
+        let reg = cca::sidl::SidlRegistry::lisi();
+        let spec = reg.enum_def("lisi.SparseStruct").unwrap();
+        for (s, spec_name) in SparseStruct::ALL.iter().zip(&spec.variants) {
+            assert_eq!(s.name(), spec_name);
+            assert_eq!(SparseStruct::parse(s.name()).unwrap(), *s);
+        }
+        let ids = reg.enum_def("lisi.ID").unwrap();
+        assert_eq!(OperatorId::Matrix.name(), ids.variants[0]);
+        assert_eq!(OperatorId::Preconditioner.name(), ids.variants[1]);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_strict() {
+        assert_eq!(SparseStruct::parse("csr").unwrap(), SparseStruct::Csr);
+        assert_eq!(SparseStruct::parse("Fem").unwrap(), SparseStruct::Fem);
+        assert!(SparseStruct::parse("DIA").is_err());
+    }
+}

@@ -1,0 +1,480 @@
+//! High-level RSLU driver: the analyze → factorize → solve pipeline with
+//! options and statistics, plus the distributed gather/solve/scatter
+//! front-end for block-row partitioned systems.
+
+use rcomm::Communicator;
+use rsparse::{BlockRowPartition, CsrMatrix, DistCsrMatrix, DistVector};
+
+use crate::lu::LuFactorization;
+use crate::ordering::Ordering;
+use crate::symbolic::Symbolic;
+use crate::{RsluError, RsluResult};
+
+/// Options for a solve — RSLU's `superlu_options_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsluOptions {
+    /// Fill-reducing ordering (`permc_spec`).
+    pub ordering: Ordering,
+    /// Diagonal pivot threshold in (0, 1] (`diag_pivot_thresh`).
+    pub pivot_threshold: f64,
+    /// Run one step of iterative refinement after each solve.
+    pub refine: bool,
+    /// Equilibrate (row scale to unit ∞-norm, then column scale) before
+    /// factorization — SuperLU's `equil` option. Improves pivot quality
+    /// on badly scaled systems at the cost of two scaling passes.
+    pub equilibrate: bool,
+}
+
+impl Default for RsluOptions {
+    fn default() -> Self {
+        RsluOptions {
+            ordering: Ordering::MinDegree,
+            pivot_threshold: 1.0,
+            refine: true,
+            equilibrate: false,
+        }
+    }
+}
+
+/// Compute equilibration scales and the scaled matrix
+/// `A' = diag(r)·A·diag(c)` with unit ∞-norm rows and columns.
+fn equilibrate(a: &CsrMatrix) -> RsluResult<(CsrMatrix, Vec<f64>, Vec<f64>)> {
+    let n = a.rows();
+    let mut r = vec![0.0f64; n];
+    for i in 0..n {
+        let m = a.row(i).1.iter().fold(0.0f64, |mx, v| mx.max(v.abs()));
+        if m == 0.0 {
+            return Err(RsluError::Singular { column: i });
+        }
+        r[i] = 1.0 / m;
+    }
+    let row_scaled = rsparse::ops::diag_scale_rows(&r, a)?;
+    let mut c = vec![0.0f64; n];
+    for (_, j, v) in row_scaled.iter() {
+        c[j] = c[j].max(v.abs());
+    }
+    for (j, cj) in c.iter_mut().enumerate() {
+        if *cj == 0.0 {
+            return Err(RsluError::Singular { column: j });
+        }
+        *cj = 1.0 / *cj;
+    }
+    // Column scaling: multiply each entry by c[j].
+    let (rows, cols, row_ptr, col_idx, mut values) = {
+        let (rr, cc, p, ci, v) = row_scaled.into_parts();
+        (rr, cc, p, ci, v)
+    };
+    for (k, &j) in col_idx.iter().enumerate() {
+        values[k] *= c[j];
+    }
+    let scaled = CsrMatrix::from_parts(rows, cols, row_ptr, col_idx, values)
+        .map_err(|e| RsluError::Sparse(e.to_string()))?;
+    Ok((scaled, r, c))
+}
+
+/// Statistics from the last factorization/solve.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RsluStats {
+    /// Stored entries in L + U.
+    pub fill: usize,
+    /// Input nonzeros.
+    pub nnz: usize,
+    /// Number of numeric factorizations performed so far.
+    pub factorizations: usize,
+    /// Number of triangular solves performed so far.
+    pub solves: usize,
+    /// ‖b − A·x‖∞ after the last solve (with refinement if enabled).
+    pub backward_error: f64,
+}
+
+/// The serial (per-rank) RSLU solver with reusable phases.
+///
+/// Usage scenarios from paper §5.2 map to this API directly:
+/// * (a) one-shot: [`RsluSolver::solve_system`];
+/// * (b) reuse factorization: `analyze` + `factorize` once, then many
+///   [`RsluSolver::solve`] calls;
+/// * (c) multiple RHS: [`RsluSolver::solve_multi`];
+/// * (d) new values, same pattern: [`RsluSolver::refactorize`].
+#[derive(Debug, Clone, Default)]
+pub struct RsluSolver {
+    options: RsluOptions,
+    symbolic: Option<Symbolic>,
+    factors: Option<LuFactorization>,
+    matrix: Option<CsrMatrix>,
+    /// Equilibration scales `(row, col)` when enabled.
+    scales: Option<(Vec<f64>, Vec<f64>)>,
+    stats: RsluStats,
+}
+
+impl RsluSolver {
+    /// New solver with options.
+    pub fn new(options: RsluOptions) -> Self {
+        RsluSolver { options, ..Default::default() }
+    }
+
+    /// Borrow current statistics.
+    pub fn stats(&self) -> &RsluStats {
+        &self.stats
+    }
+
+    /// Borrow the options.
+    pub fn options(&self) -> &RsluOptions {
+        &self.options
+    }
+
+    /// Phase 1: symbolic analysis (reused until the pattern changes).
+    pub fn analyze(&mut self, a: &CsrMatrix) -> RsluResult<()> {
+        self.symbolic = Some(Symbolic::analyze(a, self.options.ordering)?);
+        self.factors = None;
+        self.matrix = None;
+        Ok(())
+    }
+
+    /// Phase 2: numeric factorization (runs analyze implicitly if absent
+    /// or incompatible).
+    pub fn factorize(&mut self, a: &CsrMatrix) -> RsluResult<()> {
+        let need_analysis = match &self.symbolic {
+            Some(s) => !s.compatible_with(a),
+            None => true,
+        };
+        if need_analysis {
+            self.analyze(a)?;
+        }
+        let (work, scales) = if self.options.equilibrate {
+            let (scaled, r, c) = equilibrate(a)?;
+            (scaled, Some((r, c)))
+        } else {
+            (a.clone(), None)
+        };
+        let sym = self.symbolic.as_ref().expect("set above");
+        let lu = LuFactorization::factor(&work, sym, self.options.pivot_threshold)?;
+        self.stats.fill = lu.fill();
+        self.stats.nnz = a.nnz();
+        self.stats.factorizations += 1;
+        self.factors = Some(lu);
+        self.matrix = Some(a.clone());
+        self.scales = scales;
+        Ok(())
+    }
+
+    /// Phase 2': refactorize with new values on the identical pattern,
+    /// reusing the symbolic analysis (scenario d).
+    pub fn refactorize(&mut self, values: &[f64]) -> RsluResult<()> {
+        let a = self.matrix.as_mut().ok_or_else(|| {
+            RsluError::BadOption("refactorize requires a prior factorize".into())
+        })?;
+        if values.len() != a.nnz() {
+            return Err(RsluError::PatternMismatch { expected: a.nnz(), got: values.len() });
+        }
+        a.values_mut().copy_from_slice(values);
+        let a = a.clone();
+        let (work, scales) = if self.options.equilibrate {
+            let (scaled, r, c) = equilibrate(&a)?;
+            (scaled, Some((r, c)))
+        } else {
+            (a.clone(), None)
+        };
+        let sym = self.symbolic.as_ref().expect("factorize set it");
+        let lu = LuFactorization::factor(&work, sym, self.options.pivot_threshold)?;
+        self.stats.fill = lu.fill();
+        self.stats.factorizations += 1;
+        self.factors = Some(lu);
+        self.scales = scales;
+        Ok(())
+    }
+
+    /// Phase 3: triangular solves (+ optional refinement).
+    pub fn solve(&mut self, b: &[f64]) -> RsluResult<Vec<f64>> {
+        let lu = self
+            .factors
+            .as_ref()
+            .ok_or_else(|| RsluError::BadOption("solve requires a prior factorize".into()))?;
+        // With equilibration the factors invert A' = R·A·C, so
+        // A·x = b ⟺ A'·y = R·b with x = C·y.
+        let scaled_solve = |rhs: &[f64]| -> RsluResult<Vec<f64>> {
+            match &self.scales {
+                None => lu.solve(rhs),
+                Some((r, c)) => {
+                    let rb: Vec<f64> = rhs.iter().zip(r).map(|(v, ri)| v * ri).collect();
+                    let mut y = lu.solve(&rb)?;
+                    for (yi, ci) in y.iter_mut().zip(c) {
+                        *yi *= ci;
+                    }
+                    Ok(y)
+                }
+            }
+        };
+        let mut x = scaled_solve(b)?;
+        self.stats.solves += 1;
+        if let Some(a) = &self.matrix {
+            let mut r = rsparse::ops::residual(a, &x, b)?;
+            if self.options.refine {
+                let dx = scaled_solve(&r)?;
+                rsparse::dense::axpy(1.0, &dx, &mut x);
+                r = rsparse::ops::residual(a, &x, b)?;
+            }
+            self.stats.backward_error = rsparse::dense::norm_inf(&r);
+        }
+        Ok(x)
+    }
+
+    /// Multi-RHS solve on a flat column-major buffer.
+    pub fn solve_multi(&mut self, b: &[f64], nrhs: usize) -> RsluResult<Vec<f64>> {
+        let n = self
+            .factors
+            .as_ref()
+            .ok_or_else(|| RsluError::BadOption("solve requires a prior factorize".into()))?
+            .order();
+        if nrhs == 0 || b.len() != n * nrhs {
+            return Err(RsluError::PatternMismatch { expected: n * nrhs, got: b.len() });
+        }
+        let mut out = Vec::with_capacity(b.len());
+        for k in 0..nrhs {
+            out.extend(self.solve(&b[k * n..(k + 1) * n])?);
+        }
+        Ok(out)
+    }
+
+    /// Convenience one-shot: analyze + factorize + solve (scenario a).
+    pub fn solve_system(&mut self, a: &CsrMatrix, b: &[f64]) -> RsluResult<Vec<f64>> {
+        self.factorize(a)?;
+        self.solve(b)
+    }
+}
+
+/// Distributed front-end: gathers the block-row system to rank 0, runs
+/// the serial pipeline there, scatters the solution back — the documented
+/// parallel-mode substitution (DESIGN.md).
+#[derive(Debug, Default)]
+pub struct DistRslu {
+    inner: RsluSolver,
+}
+
+impl DistRslu {
+    /// New distributed driver.
+    pub fn new(options: RsluOptions) -> Self {
+        DistRslu { inner: RsluSolver::new(options) }
+    }
+
+    /// Access the rank-0 serial solver (meaningful on the root only).
+    pub fn root_solver(&self) -> &RsluSolver {
+        &self.inner
+    }
+
+    /// Factor a distributed matrix (gather happens here). Collective.
+    pub fn factorize(&mut self, comm: &Communicator, a: &DistCsrMatrix) -> RsluResult<()> {
+        let gathered = a.gather_to_root(comm, 0)?;
+        let ok_flag = if comm.rank() == 0 {
+            let global = gathered.expect("root receives the gathered matrix");
+            match self.inner.factorize(&global) {
+                Ok(()) => None,
+                Err(e) => Some(format!("{e}")),
+            }
+        } else {
+            None
+        };
+        // Broadcast success/failure so all ranks agree.
+        let err = comm.bcast(0, ok_flag)?;
+        match err {
+            None => Ok(()),
+            Some(msg) => Err(RsluError::Sparse(msg)),
+        }
+    }
+
+    /// Solve with the factors held on rank 0; every rank passes its rhs
+    /// chunk and receives its solution chunk. Collective.
+    pub fn solve(
+        &mut self,
+        comm: &Communicator,
+        partition: &BlockRowPartition,
+        b: &DistVector,
+    ) -> RsluResult<DistVector> {
+        let b_full = b.gather_to_root(comm, 0)?;
+        let chunks: Option<Vec<Vec<f64>>> = if comm.rank() == 0 {
+            let full = b_full.expect("root receives the gathered rhs");
+            let x = self.inner.solve(&full)?;
+            Some(
+                (0..comm.size())
+                    .map(|r| {
+                        let range = partition.range(r);
+                        x[range].to_vec()
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mine = comm.scatter(0, chunks)?;
+        Ok(DistVector::from_local(partition.clone(), comm.rank(), mine)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcomm::Universe;
+    use rsparse::generate;
+
+    #[test]
+    fn one_shot_solve_with_refinement() {
+        let a = generate::laplacian_2d(7);
+        let x_true = generate::random_vector(49, 3);
+        let b = a.matvec(&x_true).unwrap();
+        let mut s = RsluSolver::new(RsluOptions::default());
+        let x = s.solve_system(&a, &b).unwrap();
+        for (g, e) in x.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-9);
+        }
+        assert_eq!(s.stats().factorizations, 1);
+        assert_eq!(s.stats().solves, 1);
+        assert!(s.stats().fill >= a.nnz());
+        assert!(s.stats().backward_error < 1e-10);
+    }
+
+    #[test]
+    fn factor_reuse_across_rhs() {
+        let a = generate::random_diag_dominant(25, 3, 4);
+        let mut s = RsluSolver::new(RsluOptions::default());
+        s.factorize(&a).unwrap();
+        for seed in 0..5 {
+            let x_true = generate::random_vector(25, seed);
+            let b = a.matvec(&x_true).unwrap();
+            let x = s.solve(&b).unwrap();
+            for (g, e) in x.iter().zip(&x_true) {
+                assert!((g - e).abs() < 1e-9);
+            }
+        }
+        assert_eq!(s.stats().factorizations, 1, "one factorization, many solves");
+        assert_eq!(s.stats().solves, 5);
+    }
+
+    #[test]
+    fn refactorize_reuses_symbolic_analysis() {
+        let a = generate::random_diag_dominant(20, 3, 8);
+        let mut s = RsluSolver::new(RsluOptions::default());
+        s.factorize(&a).unwrap();
+
+        // Same pattern, scaled values.
+        let new_vals: Vec<f64> = a.values().iter().map(|v| v * 2.5).collect();
+        s.refactorize(&new_vals).unwrap();
+        let scaled = rsparse::ops::scale(2.5, &a);
+        let x_true = generate::random_vector(20, 6);
+        let b = scaled.matvec(&x_true).unwrap();
+        let x = s.solve(&b).unwrap();
+        for (g, e) in x.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-9);
+        }
+        assert_eq!(s.stats().factorizations, 2);
+        // Wrong-length values are rejected.
+        assert!(matches!(
+            s.refactorize(&new_vals[1..]),
+            Err(RsluError::PatternMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_before_factorize_is_an_error() {
+        let mut s = RsluSolver::default();
+        assert!(s.solve(&[1.0]).is_err());
+        assert!(s.refactorize(&[1.0]).is_err());
+        assert!(s.solve_multi(&[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn multi_rhs_path() {
+        let a = generate::random_diag_dominant(10, 2, 12);
+        let mut s = RsluSolver::new(RsluOptions::default());
+        s.factorize(&a).unwrap();
+        let x1 = generate::random_vector(10, 1);
+        let x2 = generate::random_vector(10, 2);
+        let mut b = a.matvec(&x1).unwrap();
+        b.extend(a.matvec(&x2).unwrap());
+        let xs = s.solve_multi(&b, 2).unwrap();
+        for (g, e) in xs[..10].iter().zip(&x1) {
+            assert!((g - e).abs() < 1e-9);
+        }
+        for (g, e) in xs[10..].iter().zip(&x2) {
+            assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equilibration_solves_badly_scaled_systems() {
+        // Rows scaled across 12 orders of magnitude: without
+        // equilibration partial pivoting alone still works here, but the
+        // equilibrated path must produce an (at least) equally accurate
+        // answer through its R/C scaling algebra.
+        let base = generate::random_diag_dominant(25, 3, 40);
+        let scales: Vec<f64> = (0..25).map(|i| 10f64.powi((i % 13) as i32 - 6)).collect();
+        let a = rsparse::ops::diag_scale_rows(&scales, &base).unwrap();
+        let x_true = generate::random_vector(25, 41);
+        let b = a.matvec(&x_true).unwrap();
+        let mut s = RsluSolver::new(RsluOptions { equilibrate: true, ..Default::default() });
+        let x = s.solve_system(&a, &b).unwrap();
+        for (g, e) in x.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-8, "{g} vs {e}");
+        }
+        // Refactorize path keeps the scales fresh.
+        let new_vals: Vec<f64> = a.values().iter().map(|v| v * 0.5).collect();
+        s.refactorize(&new_vals).unwrap();
+        let half = rsparse::ops::scale(0.5, &a);
+        let b2 = half.matvec(&x_true).unwrap();
+        let x2 = s.solve(&b2).unwrap();
+        for (g, e) in x2.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn equilibration_rejects_zero_rows() {
+        // Row 1 empty ⇒ no scale exists.
+        let mut coo = rsparse::CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(2, 2, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        let a = coo.to_csr();
+        let mut s = RsluSolver::new(RsluOptions { equilibrate: true, ..Default::default() });
+        assert!(matches!(s.factorize(&a), Err(RsluError::Singular { .. })));
+    }
+
+    #[test]
+    fn distributed_solve_matches_serial() {
+        let (a, _) = rmesh::paper_problem(8).assemble_global();
+        let n = a.rows();
+        let x_true = generate::random_vector(n, 9);
+        let b = a.matvec(&x_true).unwrap();
+        for p in [1usize, 2, 4] {
+            let out = Universe::run(p, |comm| {
+                let part = BlockRowPartition::even(n, comm.size());
+                let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+                let db = DistVector::from_global(part.clone(), comm.rank(), &b).unwrap();
+                let mut solver = DistRslu::new(RsluOptions::default());
+                solver.factorize(comm, &da).unwrap();
+                let dx = solver.solve(comm, &part, &db).unwrap();
+                dx.allgather_full(comm).unwrap()
+            });
+            for got in out {
+                for (g, e) in got.iter().zip(&x_true) {
+                    assert!((g - e).abs() < 1e-8, "p = {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_singular_failure_reaches_all_ranks() {
+        // Globally singular matrix: zero column.
+        let mut coo = rsparse::CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, 0, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let out = Universe::run(2, |comm| {
+            let part = BlockRowPartition::even(4, comm.size());
+            let da = DistCsrMatrix::from_global(comm, part, &a).unwrap();
+            let mut solver = DistRslu::new(RsluOptions::default());
+            solver.factorize(comm, &da).is_err()
+        });
+        assert_eq!(out, vec![true, true], "both ranks must see the failure");
+    }
+}

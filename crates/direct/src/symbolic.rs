@@ -1,0 +1,187 @@
+//! The analyze phase: column ordering plus the column elimination tree —
+//! the reusable symbolic context of SuperLU's `*gstrf` pipeline (LISI
+//! usage scenario §5.2b: "precompute reused objects such as … symbolic
+//! factorization").
+
+use rsparse::CsrMatrix;
+
+use crate::ordering::Ordering;
+use crate::{RsluError, RsluResult};
+
+/// Reusable symbolic analysis of a sparse matrix pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Symbolic {
+    /// Column permutation, `col_perm[new] = old`.
+    pub col_perm: Vec<usize>,
+    /// Inverse column permutation, `col_perm_inv[old] = new`.
+    pub col_perm_inv: Vec<usize>,
+    /// Column elimination tree (parent of each column of A·Q in the tree;
+    /// `usize::MAX` for roots), computed on the AᵀA pattern without
+    /// forming it.
+    pub etree: Vec<usize>,
+    /// Postorder of the elimination tree.
+    pub postorder: Vec<usize>,
+    /// Pattern fingerprint for reuse validation.
+    pub nnz: usize,
+    /// Matrix order.
+    pub n: usize,
+}
+
+impl Symbolic {
+    /// Analyze a square matrix with the given ordering.
+    pub fn analyze(a: &CsrMatrix, ordering: Ordering) -> RsluResult<Self> {
+        let (rows, cols) = a.shape();
+        if rows != cols {
+            return Err(RsluError::Sparse(format!("matrix must be square, got {rows}x{cols}")));
+        }
+        let n = rows;
+        let col_perm = ordering.compute(a);
+        let mut col_perm_inv = vec![0usize; n];
+        for (new, &old) in col_perm.iter().enumerate() {
+            col_perm_inv[old] = new;
+        }
+        let etree = column_etree(a, &col_perm);
+        let postorder = postorder_of(&etree);
+        Ok(Symbolic { col_perm, col_perm_inv, etree, postorder, nnz: a.nnz(), n })
+    }
+
+    /// Can this symbolic context be reused for `b` (same shape, same
+    /// nonzero count — the cheap SuperLU-style compatibility check)?
+    pub fn compatible_with(&self, b: &CsrMatrix) -> bool {
+        b.shape() == (self.n, self.n) && b.nnz() == self.nnz
+    }
+}
+
+/// Column elimination tree of A·Q: the etree of (AQ)ᵀ(AQ), via the
+/// standard row-merge algorithm (Gilbert–Ng–Peyton) with path
+/// compression.
+fn column_etree(a: &CsrMatrix, col_perm: &[usize]) -> Vec<usize> {
+    let n = a.rows();
+    let mut parent = vec![usize::MAX; n];
+    // `ancestor` implements path compression; `prev_col[r]` remembers the
+    // last (new-numbered) column seen in row r, so each row links a chain
+    // of columns — exactly the Gilbert–Ng–Peyton column-etree recipe.
+    let mut ancestor = vec![usize::MAX; n];
+    let mut prev_col = vec![usize::MAX; n];
+    let at = a.transpose(); // rows of Aᵀ give column access to A
+    for new_col in 0..n {
+        let old_col = col_perm[new_col];
+        let (rows_of_col, _) = at.row(old_col);
+        for &r in rows_of_col {
+            // Traverse from the row's registered column up to the root,
+            // linking into new_col.
+            let mut c = prev_col[r];
+            if c == usize::MAX {
+                prev_col[r] = new_col;
+                continue;
+            }
+            // Find root with path compression.
+            while ancestor[c] != usize::MAX && ancestor[c] != new_col {
+                let next = ancestor[c];
+                ancestor[c] = new_col;
+                c = next;
+            }
+            if c != new_col && parent[c] == usize::MAX {
+                parent[c] = new_col;
+                ancestor[c] = new_col;
+            }
+            prev_col[r] = new_col;
+        }
+    }
+    parent
+}
+
+/// Postorder traversal of a forest given parent pointers.
+fn postorder_of(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    for (v, &p) in parent.iter().enumerate() {
+        if p == usize::MAX {
+            roots.push(v);
+        } else {
+            children[p].push(v);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for &root in &roots {
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci < children[v].len() {
+                let child = children[v][*ci];
+                *ci += 1;
+                stack.push((child, 0));
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsparse::generate;
+
+    #[test]
+    fn analyze_rejects_rectangular() {
+        let a = rsparse::CooMatrix::new(2, 3).to_csr();
+        assert!(Symbolic::analyze(&a, Ordering::Natural).is_err());
+    }
+
+    #[test]
+    fn etree_of_tridiagonal_is_a_chain() {
+        let a = generate::laplacian_1d(6);
+        let sym = Symbolic::analyze(&a, Ordering::Natural).unwrap();
+        // Column etree of a tridiagonal matrix: parent(i) = i + 1.
+        for i in 0..5 {
+            assert_eq!(sym.etree[i], i + 1, "{:?}", sym.etree);
+        }
+        assert_eq!(sym.etree[5], usize::MAX);
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parents() {
+        let a = generate::laplacian_2d(4);
+        let sym = Symbolic::analyze(&a, Ordering::MinDegree).unwrap();
+        let mut position = vec![0usize; 16];
+        for (i, &v) in sym.postorder.iter().enumerate() {
+            position[v] = i;
+        }
+        for (v, &p) in sym.etree.iter().enumerate() {
+            if p != usize::MAX {
+                assert!(position[v] < position[p], "child {v} after parent {p}");
+            }
+        }
+        // Postorder is a permutation.
+        assert!(crate::ordering::is_permutation(&sym.postorder, 16));
+    }
+
+    #[test]
+    fn compatibility_check_uses_shape_and_nnz() {
+        let a = generate::laplacian_1d(6);
+        let sym = Symbolic::analyze(&a, Ordering::Natural).unwrap();
+        assert!(sym.compatible_with(&a));
+        let mut b = a.clone();
+        for v in b.values_mut() {
+            *v *= 2.0;
+        }
+        assert!(sym.compatible_with(&b), "same pattern, new values must be compatible");
+        let c = generate::laplacian_1d(7);
+        assert!(!sym.compatible_with(&c));
+    }
+
+    #[test]
+    fn permutations_are_inverse_pairs() {
+        let a = generate::random_csr(20, 20, 0.15, 5);
+        for ord in [Ordering::Rcm, Ordering::MinDegree] {
+            let sym = Symbolic::analyze(&a, ord).unwrap();
+            for new in 0..20 {
+                assert_eq!(sym.col_perm_inv[sym.col_perm[new]], new);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Solve outcomes and error types.
+
+use std::fmt;
+
+/// Why an iteration stopped — the RKSP analogue of PETSc's
+/// `KSPConvergedReason`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergedReason {
+    /// Residual fell below `rtol · ‖b‖`.
+    RelativeTolerance,
+    /// Residual fell below the absolute tolerance.
+    AbsoluteTolerance,
+    /// Iteration limit reached without convergence.
+    MaxIterations,
+    /// The method hit a breakdown condition (zero inner product etc.).
+    Breakdown,
+    /// Residual exceeded the divergence tolerance `dtol · ‖b‖`.
+    Diverged,
+}
+
+impl ConvergedReason {
+    /// Did the solve succeed?
+    pub fn converged(self) -> bool {
+        matches!(
+            self,
+            ConvergedReason::RelativeTolerance | ConvergedReason::AbsoluteTolerance
+        )
+    }
+}
+
+impl fmt::Display for ConvergedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConvergedReason::RelativeTolerance => "converged: relative tolerance",
+            ConvergedReason::AbsoluteTolerance => "converged: absolute tolerance",
+            ConvergedReason::MaxIterations => "diverged: iteration limit",
+            ConvergedReason::Breakdown => "diverged: breakdown",
+            ConvergedReason::Diverged => "diverged: residual blow-up",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of a Krylov solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KspResult {
+    /// Stop reason.
+    pub reason: ConvergedReason,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// ‖b − A·x₀‖₂ at entry.
+    pub initial_residual: f64,
+    /// ‖b − A·x‖₂ (or its recurrence estimate) at exit.
+    pub final_residual: f64,
+    /// Residual norm per iteration (entry 0 is the initial residual).
+    pub history: Vec<f64>,
+}
+
+impl KspResult {
+    /// Did the solve succeed?
+    pub fn converged(&self) -> bool {
+        self.reason.converged()
+    }
+}
+
+/// Errors from solver configuration or the substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KspError {
+    /// An underlying sparse/communication failure.
+    Sparse(rsparse::SparseError),
+    /// The requested solver or preconditioner name is unknown.
+    UnknownName {
+        /// "solver" or "preconditioner".
+        kind: &'static str,
+        /// The unknown name.
+        name: String,
+    },
+    /// A configuration value is invalid (e.g. negative tolerance).
+    BadConfig(String),
+    /// Operands don't conform (partition mismatch etc.).
+    Nonconforming(String),
+}
+
+impl fmt::Display for KspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KspError::Sparse(e) => write!(f, "substrate error: {e}"),
+            KspError::UnknownName { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            KspError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            KspError::Nonconforming(msg) => write!(f, "nonconforming operands: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KspError {}
+
+impl From<rsparse::SparseError> for KspError {
+    fn from(e: rsparse::SparseError) -> Self {
+        KspError::Sparse(e)
+    }
+}
+
+impl From<rcomm::CommError> for KspError {
+    fn from(e: rcomm::CommError) -> Self {
+        KspError::Sparse(rsparse::SparseError::Comm(e.to_string()))
+    }
+}
+
+/// Result alias.
+pub type KspOutcome<T> = Result<T, KspError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_classify_convergence() {
+        assert!(ConvergedReason::RelativeTolerance.converged());
+        assert!(ConvergedReason::AbsoluteTolerance.converged());
+        assert!(!ConvergedReason::MaxIterations.converged());
+        assert!(!ConvergedReason::Breakdown.converged());
+        assert!(!ConvergedReason::Diverged.converged());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ConvergedReason::Breakdown.to_string().contains("breakdown"));
+        let e = KspError::UnknownName { kind: "solver", name: "zzz".into() };
+        assert!(e.to_string().contains("zzz"));
+        let e = KspError::BadConfig("rtol < 0".into());
+        assert!(e.to_string().contains("rtol"));
+    }
+}

@@ -1,0 +1,95 @@
+//! BiCGStab (van der Vorst) with right preconditioning — the workhorse for
+//! the paper's nonsymmetric convection–diffusion systems.
+
+use rcomm::Communicator;
+use rsparse::DistVector;
+
+use crate::operator::LinearOperator;
+use crate::pc::Preconditioner;
+use crate::result::{ConvergedReason, KspOutcome, KspResult};
+use crate::solver::{KspConfig, Monitor};
+
+pub(crate) fn solve(
+    comm: &Communicator,
+    op: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &DistVector,
+    x: &mut DistVector,
+    cfg: &KspConfig,
+) -> KspOutcome<KspResult> {
+    cfg.validate()?;
+    let part = op.partition().clone();
+    let rank = comm.rank();
+
+    let bnorm = b.norm2(comm)?;
+    let mut r = b.clone();
+    let mut t = DistVector::zeros(part.clone(), rank);
+    op.apply(comm, x, &mut t)?;
+    r.axpy(-1.0, &t)?;
+    let r0_norm = r.norm2(comm)?;
+    let mut mon = Monitor::new(cfg, bnorm, r0_norm);
+    if let Some(reason) = mon.check(0, r0_norm) {
+        return Ok(mon.finish(reason, 0, r0_norm, r0_norm));
+    }
+
+    // Shadow residual r̂ = r₀ (fixed).
+    let r_hat = r.clone();
+    let mut p = r.clone();
+    let mut v = DistVector::zeros(part.clone(), rank);
+    let mut p_hat = DistVector::zeros(part.clone(), rank);
+    let mut s_hat = DistVector::zeros(part, rank);
+    let mut rho = r_hat.dot(&r, comm)?;
+
+    let mut iterations = 0usize;
+    let mut rnorm = r0_norm;
+    let reason = loop {
+        iterations += 1;
+        // p̂ = M⁻¹·p ; v = A·p̂.
+        pc.apply(comm, &p, &mut p_hat)?;
+        op.apply(comm, &p_hat, &mut v)?;
+        let rhv = r_hat.dot(&v, comm)?;
+        if rhv == 0.0 || !rhv.is_finite() {
+            break ConvergedReason::Breakdown;
+        }
+        let alpha = rho / rhv;
+        // s = r − α·v  (reuse r as s).
+        r.axpy(-alpha, &v)?;
+        let snorm = r.norm2(comm)?;
+        if let Some(reason) = mon.check(iterations, snorm) {
+            // Half-step convergence: x += α·p̂.
+            x.axpy(alpha, &p_hat)?;
+            rnorm = snorm;
+            break reason;
+        }
+        // ŝ = M⁻¹·s ; t = A·ŝ.
+        pc.apply(comm, &r, &mut s_hat)?;
+        op.apply(comm, &s_hat, &mut t)?;
+        let tt = t.dot(&t, comm)?;
+        if tt == 0.0 {
+            break ConvergedReason::Breakdown;
+        }
+        let omega = t.dot(&r, comm)? / tt;
+        if omega == 0.0 || !omega.is_finite() {
+            break ConvergedReason::Breakdown;
+        }
+        // x += α·p̂ + ω·ŝ ; r = s − ω·t.
+        x.axpy(alpha, &p_hat)?;
+        x.axpy(omega, &s_hat)?;
+        r.axpy(-omega, &t)?;
+        rnorm = r.norm2(comm)?;
+        if let Some(reason) = mon.check(iterations, rnorm) {
+            break reason;
+        }
+        let rho_new = r_hat.dot(&r, comm)?;
+        if rho == 0.0 {
+            break ConvergedReason::Breakdown;
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + β·(p − ω·v).
+        for ((pi, ri), vi) in p.local_mut().iter_mut().zip(r.local()).zip(v.local()) {
+            *pi = ri + beta * (*pi - omega * vi);
+        }
+    };
+    Ok(mon.finish(reason, iterations, r0_norm, rnorm))
+}

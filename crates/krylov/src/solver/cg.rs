@@ -1,0 +1,70 @@
+//! Preconditioned conjugate gradients (Hestenes–Stiefel), for SPD
+//! operators with an SPD preconditioner.
+
+use rcomm::Communicator;
+use rsparse::DistVector;
+
+use crate::operator::LinearOperator;
+use crate::pc::Preconditioner;
+use crate::result::{ConvergedReason, KspOutcome, KspResult};
+use crate::solver::{KspConfig, Monitor};
+
+pub(crate) fn solve(
+    comm: &Communicator,
+    op: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &DistVector,
+    x: &mut DistVector,
+    cfg: &KspConfig,
+) -> KspOutcome<KspResult> {
+    cfg.validate()?;
+    let part = op.partition().clone();
+    let rank = comm.rank();
+
+    let bnorm = b.norm2(comm)?;
+    let mut r = b.clone();
+    let mut scratch = DistVector::zeros(part.clone(), rank);
+    op.apply(comm, x, &mut scratch)?;
+    r.axpy(-1.0, &scratch)?;
+    let r0 = r.norm2(comm)?;
+    let mut mon = Monitor::new(cfg, bnorm, r0);
+    if let Some(reason) = mon.check(0, r0) {
+        return Ok(mon.finish(reason, 0, r0, r0));
+    }
+
+    let mut z = DistVector::zeros(part.clone(), rank);
+    pc.apply(comm, &r, &mut z)?;
+    let mut p = z.clone();
+    let mut q = DistVector::zeros(part, rank);
+    let mut rz = r.dot(&z, comm)?;
+
+    let mut iterations = 0usize;
+    let mut rnorm = r0;
+    let reason = loop {
+        iterations += 1;
+        op.apply(comm, &p, &mut q)?;
+        let pq = p.dot(&q, comm)?;
+        if pq == 0.0 || !pq.is_finite() {
+            break ConvergedReason::Breakdown;
+        }
+        let alpha = rz / pq;
+        x.axpy(alpha, &p)?;
+        r.axpy(-alpha, &q)?;
+        rnorm = r.norm2(comm)?;
+        if let Some(reason) = mon.check(iterations, rnorm) {
+            break reason;
+        }
+        pc.apply(comm, &r, &mut z)?;
+        let rz_new = r.dot(&z, comm)?;
+        if rz == 0.0 {
+            break ConvergedReason::Breakdown;
+        }
+        let beta = rz_new / rz;
+        rz = rz_new;
+        // p ← z + β·p.
+        for (pi, zi) in p.local_mut().iter_mut().zip(z.local()) {
+            *pi = zi + beta * *pi;
+        }
+    };
+    Ok(mon.finish(reason, iterations, r0, rnorm))
+}

@@ -1,0 +1,183 @@
+//! Restarted GMRES with right preconditioning (and FGMRES, its flexible
+//! variant), modified Gram–Schmidt orthogonalization and Givens rotations
+//! on the Hessenberg matrix — the algorithm of Saad & Schultz as PETSc
+//! ships it.
+
+use rcomm::Communicator;
+use rsparse::DistVector;
+
+use crate::operator::LinearOperator;
+use crate::pc::Preconditioner;
+use crate::result::{ConvergedReason, KspOutcome, KspResult};
+use crate::solver::{KspConfig, Monitor};
+
+pub(crate) fn solve(
+    comm: &Communicator,
+    op: &dyn LinearOperator,
+    pc: &dyn Preconditioner,
+    b: &DistVector,
+    x: &mut DistVector,
+    cfg: &KspConfig,
+    flexible: bool,
+) -> KspOutcome<KspResult> {
+    cfg.validate()?;
+    let part = op.partition().clone();
+    let rank = comm.rank();
+    let m = cfg.restart;
+
+    let bnorm = b.norm2(comm)?;
+    let mut r = b.clone();
+    let mut w = DistVector::zeros(part.clone(), rank);
+    op.apply(comm, x, &mut w)?;
+    r.axpy(-1.0, &w)?;
+    let r0 = r.norm2(comm)?;
+    let mut mon = Monitor::new(cfg, bnorm, r0);
+    if let Some(reason) = mon.check(0, r0) {
+        return Ok(mon.finish(reason, 0, r0, r0));
+    }
+
+    let mut iterations = 0usize;
+    let mut rnorm = r0;
+    // Hessenberg column storage: h[j] holds column j (length j + 2).
+    let reason = 'outer: loop {
+        // Arnoldi basis V and (for FGMRES) preconditioned basis Z.
+        let mut basis_v: Vec<DistVector> = Vec::with_capacity(m + 1);
+        let mut basis_z: Vec<DistVector> = Vec::with_capacity(if flexible { m } else { 0 });
+        let beta = rnorm;
+        if beta == 0.0 {
+            break ConvergedReason::AbsoluteTolerance;
+        }
+        let mut v0 = r.clone();
+        rsparse::dense::scale(1.0 / beta, v0.local_mut());
+        basis_v.push(v0);
+
+        // Givens rotation parameters and the rotated rhs g.
+        let mut cs: Vec<f64> = Vec::with_capacity(m);
+        let mut sn: Vec<f64> = Vec::with_capacity(m);
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+
+        let mut inner = 0usize;
+        let mut inner_reason: Option<ConvergedReason> = None;
+        while inner < m {
+            let j = inner;
+            // w = A·M⁻¹·v_j (right preconditioning).
+            let mut z = DistVector::zeros(part.clone(), rank);
+            pc.apply(comm, &basis_v[j], &mut z)?;
+            op.apply(comm, &z, &mut w)?;
+            if flexible {
+                basis_z.push(z);
+            }
+            // Modified Gram–Schmidt.
+            let mut hcol = vec![0.0f64; j + 2];
+            for (i, vi) in basis_v.iter().enumerate().take(j + 1) {
+                let hij = w.dot(vi, comm)?;
+                hcol[i] = hij;
+                w.axpy(-hij, vi)?;
+            }
+            let hnext = w.norm2(comm)?;
+            hcol[j + 1] = hnext;
+            // Apply accumulated rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * hcol[i] + sn[i] * hcol[i + 1];
+                hcol[i + 1] = -sn[i] * hcol[i] + cs[i] * hcol[i + 1];
+                hcol[i] = t;
+            }
+            // New rotation annihilating hcol[j+1].
+            let (c, s) = givens(hcol[j], hcol[j + 1]);
+            cs.push(c);
+            sn.push(s);
+            hcol[j] = c * hcol[j] + s * hcol[j + 1];
+            hcol[j + 1] = 0.0;
+            let gj = g[j];
+            g[j] = c * gj;
+            g[j + 1] = -s * gj;
+            h_cols.push(hcol);
+
+            iterations += 1;
+            inner += 1;
+            rnorm = g[j + 1].abs();
+            if let Some(reason) = mon.check(iterations, rnorm) {
+                inner_reason = Some(reason);
+                break;
+            }
+            if hnext == 0.0 {
+                // Lucky breakdown: exact solution in this Krylov space.
+                inner_reason = Some(ConvergedReason::AbsoluteTolerance);
+                break;
+            }
+            let mut vnext = w.clone();
+            rsparse::dense::scale(1.0 / hnext, vnext.local_mut());
+            basis_v.push(vnext);
+        }
+
+        // Back-substitute y from the triangularized system.
+        let k = inner;
+        let mut y = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            let mut acc = g[i];
+            for (jj, yj) in y.iter().enumerate().take(k).skip(i + 1) {
+                acc -= h_cols[jj][i] * yj;
+            }
+            y[i] = acc / h_cols[i][i];
+        }
+        // Update x: x += M⁻¹·V·y (GMRES) or x += Z·y (FGMRES).
+        if flexible {
+            for (zi, yi) in basis_z.iter().zip(&y) {
+                x.axpy(*yi, zi)?;
+            }
+        } else {
+            let mut vy = DistVector::zeros(part.clone(), rank);
+            for (vi, yi) in basis_v.iter().zip(&y) {
+                vy.axpy(*yi, vi)?;
+            }
+            let mut z = DistVector::zeros(part.clone(), rank);
+            pc.apply(comm, &vy, &mut z)?;
+            x.axpy(1.0, &z)?;
+        }
+
+        if let Some(reason) = inner_reason {
+            break 'outer reason;
+        }
+        // Restart: recompute the true residual.
+        r = b.clone();
+        op.apply(comm, x, &mut w)?;
+        r.axpy(-1.0, &w)?;
+        rnorm = r.norm2(comm)?;
+        if let Some(reason) = mon.check(iterations, rnorm) {
+            break 'outer reason;
+        }
+    };
+    Ok(mon.finish(reason, iterations, r0, rnorm))
+}
+
+/// Stable Givens rotation `(c, s)` with `c·a + s·b = r`, `−s·a + c·b = 0`.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() < b.abs() {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    } else {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::givens;
+
+    #[test]
+    fn givens_annihilates_second_component() {
+        for (a, b) in [(3.0, 4.0), (1.0, 0.0), (0.0, 2.0), (-5.0, 2.5), (1e-30, 1.0)] {
+            let (c, s) = givens(a, b);
+            let zero = -s * a + c * b;
+            assert!(zero.abs() < 1e-12 * (a.abs() + b.abs()).max(1.0), "({a},{b})");
+            assert!((c * c + s * s - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The KSP solver context: configuration, dispatch, and the iterative
+//! methods themselves.
+
+mod bicgstab;
+mod cg;
+mod cgs;
+mod chebyshev;
+mod gmres;
+mod richardson;
+mod tfqmr;
+
+use rcomm::Communicator;
+use rsparse::DistVector;
+
+use crate::operator::LinearOperator;
+use crate::options::Options;
+use crate::pc::{make_preconditioner, PcType, Preconditioner};
+use crate::result::{ConvergedReason, KspError, KspOutcome, KspResult};
+
+/// The solver vocabulary, mirroring PETSc's `-ksp_type` values shipped
+/// here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KspType {
+    /// Conjugate gradients (SPD systems).
+    Cg,
+    /// Stabilized bi-conjugate gradients.
+    BiCgStab,
+    /// Restarted generalized minimal residual.
+    Gmres,
+    /// Flexible GMRES (tolerates a varying preconditioner).
+    Fgmres,
+    /// Conjugate gradients squared.
+    Cgs,
+    /// Transpose-free quasi-minimal residual.
+    Tfqmr,
+    /// Preconditioned Richardson iteration.
+    Richardson,
+    /// Chebyshev semi-iteration (needs spectral bounds; estimated if
+    /// absent).
+    Chebyshev,
+}
+
+impl KspType {
+    /// Parse a PETSc-flavoured name.
+    pub fn parse(name: &str) -> KspOutcome<Self> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "cg" => KspType::Cg,
+            "bicgstab" | "bcgs" => KspType::BiCgStab,
+            "gmres" => KspType::Gmres,
+            "fgmres" => KspType::Fgmres,
+            "cgs" => KspType::Cgs,
+            "tfqmr" => KspType::Tfqmr,
+            "richardson" => KspType::Richardson,
+            "chebyshev" | "cheby" => KspType::Chebyshev,
+            other => {
+                return Err(KspError::UnknownName { kind: "solver", name: other.to_string() })
+            }
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KspType::Cg => "cg",
+            KspType::BiCgStab => "bicgstab",
+            KspType::Gmres => "gmres",
+            KspType::Fgmres => "fgmres",
+            KspType::Cgs => "cgs",
+            KspType::Tfqmr => "tfqmr",
+            KspType::Richardson => "richardson",
+            KspType::Chebyshev => "chebyshev",
+        }
+    }
+}
+
+/// Full solver configuration — the parameter surface LISI's generic
+/// setters drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KspConfig {
+    /// Which method.
+    pub ksp_type: KspType,
+    /// Which preconditioner.
+    pub pc_type: PcType,
+    /// Relative tolerance on ‖r‖/‖b‖.
+    pub rtol: f64,
+    /// Absolute tolerance on ‖r‖.
+    pub atol: f64,
+    /// Divergence tolerance: stop when ‖r‖ > dtol·‖b‖.
+    pub dtol: f64,
+    /// Iteration cap.
+    pub maxits: usize,
+    /// GMRES restart length.
+    pub restart: usize,
+    /// Richardson damping factor.
+    pub richardson_scale: f64,
+    /// Chebyshev spectral bounds (λmin, λmax) of the preconditioned
+    /// operator; `None` triggers a power-method estimate.
+    pub cheby_bounds: Option<(f64, f64)>,
+    /// Record the residual history (costs one Vec push per iteration).
+    pub keep_history: bool,
+}
+
+impl Default for KspConfig {
+    fn default() -> Self {
+        KspConfig {
+            ksp_type: KspType::Gmres,
+            pc_type: PcType::Ilu0,
+            rtol: 1e-8,
+            atol: 1e-50,
+            dtol: 1e5,
+            maxits: 10_000,
+            restart: 30,
+            richardson_scale: 1.0,
+            cheby_bounds: None,
+            keep_history: true,
+        }
+    }
+}
+
+impl KspConfig {
+    /// Validate numeric sanity.
+    pub fn validate(&self) -> KspOutcome<()> {
+        if self.rtol < 0.0 || self.atol < 0.0 || self.dtol <= 0.0 {
+            return Err(KspError::BadConfig("tolerances must be non-negative".into()));
+        }
+        if self.restart == 0 {
+            return Err(KspError::BadConfig("restart must be at least 1".into()));
+        }
+        if self.maxits == 0 {
+            return Err(KspError::BadConfig("maxits must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Build from a string option database (PETSc-style keys with several
+    /// LISI-friendly aliases): `ksp_type`/`solver`, `pc_type`/
+    /// `preconditioner`, `ksp_rtol`/`tol`, `ksp_atol`, `ksp_dtol`,
+    /// `ksp_max_it`/`maxits`, `ksp_gmres_restart`/`restart`,
+    /// `pc_sor_omega`, `richardson_scale`.
+    pub fn from_options(opts: &Options) -> KspOutcome<Self> {
+        let mut cfg = KspConfig::default();
+        if let Some(v) = opts.get_first(&["ksp_type", "solver"]) {
+            cfg.ksp_type = KspType::parse(&v)?;
+        }
+        if let Some(v) = opts.get_first(&["pc_type", "preconditioner"]) {
+            cfg.pc_type = PcType::parse(&v)?;
+        }
+        if let Some(v) = opts.get_first(&["ksp_rtol", "tol", "rtol"]) {
+            cfg.rtol = v.parse().map_err(|_| KspError::BadConfig(format!("bad rtol '{v}'")))?;
+        }
+        if let Some(v) = opts.get_first(&["ksp_atol", "atol"]) {
+            cfg.atol = v.parse().map_err(|_| KspError::BadConfig(format!("bad atol '{v}'")))?;
+        }
+        if let Some(v) = opts.get_first(&["ksp_dtol", "dtol"]) {
+            cfg.dtol = v.parse().map_err(|_| KspError::BadConfig(format!("bad dtol '{v}'")))?;
+        }
+        if let Some(v) = opts.get_first(&["ksp_max_it", "maxits", "max_iterations"]) {
+            cfg.maxits =
+                v.parse().map_err(|_| KspError::BadConfig(format!("bad maxits '{v}'")))?;
+        }
+        if let Some(v) = opts.get_first(&["ksp_gmres_restart", "restart"]) {
+            cfg.restart =
+                v.parse().map_err(|_| KspError::BadConfig(format!("bad restart '{v}'")))?;
+        }
+        if let Some(v) = opts.get_first(&["pc_ilut_droptol", "droptol"]) {
+            let droptol: f64 =
+                v.parse().map_err(|_| KspError::BadConfig(format!("bad droptol '{v}'")))?;
+            if let PcType::Ilut { max_fill, .. } = cfg.pc_type {
+                cfg.pc_type = PcType::Ilut { droptol, max_fill };
+            }
+        }
+        if let Some(v) = opts.get_first(&["pc_ilut_maxfill", "fill"]) {
+            let max_fill: usize =
+                v.parse().map_err(|_| KspError::BadConfig(format!("bad fill '{v}'")))?;
+            if let PcType::Ilut { droptol, .. } = cfg.pc_type {
+                cfg.pc_type = PcType::Ilut { droptol, max_fill };
+            }
+        }
+        if let Some(v) = opts.get_first(&["pc_sor_omega", "omega"]) {
+            let omega: f64 =
+                v.parse().map_err(|_| KspError::BadConfig(format!("bad omega '{v}'")))?;
+            if matches!(cfg.pc_type, PcType::Ssor { .. }) {
+                cfg.pc_type = PcType::Ssor { omega };
+            }
+        }
+        if let Some(v) = opts.get_first(&["richardson_scale"]) {
+            cfg.richardson_scale =
+                v.parse().map_err(|_| KspError::BadConfig(format!("bad scale '{v}'")))?;
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Convergence bookkeeping shared by every method.
+pub(crate) struct Monitor {
+    rtol_target: f64,
+    atol: f64,
+    dtol_target: f64,
+    maxits: usize,
+    pub history: Vec<f64>,
+    keep_history: bool,
+}
+
+impl Monitor {
+    pub(crate) fn new(cfg: &KspConfig, bnorm: f64, r0: f64) -> Self {
+        let mut history = Vec::new();
+        if cfg.keep_history {
+            history.push(r0);
+        }
+        // PETSc semantics: relative to ‖b‖ unless b = 0, then absolute.
+        let scale = if bnorm > 0.0 { bnorm } else { 1.0 };
+        Monitor {
+            rtol_target: cfg.rtol * scale,
+            atol: cfg.atol,
+            dtol_target: cfg.dtol * scale.max(r0),
+            maxits: cfg.maxits,
+            history,
+            keep_history: cfg.keep_history,
+        }
+    }
+
+    /// Record a residual norm; `Some(reason)` means stop.
+    pub(crate) fn check(&mut self, iteration: usize, rnorm: f64) -> Option<ConvergedReason> {
+        if iteration > 0 && self.keep_history {
+            self.history.push(rnorm);
+        }
+        if rnorm <= self.atol {
+            return Some(ConvergedReason::AbsoluteTolerance);
+        }
+        if rnorm <= self.rtol_target {
+            return Some(ConvergedReason::RelativeTolerance);
+        }
+        if !rnorm.is_finite() || rnorm > self.dtol_target {
+            return Some(ConvergedReason::Diverged);
+        }
+        if iteration >= self.maxits {
+            return Some(ConvergedReason::MaxIterations);
+        }
+        None
+    }
+
+    pub(crate) fn finish(
+        self,
+        reason: ConvergedReason,
+        iterations: usize,
+        r0: f64,
+        rfinal: f64,
+    ) -> KspResult {
+        KspResult {
+            reason,
+            iterations,
+            initial_residual: r0,
+            final_residual: rfinal,
+            history: self.history,
+        }
+    }
+}
+
+/// True residual norm ‖b − A·x‖₂ (collective).
+pub(crate) fn true_residual_norm(
+    comm: &Communicator,
+    op: &dyn LinearOperator,
+    b: &DistVector,
+    x: &DistVector,
+) -> KspOutcome<f64> {
+    let mut ax = DistVector::zeros(op.partition().clone(), comm.rank());
+    op.apply(comm, x, &mut ax)?;
+    let mut r = b.clone();
+    r.axpy(-1.0, &ax)?;
+    Ok(r.norm2(comm)?)
+}
+
+/// A configured solver context — RKSP's `KSP`.
+#[derive(Debug, Clone)]
+pub struct Ksp {
+    config: KspConfig,
+}
+
+impl Ksp {
+    /// Create from a configuration.
+    pub fn new(config: KspConfig) -> KspOutcome<Self> {
+        config.validate()?;
+        Ok(Ksp { config })
+    }
+
+    /// Create from a string option database.
+    pub fn from_options(opts: &Options) -> KspOutcome<Self> {
+        Ok(Ksp { config: KspConfig::from_options(opts)? })
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &KspConfig {
+        &self.config
+    }
+
+    /// Build the configured preconditioner for `op` (exposed so callers
+    /// can reuse a preconditioner across solves — paper §5.2b/d).
+    pub fn make_pc(&self, op: &dyn LinearOperator) -> KspOutcome<Box<dyn Preconditioner>> {
+        make_preconditioner(self.config.pc_type, op)
+    }
+
+    /// Solve A·x = b starting from the current content of `x`, using a
+    /// freshly built preconditioner.
+    pub fn solve(
+        &self,
+        comm: &Communicator,
+        op: &dyn LinearOperator,
+        b: &DistVector,
+        x: &mut DistVector,
+    ) -> KspOutcome<KspResult> {
+        let pc = self.make_pc(op)?;
+        self.solve_with_pc(comm, op, pc.as_ref(), b, x)
+    }
+
+    /// Solve with a caller-provided (possibly reused) preconditioner.
+    pub fn solve_with_pc(
+        &self,
+        comm: &Communicator,
+        op: &dyn LinearOperator,
+        pc: &dyn Preconditioner,
+        b: &DistVector,
+        x: &mut DistVector,
+    ) -> KspOutcome<KspResult> {
+        let cfg = &self.config;
+        match cfg.ksp_type {
+            KspType::Cg => cg::solve(comm, op, pc, b, x, cfg),
+            KspType::BiCgStab => bicgstab::solve(comm, op, pc, b, x, cfg),
+            KspType::Gmres => gmres::solve(comm, op, pc, b, x, cfg, false),
+            KspType::Fgmres => gmres::solve(comm, op, pc, b, x, cfg, true),
+            KspType::Cgs => cgs::solve(comm, op, pc, b, x, cfg),
+            KspType::Tfqmr => tfqmr::solve(comm, op, pc, b, x, cfg),
+            KspType::Richardson => richardson::solve(comm, op, pc, b, x, cfg),
+            KspType::Chebyshev => chebyshev::solve(comm, op, pc, b, x, cfg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::MatOperator;
+    use rcomm::Universe;
+    use rsparse::{generate, BlockRowPartition, DistCsrMatrix};
+
+    fn solve_problem(
+        ksp_type: KspType,
+        pc_type: PcType,
+        a: &rsparse::CsrMatrix,
+        ranks: usize,
+    ) -> (bool, usize, f64) {
+        let n = a.rows();
+        let x_true = generate::random_vector(n, 17);
+        let b = a.matvec(&x_true).unwrap();
+        let out = Universe::run(ranks, |comm| {
+            let part = BlockRowPartition::even(n, comm.size());
+            let da = DistCsrMatrix::from_global(comm, part.clone(), a).unwrap();
+            let op = MatOperator::new(da);
+            let db = DistVector::from_global(part.clone(), comm.rank(), &b).unwrap();
+            let mut dx = DistVector::zeros(part, comm.rank());
+            let ksp = Ksp::new(KspConfig {
+                ksp_type,
+                pc_type,
+                rtol: 1e-10,
+                maxits: 2000,
+                ..KspConfig::default()
+            })
+            .unwrap();
+            let res = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+            let full = dx.allgather_full(comm).unwrap();
+            (res, full)
+        });
+        let (res, full) = &out[0];
+        // All ranks must agree on the result metadata.
+        for (r, _) in &out {
+            assert_eq!(r.iterations, res.iterations);
+            assert_eq!(r.reason, res.reason);
+        }
+        let err = full
+            .iter()
+            .zip(&x_true)
+            .fold(0.0f64, |m, (g, e)| m.max((g - e).abs()));
+        (res.converged(), res.iterations, err)
+    }
+
+    #[test]
+    fn every_method_solves_spd_poisson_serial() {
+        let a = generate::laplacian_2d(8);
+        for ksp in [
+            KspType::Cg,
+            KspType::BiCgStab,
+            KspType::Gmres,
+            KspType::Fgmres,
+            KspType::Cgs,
+            KspType::Tfqmr,
+            KspType::Chebyshev,
+        ] {
+            let (ok, its, err) = solve_problem(ksp, PcType::Jacobi, &a, 1);
+            assert!(ok, "{ksp:?} did not converge");
+            assert!(err < 1e-6, "{ksp:?}: err = {err}, its = {its}");
+        }
+    }
+
+    #[test]
+    fn richardson_solves_with_strong_pc() {
+        // Richardson needs an effective preconditioner; ILU(0) qualifies.
+        let a = generate::laplacian_2d(6);
+        let (ok, _, err) = solve_problem(KspType::Richardson, PcType::Ilu0, &a, 1);
+        assert!(ok);
+        assert!(err < 1e-6, "err = {err}");
+    }
+
+    #[test]
+    fn nonsymmetric_methods_solve_convection_diffusion() {
+        let (a, _) = rmesh::paper_problem(10).assemble_global();
+        for ksp in [KspType::BiCgStab, KspType::Gmres, KspType::Fgmres, KspType::Tfqmr] {
+            let (ok, its, err) = solve_problem(ksp, PcType::Ilu0, &a, 1);
+            assert!(ok, "{ksp:?}");
+            assert!(err < 1e-6, "{ksp:?}: err = {err}, its = {its}");
+        }
+    }
+
+    #[test]
+    fn parallel_solves_match_serial_for_all_methods() {
+        let a = generate::laplacian_2d(7);
+        for ksp in [KspType::Cg, KspType::BiCgStab, KspType::Gmres] {
+            let (ok1, _, err1) = solve_problem(ksp, PcType::Jacobi, &a, 1);
+            let (ok4, _, err4) = solve_problem(ksp, PcType::Jacobi, &a, 4);
+            assert!(ok1 && ok4, "{ksp:?}");
+            assert!(err1 < 1e-6 && err4 < 1e-6, "{ksp:?}: {err1} {err4}");
+        }
+    }
+
+    #[test]
+    fn block_jacobi_pcs_work_in_parallel() {
+        let a = generate::laplacian_2d(8);
+        for pc in [PcType::Ilu0, PcType::Ic0, PcType::Ssor { omega: 1.0 }] {
+            let (ok, its, err) = solve_problem(KspType::Gmres, pc, &a, 3);
+            assert!(ok, "{pc:?}");
+            assert!(err < 1e-6, "{pc:?}: err = {err}, its = {its}");
+        }
+    }
+
+    #[test]
+    fn gmres_restart_still_converges() {
+        let (a, _) = rmesh::paper_problem(9).assemble_global();
+        let n = a.rows();
+        let x_true = generate::random_vector(n, 3);
+        let b = a.matvec(&x_true).unwrap();
+        let out = Universe::run(1, |comm| {
+            let part = BlockRowPartition::even(n, 1);
+            let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+            let op = MatOperator::new(da);
+            let db = DistVector::from_global(part.clone(), 0, &b).unwrap();
+            let mut dx = DistVector::zeros(part, 0);
+            let ksp = Ksp::new(KspConfig {
+                ksp_type: KspType::Gmres,
+                pc_type: PcType::None,
+                restart: 5,
+                rtol: 1e-9,
+                maxits: 5000,
+                ..KspConfig::default()
+            })
+            .unwrap();
+            let r = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+            (r.converged(), r.iterations)
+        });
+        assert!(out[0].0, "restarted GMRES(5) must still converge");
+        assert!(out[0].1 > 5, "must have needed at least one restart cycle");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution_immediately() {
+        let a = generate::laplacian_2d(4);
+        let out = Universe::run(1, |comm| {
+            let part = BlockRowPartition::even(16, 1);
+            let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+            let op = MatOperator::new(da);
+            let db = DistVector::zeros(part.clone(), 0);
+            let mut dx = DistVector::zeros(part, 0);
+            let ksp = Ksp::new(KspConfig::default()).unwrap();
+            let r = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+            (r.converged(), r.iterations, dx.local().to_vec())
+        });
+        let (ok, its, x) = &out[0];
+        assert!(ok);
+        assert_eq!(*its, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn maxits_is_reported_when_hit() {
+        let a = generate::laplacian_2d(10);
+        let n = 100;
+        let b = vec![1.0; n];
+        let out = Universe::run(1, |comm| {
+            let part = BlockRowPartition::even(n, 1);
+            let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+            let op = MatOperator::new(da);
+            let db = DistVector::from_global(part.clone(), 0, &b).unwrap();
+            let mut dx = DistVector::zeros(part, 0);
+            let ksp = Ksp::new(KspConfig {
+                ksp_type: KspType::Cg,
+                pc_type: PcType::None,
+                rtol: 1e-14,
+                maxits: 3,
+                ..KspConfig::default()
+            })
+            .unwrap();
+            ksp.solve(comm, &op, &db, &mut dx).unwrap()
+        });
+        assert_eq!(out[0].reason, ConvergedReason::MaxIterations);
+        assert_eq!(out[0].iterations, 3);
+        assert!(!out[0].converged());
+    }
+
+    #[test]
+    fn history_is_monotone_for_gmres() {
+        let a = generate::laplacian_2d(6);
+        let n = 36;
+        let b = vec![1.0; n];
+        let out = Universe::run(1, |comm| {
+            let part = BlockRowPartition::even(n, 1);
+            let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+            let op = MatOperator::new(da);
+            let db = DistVector::from_global(part.clone(), 0, &b).unwrap();
+            let mut dx = DistVector::zeros(part, 0);
+            let ksp = Ksp::new(KspConfig {
+                ksp_type: KspType::Gmres,
+                pc_type: PcType::None,
+                restart: 50,
+                ..KspConfig::default()
+            })
+            .unwrap();
+            ksp.solve(comm, &op, &db, &mut dx).unwrap()
+        });
+        let h = &out[0].history;
+        assert!(h.len() >= 2);
+        for w in h.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-12), "GMRES residual must not increase: {h:?}");
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(Ksp::new(KspConfig { rtol: -1.0, ..KspConfig::default() }).is_err());
+        assert!(Ksp::new(KspConfig { restart: 0, ..KspConfig::default() }).is_err());
+        assert!(Ksp::new(KspConfig { maxits: 0, ..KspConfig::default() }).is_err());
+        assert!(KspType::parse("nope").is_err());
+    }
+
+    #[test]
+    fn from_options_builds_configured_solver() {
+        let mut o = Options::new();
+        o.set("ksp_type", "cg");
+        o.set("pc_type", "jacobi");
+        o.set("ksp_rtol", "1e-5");
+        o.set("maxits", "123");
+        o.set("restart", "7");
+        let ksp = Ksp::from_options(&o).unwrap();
+        assert_eq!(ksp.config().ksp_type, KspType::Cg);
+        assert_eq!(ksp.config().pc_type, PcType::Jacobi);
+        assert_eq!(ksp.config().rtol, 1e-5);
+        assert_eq!(ksp.config().maxits, 123);
+        assert_eq!(ksp.config().restart, 7);
+
+        let mut bad = Options::new();
+        bad.set("ksp_type", "unobtainium");
+        assert!(Ksp::from_options(&bad).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests on the RKSP package: for random well-conditioned
+//! systems, every solver/preconditioner combination must recover the
+//! manufactured solution, and the residual it reports must be honest.
+
+use proptest::prelude::*;
+use rcomm::Universe;
+use rkrylov::{Ksp, KspConfig, KspType, MatOperator, PcType};
+use rsparse::{generate, BlockRowPartition, DistCsrMatrix, DistVector};
+
+fn solve(
+    a: &rsparse::CsrMatrix,
+    b: &[f64],
+    ksp_type: KspType,
+    pc_type: PcType,
+    p: usize,
+) -> (rkrylov::KspResult, Vec<f64>) {
+    let n = a.rows();
+    let out = Universe::run(p, |comm| {
+        let part = BlockRowPartition::even(n, comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), a).unwrap();
+        let op = MatOperator::new(da);
+        let db = DistVector::from_global(part.clone(), comm.rank(), b).unwrap();
+        let mut dx = DistVector::zeros(part, comm.rank());
+        let ksp = Ksp::new(KspConfig {
+            ksp_type,
+            pc_type,
+            rtol: 1e-11,
+            maxits: 5000,
+            ..KspConfig::default()
+        })
+        .unwrap();
+        let res = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+        (res, dx.allgather_full(comm).unwrap())
+    });
+    out.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn nonsymmetric_solvers_recover_random_solutions(
+        seed in 0u64..10_000,
+        p in 1usize..4,
+        ksp_idx in 0usize..4,
+    ) {
+        let ksp_type = [KspType::BiCgStab, KspType::Gmres, KspType::Fgmres, KspType::Tfqmr]
+            [ksp_idx];
+        let n = 30;
+        let a = generate::random_diag_dominant(n, 4, seed);
+        let x_true = generate::random_vector(n, seed ^ 0xabcd);
+        let b = a.matvec(&x_true).unwrap();
+        let (res, x) = solve(&a, &b, ksp_type, PcType::Ilu0, p);
+        prop_assert!(res.converged(), "{ksp_type:?} p={p}: {:?}", res.reason);
+        for (g, e) in x.iter().zip(&x_true) {
+            prop_assert!((g - e).abs() < 1e-6, "{ksp_type:?}");
+        }
+        // Reported residual must match a recomputed one to within slack.
+        let r = rsparse::ops::residual(&a, &x, &b).unwrap();
+        let true_norm = rsparse::dense::norm2(&r);
+        prop_assert!(
+            (res.final_residual - true_norm).abs() < 1e-6 * (1.0 + true_norm),
+            "reported {} vs recomputed {}",
+            res.final_residual,
+            true_norm
+        );
+    }
+
+    #[test]
+    fn cg_matches_direct_solution_on_spd(
+        seed in 0u64..10_000,
+        p in 1usize..4,
+    ) {
+        let n = 25;
+        let a = generate::random_spd(n, 3, seed);
+        let x_true = generate::random_vector(n, seed ^ 0x77);
+        let b = a.matvec(&x_true).unwrap();
+        let (res, x) = solve(&a, &b, KspType::Cg, PcType::Ic0, p);
+        prop_assert!(res.converged());
+        let reference = a.to_dense().solve(&b).unwrap();
+        for (g, e) in x.iter().zip(&reference) {
+            prop_assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn initial_guess_is_respected(
+        seed in 0u64..10_000,
+    ) {
+        // Starting from the exact solution must converge in 0 iterations.
+        let n = 20;
+        let a = generate::random_diag_dominant(n, 3, seed);
+        let x_true = generate::random_vector(n, seed ^ 0x3141);
+        let b = a.matvec(&x_true).unwrap();
+        let out = Universe::run(1, |comm| {
+            let part = BlockRowPartition::even(n, 1);
+            let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+            let op = MatOperator::new(da);
+            let db = DistVector::from_global(part.clone(), 0, &b).unwrap();
+            let mut dx = DistVector::from_global(part, 0, &x_true).unwrap();
+            let ksp = Ksp::new(KspConfig {
+                ksp_type: KspType::Gmres,
+                pc_type: PcType::None,
+                rtol: 1e-8,
+                ..KspConfig::default()
+            })
+            .unwrap();
+            ksp.solve(comm, &op, &db, &mut dx).unwrap()
+        });
+        prop_assert!(out[0].converged());
+        prop_assert_eq!(out[0].iterations, 0);
+    }
+
+    #[test]
+    fn iteration_counts_are_rank_invariant_with_jacobi(
+        seed in 0u64..10_000,
+    ) {
+        // Point Jacobi does not depend on the partition, so parallel runs
+        // must take exactly the same iterations as serial ones.
+        let n = 28;
+        let a = generate::random_diag_dominant(n, 3, seed);
+        let b = generate::random_vector(n, seed ^ 0x5555);
+        let (r1, _) = solve(&a, &b, KspType::BiCgStab, PcType::Jacobi, 1);
+        let (r3, _) = solve(&a, &b, KspType::BiCgStab, PcType::Jacobi, 3);
+        prop_assert!(r1.converged() && r3.converged());
+        prop_assert_eq!(r1.iterations, r3.iterations);
+    }
+}

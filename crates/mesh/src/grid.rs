@@ -1,0 +1,99 @@
+//! Structured 2-D grid on the unit square.
+
+/// An `m × m` grid of *interior* points of the unit square with spacing
+/// `h = 1/(m+1)`; boundary points carry Dirichlet data and are eliminated
+/// from the linear system. Interior point `(i, j)` (row `i` from the
+/// bottom, column `j` from the left) sits at `(x, y) = ((j+1)h, (i+1)h)`
+/// and owns unknown `k = i·m + j` — row-major numbering, which makes a
+/// block-row partition a horizontal strip decomposition of the square.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2d {
+    m: usize,
+}
+
+impl Grid2d {
+    /// Grid with `m` interior points per side.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "grid needs at least one interior point");
+        Grid2d { m }
+    }
+
+    /// Interior points per side.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total unknowns `m²`.
+    pub fn unknowns(&self) -> usize {
+        self.m * self.m
+    }
+
+    /// Mesh spacing `h = 1/(m+1)`.
+    pub fn h(&self) -> f64 {
+        1.0 / (self.m as f64 + 1.0)
+    }
+
+    /// Unknown index of interior point `(i, j)`.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.m && j < self.m);
+        i * self.m + j
+    }
+
+    /// Interior point `(i, j)` of unknown `k`.
+    #[inline]
+    pub fn point(&self, k: usize) -> (usize, usize) {
+        (k / self.m, k % self.m)
+    }
+
+    /// Physical coordinates `(x, y)` of interior point `(i, j)`.
+    #[inline]
+    pub fn coords(&self, i: usize, j: usize) -> (f64, f64) {
+        let h = self.h();
+        ((j as f64 + 1.0) * h, (i as f64 + 1.0) * h)
+    }
+
+    /// Number of nonzeros the 5-point operator produces: `5m² − 4m`.
+    pub fn stencil_nnz(&self) -> usize {
+        5 * self.m * self.m - 4 * self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let g = Grid2d::new(7);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(g.point(g.index(i, j)), (i, j));
+            }
+        }
+        assert_eq!(g.unknowns(), 49);
+    }
+
+    #[test]
+    fn coords_are_interior() {
+        let g = Grid2d::new(3);
+        assert!((g.h() - 0.25).abs() < 1e-15);
+        assert_eq!(g.coords(0, 0), (0.25, 0.25));
+        assert_eq!(g.coords(2, 2), (0.75, 0.75));
+    }
+
+    #[test]
+    fn paper_sizes_produce_table1_nnz() {
+        for (m, nnz) in
+            [(50usize, 12300), (100, 49600), (200, 199200), (300, 448800), (400, 798400)]
+        {
+            assert_eq!(Grid2d::new(m).stencil_nnz(), nnz);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_grid_rejected() {
+        let _ = Grid2d::new(0);
+    }
+}

@@ -1,0 +1,68 @@
+//! `rmg` — a geometric multigrid solver package (the HYPRE-flavoured
+//! multilevel member of the CCA-LISI solver family).
+//!
+//! The paper's requirements list (§2.2) singles out *multilevel method
+//! support*: multilevel solvers alternate between refinement levels, may
+//! use different solvers per level, and force the common interface to be
+//! re-entrant (usage scenario §5.2e). RMG exercises all of that:
+//!
+//! * [`transfer`] — bilinear prolongation and full-weighting restriction
+//!   between vertex-centred grids (`m_f = 2·m_c + 1`);
+//! * [`hierarchy`] — grid hierarchies with Galerkin (R·A·P) or
+//!   rediscretized coarse operators;
+//! * [`smoother`] — weighted Jacobi, Gauss–Seidel and SSOR sweeps;
+//! * [`cycle`] — V- and W-cycles and the [`RmgSolver`] driver, whose
+//!   coarsest-grid solver is *pluggable*: a dense LU by default, or any
+//!   user callback — which is how the LISI adapter demonstrates recursion
+//!   (a LISI solver used as the coarse solver inside another LISI solver).
+
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod hierarchy;
+pub mod smoother;
+pub mod transfer;
+
+pub use cycle::{CoarseSolver, CycleType, MgConfig, MgResult, RmgSolver};
+pub use hierarchy::{CoarseOperator, Hierarchy};
+pub use smoother::Smoother;
+
+/// Errors from the RMG package.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MgError {
+    /// The grid cannot be coarsened (needs `m` odd and ≥ 3).
+    NotCoarsenable {
+        /// Grid points per side at the level that failed.
+        m: usize,
+    },
+    /// Substrate failure.
+    Sparse(String),
+    /// Bad configuration.
+    BadConfig(String),
+    /// The user coarse-solver callback failed.
+    CoarseSolver(String),
+}
+
+impl std::fmt::Display for MgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MgError::NotCoarsenable { m } => {
+                write!(f, "grid with m = {m} interior points per side cannot be coarsened")
+            }
+            MgError::Sparse(m) => write!(f, "substrate error: {m}"),
+            MgError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            MgError::CoarseSolver(m) => write!(f, "coarse solver failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MgError {}
+
+impl From<rsparse::SparseError> for MgError {
+    fn from(e: rsparse::SparseError) -> Self {
+        MgError::Sparse(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type MgResultT<T> = Result<T, MgError>;

@@ -1,0 +1,176 @@
+//! Inter-grid transfer operators for vertex-centred 2-D grids with the
+//! standard coarsening `m_f = 2·m_c + 1` (fine point `(2i+1, 2j+1)`
+//! coincides with coarse point `(i, j)`).
+
+use rsparse::{CooMatrix, CsrMatrix};
+
+use crate::{MgError, MgResultT};
+
+/// Number of interior points per side after one coarsening step, if legal.
+pub fn coarsen_m(m_fine: usize) -> MgResultT<usize> {
+    if m_fine >= 3 && m_fine % 2 == 1 {
+        Ok((m_fine - 1) / 2)
+    } else {
+        Err(MgError::NotCoarsenable { m: m_fine })
+    }
+}
+
+/// Bilinear prolongation P: coarse grid (`m_c × m_c`) → fine grid
+/// (`m_f × m_f`), `m_f = 2·m_c + 1`. Row = fine index, column = coarse
+/// index; weights 1, 1/2, 1/4 by fine-point parity.
+pub fn prolongation(m_coarse: usize) -> CsrMatrix {
+    let m_fine = 2 * m_coarse + 1;
+    let nf = m_fine * m_fine;
+    let nc = m_coarse * m_coarse;
+    let cidx = |i: usize, j: usize| i * m_coarse + j;
+    let mut coo = CooMatrix::new(nf, nc);
+    for fi in 0..m_fine {
+        for fj in 0..m_fine {
+            let frow = fi * m_fine + fj;
+            let oi = fi % 2 == 1;
+            let oj = fj % 2 == 1;
+            match (oi, oj) {
+                (true, true) => {
+                    // Coincident point.
+                    coo.push(frow, cidx(fi / 2, fj / 2), 1.0).expect("bounds");
+                }
+                (true, false) => {
+                    // Horizontal edge midpoint: neighbours (fi/2, fj/2−1)
+                    // and (fi/2, fj/2), where existing.
+                    let ci = fi / 2;
+                    if fj >= 2 {
+                        coo.push(frow, cidx(ci, fj / 2 - 1), 0.5).expect("bounds");
+                    }
+                    if fj / 2 < m_coarse {
+                        coo.push(frow, cidx(ci, fj / 2), 0.5).expect("bounds");
+                    }
+                }
+                (false, true) => {
+                    let cj = fj / 2;
+                    if fi >= 2 {
+                        coo.push(frow, cidx(fi / 2 - 1, cj), 0.5).expect("bounds");
+                    }
+                    if fi / 2 < m_coarse {
+                        coo.push(frow, cidx(fi / 2, cj), 0.5).expect("bounds");
+                    }
+                }
+                (false, false) => {
+                    // Cell centre: up to four diagonal coarse neighbours
+                    // (fewer next to the boundary, where the Dirichlet
+                    // value 0 contributes nothing).
+                    let base_i = fi / 2;
+                    let base_j = fj / 2;
+                    for (ci, cj) in [
+                        (base_i.wrapping_sub(1), base_j.wrapping_sub(1)),
+                        (base_i.wrapping_sub(1), base_j),
+                        (base_i, base_j.wrapping_sub(1)),
+                        (base_i, base_j),
+                    ] {
+                        if ci < m_coarse && cj < m_coarse {
+                            coo.push(frow, cidx(ci, cj), 0.25).expect("bounds");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Full-weighting restriction R = ¼·Pᵀ (the transpose scaling that keeps
+/// the Galerkin coarse operator consistent with rediscretization for the
+/// 5-point Laplacian).
+pub fn restriction(m_coarse: usize) -> CsrMatrix {
+    rsparse::ops::scale(0.25, &prolongation(m_coarse).transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarsening_arithmetic() {
+        assert_eq!(coarsen_m(7).unwrap(), 3);
+        assert_eq!(coarsen_m(31).unwrap(), 15);
+        assert!(coarsen_m(8).is_err());
+        assert!(coarsen_m(1).is_err());
+    }
+
+    #[test]
+    fn prolongation_shape_and_row_sums() {
+        let p = prolongation(3);
+        assert_eq!(p.shape(), (49, 9));
+        // Interior fine rows interpolate a partition of unity (row sum 1);
+        // rows whose stencil touches the boundary sum to less.
+        let ones = vec![1.0; 9];
+        let at_coarse_one = p.matvec(&ones).unwrap();
+        let m_fine = 7;
+        for fi in 1..m_fine - 1 {
+            for fj in 1..m_fine - 1 {
+                let v = at_coarse_one[fi * m_fine + fj];
+                assert!((v - 1.0).abs() < 1e-14, "({fi},{fj}): {v}");
+            }
+        }
+        // Corner fine point (0,0) only sees coarse (0,0) with weight 1/4.
+        assert!((at_coarse_one[0] - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn coincident_points_are_injected_exactly() {
+        let m_c = 3;
+        let p = prolongation(m_c);
+        let m_f = 7;
+        let mut e = vec![0.0; 9];
+        e[4] = 1.0; // coarse centre (1,1)
+        let fine = p.matvec(&e).unwrap();
+        // Fine (3,3) coincides with coarse (1,1).
+        assert_eq!(fine[3 * m_f + 3], 1.0);
+        // Fine (3,2): horizontal midpoint between coarse (1,0) and (1,1).
+        assert_eq!(fine[3 * m_f + 2], 0.5);
+        // Fine (2,2): centre among four coarse points incl. (1,1).
+        assert_eq!(fine[2 * m_f + 2], 0.25);
+    }
+
+    #[test]
+    fn restriction_is_quarter_transpose() {
+        let p = prolongation(3);
+        let r = restriction(3);
+        assert_eq!(r.shape(), (9, 49));
+        let pt = p.transpose();
+        for (row, col, v) in r.iter() {
+            assert!((v - 0.25 * pt.get(row, col)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn galerkin_coarse_operator_satisfies_variational_property() {
+        // With R = ¼·Pᵀ, the Galerkin operator obeys
+        // ⟨A_c·u, v⟩ = ¼·⟨A_f·P·u, P·v⟩ for all coarse u, v — the defining
+        // identity of variational coarsening. (The stencil itself becomes
+        // 9-point: bilinear interpolation of the 5-point operator.)
+        let m_c = 3;
+        let a_f = rsparse::generate::laplacian_2d(7);
+        let p = prolongation(m_c);
+        let r = restriction(m_c);
+        let a_c = rsparse::ops::triple_product(&r, &a_f, &p).unwrap();
+        assert_eq!(a_c.shape(), (9, 9));
+        for seed in 0..4 {
+            let u = rsparse::generate::random_vector(9, seed);
+            let v = rsparse::generate::random_vector(9, seed + 100);
+            let lhs = rsparse::dense::dot(&a_c.matvec(&u).unwrap(), &v);
+            let pu = p.matvec(&u).unwrap();
+            let pv = p.matvec(&v).unwrap();
+            let rhs = 0.25 * rsparse::dense::dot(&a_f.matvec(&pu).unwrap(), &pv);
+            assert!((lhs - rhs).abs() < 1e-11 * (1.0 + rhs.abs()), "{lhs} vs {rhs}");
+        }
+        // SPD fine operator + full-rank P ⇒ symmetric coarse operator.
+        let at = a_c.transpose();
+        for (rr, cc, v) in a_c.iter() {
+            assert!((at.get(rr, cc) - v).abs() < 1e-12);
+        }
+        // Diagonal stays positive.
+        for d in a_c.diagonal().unwrap() {
+            assert!(d > 0.0);
+        }
+    }
+}

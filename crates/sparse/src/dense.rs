@@ -1,0 +1,304 @@
+//! Dense kernels: BLAS-1 style vector operations and a small dense matrix
+//! with an LU solve, used as the reference implementation in tests and as
+//! the coarsest-grid solver in multigrid.
+
+use crate::error::{SparseError, SparseResult};
+
+/// Dot product ⟨x, y⟩.
+///
+/// # Panics
+/// Panics in debug builds if lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // Chunked accumulation: lets LLVM vectorize and improves associativity
+    // stability versus a naive serial fold.
+    const LANES: usize = 8;
+    let mut acc = [0.0f64; LANES];
+    let chunks = x.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            acc[l] += x[base + l] * y[base + l];
+        }
+    }
+    let mut s: f64 = acc.iter().sum();
+    for i in chunks * LANES..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// y ← a·x + y.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// y ← x + b·y (the "xpby" update GMRES and BiCG variants use).
+#[inline]
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// x ← a·x.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= a;
+    }
+}
+
+/// Euclidean norm ‖x‖₂.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Max norm ‖x‖∞.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, &v| m.max(v.abs()))
+}
+
+/// 1-norm ‖x‖₁.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// y ← x (copy helper that asserts shapes).
+#[inline]
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    y.copy_from_slice(x);
+}
+
+/// A row-major dense matrix. Deliberately minimal: it exists to provide
+/// ground truth for sparse kernels and a coarse-grid direct solve, not to
+/// compete with a real dense library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_row_major(rows: usize, cols: usize, data: &[f64]) -> SparseResult<Self> {
+        if data.len() != rows * cols {
+            return Err(SparseError::LengthMismatch {
+                what: "dense data",
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data: data.to_vec() })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major storage.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// y = A·x.
+    pub fn matvec(&self, x: &[f64]) -> SparseResult<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(SparseError::LengthMismatch {
+                what: "matvec input",
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        Ok((0..self.rows).map(|i| dot(self.row(i), x)).collect())
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        norm2(&self.data)
+    }
+
+    /// Solve A·x = b by LU with partial pivoting (in a copy). This is the
+    /// reference solver every sparse solver in the workspace is tested
+    /// against.
+    pub fn solve(&self, b: &[f64]) -> SparseResult<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(SparseError::NotSquare { rows: self.rows, cols: self.cols });
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(SparseError::LengthMismatch {
+                what: "rhs",
+                expected: n,
+                got: b.len(),
+            });
+        }
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let mut piv: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let (p, pmax) = (k..n)
+                .map(|i| (i, a[i * n + k].abs()))
+                .fold((k, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            if pmax == 0.0 {
+                return Err(SparseError::ZeroPivot { row: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+                x.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for i in k + 1..n {
+                let l = a[i * n + k] / pivot;
+                if l != 0.0 {
+                    a[i * n + k] = l;
+                    for j in k + 1..n {
+                        a[i * n + j] -= l * a[k * n + j];
+                    }
+                    x[i] -= l * x[k];
+                }
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            for j in k + 1..n {
+                x[k] -= a[k * n + j] * x[j];
+            }
+            x[k] /= a[k * n + k];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blas1_ops() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, vec![4.0, 6.5, 9.0]);
+        scale(2.0, &mut y);
+        assert_eq!(y, vec![8.0, 13.0, 18.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm1(&[-7.0, 2.0]), 9.0);
+    }
+
+    #[test]
+    fn dot_handles_lengths_around_lane_boundaries() {
+        for n in 0..34 {
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let expect: f64 = (0..n).map(|i| (i * i) as f64).sum();
+            assert_eq!(dot(&x, &x), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = DenseMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(a.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn lu_solve_matches_known_solution() {
+        // A deliberately non-symmetric matrix needing pivoting.
+        let a = DenseMatrix::from_row_major(
+            3,
+            3,
+            &[0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, -1.0, 3.0],
+        )
+        .unwrap();
+        let x_true = vec![1.0, -1.0, 2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_reports_zero_pivot() {
+        let a =
+            DenseMatrix::from_row_major(2, 2, &[1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(a.solve(&[1.0, 1.0]), Err(SparseError::ZeroPivot { .. })));
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(DenseMatrix::from_row_major(2, 2, &[1.0]).is_err());
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(a.matvec(&[1.0, 2.0]).is_err());
+        assert!(a.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = DenseMatrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![6.0, 15.0]);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(a[(1, 2)], 6.0);
+    }
+}

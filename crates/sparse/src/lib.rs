@@ -1,0 +1,51 @@
+//! `rsparse` — sparse linear-algebra substrate for the CCA-LISI
+//! reproduction.
+//!
+//! The LISI interface (paper §5.3, §7.2) accepts assembled linear systems
+//! in several storage formats — COO, CSR, MSR, VBR and FEM element
+//! contributions — and each underlying solver package keeps its own native
+//! structure. This crate provides:
+//!
+//! * the storage formats themselves ([`CooMatrix`], [`CsrMatrix`],
+//!   [`CscMatrix`], [`MsrMatrix`], [`VbrMatrix`], [`FemAssembly`]) with
+//!   validated construction and conversions between all of them;
+//! * dense kernels ([`dense`]) used by every solver: dot products, axpy,
+//!   norms, and a small dense LU for reference solutions;
+//! * sparse kernels: serial and rayon-parallel SpMV, transpose,
+//!   sparse×sparse products (needed for Galerkin coarse grids), matrix
+//!   addition and scaling;
+//! * MatrixMarket I/O ([`io`]);
+//! * the distributed layer ([`partition`], [`dist`]): block-row partitioned
+//!   matrices and vectors over an [`rcomm`] communicator, with an
+//!   automatically constructed halo-exchange plan for parallel SpMV, and
+//!   reductions for parallel dot products/norms — exactly the data
+//!   distribution LISI assumes (paper §5.4);
+//! * reproducible random test-matrix generators ([`generate`]).
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod dist;
+pub mod error;
+pub mod fem;
+pub mod generate;
+pub mod io;
+pub mod msr;
+pub mod ops;
+pub mod partition;
+pub mod vbr;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use dist::{DistCsrMatrix, DistVector};
+pub use error::{SparseError, SparseResult};
+pub use fem::FemAssembly;
+pub use msr::MsrMatrix;
+pub use partition::BlockRowPartition;
+pub use vbr::VbrMatrix;

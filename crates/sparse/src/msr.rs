@@ -1,0 +1,243 @@
+//! Modified sparse row — the SPARSKIT format LISI's `SparseStruct::MSR`
+//! refers to. A single pair of arrays `(val, ja)` of length `nnz + 1`
+//! stores the diagonal densely in `val[0..n]` and the off-diagonal entries
+//! (values in `val`, column indices in `ja`) after position `n`, with
+//! `ja[0..=n]` doubling as the row pointer array (`ja[0] = n + 1`).
+
+use crate::csr::CsrMatrix;
+use crate::error::{SparseError, SparseResult};
+
+/// A square sparse matrix in MSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsrMatrix {
+    n: usize,
+    /// `val[0..n]`: diagonal; `val[n]`: unused padding; `val[n+1..]`:
+    /// off-diagonal values.
+    val: Vec<f64>,
+    /// `ja[0..=n]`: row pointers into the off-diagonal region;
+    /// `ja[n+1..]`: off-diagonal column indices.
+    ja: Vec<usize>,
+}
+
+impl MsrMatrix {
+    /// Build from the classic `(val, ja)` pair, validating the layout.
+    pub fn from_parts(n: usize, val: Vec<f64>, ja: Vec<usize>) -> SparseResult<Self> {
+        if val.len() != ja.len() {
+            return Err(SparseError::LengthMismatch {
+                what: "MSR val vs ja",
+                expected: ja.len(),
+                got: val.len(),
+            });
+        }
+        if val.len() < n + 1 {
+            return Err(SparseError::LengthMismatch {
+                what: "MSR arrays",
+                expected: n + 1,
+                got: val.len(),
+            });
+        }
+        if ja[0] != n + 1 {
+            return Err(SparseError::MalformedPointers("MSR ja[0] must be n + 1"));
+        }
+        if ja[n] != val.len() {
+            return Err(SparseError::MalformedPointers("MSR ja[n] must be len(val)"));
+        }
+        for i in 0..n {
+            if ja[i + 1] < ja[i] {
+                return Err(SparseError::MalformedPointers("MSR pointers must be non-decreasing"));
+            }
+        }
+        for k in n + 1..ja.len() {
+            if ja[k] >= n {
+                return Err(SparseError::IndexOutOfBounds {
+                    axis: "column",
+                    index: ja[k],
+                    bound: n,
+                });
+            }
+        }
+        // Off-diagonal region must not contain diagonal entries.
+        for i in 0..n {
+            for k in ja[i]..ja[i + 1] {
+                if ja[k] == i {
+                    return Err(SparseError::MalformedPointers(
+                        "MSR off-diagonal region contains a diagonal entry",
+                    ));
+                }
+            }
+        }
+        Ok(MsrMatrix { n, val, ja })
+    }
+
+    /// Matrix order (MSR is inherently square).
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Stored nonzeros: `n` diagonal slots plus the off-diagonal region.
+    /// (MSR always stores the full diagonal, even zeros — a quirk callers
+    /// converting from CSR must accept.)
+    pub fn nnz_stored(&self) -> usize {
+        self.n + (self.val.len() - self.n - 1)
+    }
+
+    /// Borrow `(val, ja)`.
+    pub fn parts(&self) -> (&[f64], &[usize]) {
+        (&self.val, &self.ja)
+    }
+
+    /// Diagonal slice.
+    pub fn diagonal(&self) -> &[f64] {
+        &self.val[..self.n]
+    }
+
+    /// y = A·x.
+    pub fn matvec(&self, x: &[f64]) -> SparseResult<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(SparseError::LengthMismatch {
+                what: "matvec input",
+                expected: self.n,
+                got: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut acc = self.val[i] * x[i];
+            for k in self.ja[i]..self.ja[i + 1] {
+                acc += self.val[k] * x[self.ja[k]];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Convert from CSR. The CSR matrix must be square; missing diagonal
+    /// entries become explicit zeros (MSR stores the diagonal densely).
+    pub fn from_csr(a: &CsrMatrix) -> SparseResult<Self> {
+        let (rows, cols) = a.shape();
+        if rows != cols {
+            return Err(SparseError::NotSquare { rows, cols });
+        }
+        let n = rows;
+        let off_nnz = a.iter().filter(|&(r, c, _)| r != c).count();
+        let mut val = vec![0.0f64; n + 1 + off_nnz];
+        let mut ja = vec![0usize; n + 1 + off_nnz];
+        ja[0] = n + 1;
+        let mut pos = n + 1;
+        for i in 0..n {
+            let (cols_i, vals_i) = a.row(i);
+            for (&c, &v) in cols_i.iter().zip(vals_i) {
+                if c == i {
+                    val[i] = v;
+                } else {
+                    val[pos] = v;
+                    ja[pos] = c;
+                    pos += 1;
+                }
+            }
+            ja[i + 1] = pos;
+        }
+        Ok(MsrMatrix { n, val, ja })
+    }
+
+    /// Convert to CSR. Diagonal zeros are dropped (CSR stores only true
+    /// nonzeros), so `from_csr ∘ to_csr` is the identity exactly when the
+    /// original diagonal had no explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.n;
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz_stored());
+        let mut values = Vec::with_capacity(self.nnz_stored());
+        for i in 0..n {
+            // Merge off-diagonal (sorted or not) with the diagonal entry,
+            // emitting sorted columns. Off-diagonal order inside MSR is not
+            // guaranteed, so collect and sort.
+            let mut row: Vec<(usize, f64)> = (self.ja[i]..self.ja[i + 1])
+                .map(|k| (self.ja[k], self.val[k]))
+                .collect();
+            if self.val[i] != 0.0 {
+                row.push((i, self.val[i]));
+            }
+            row.sort_unstable_by_key(|&(c, _)| c);
+            for (c, v) in row {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        CsrMatrix::from_parts_unchecked(n, n, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// [ 4 1 0 ]
+    /// [ 1 4 1 ]
+    /// [ 0 1 4 ]
+    fn tridiag_csr() -> CsrMatrix {
+        CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![4.0, 1.0, 1.0, 4.0, 1.0, 1.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_msr_round_trip() {
+        let a = tridiag_csr();
+        let m = MsrMatrix::from_csr(&a).unwrap();
+        assert_eq!(m.order(), 3);
+        assert_eq!(m.diagonal(), &[4.0, 4.0, 4.0]);
+        assert_eq!(m.nnz_stored(), 7);
+        assert_eq!(m.to_csr(), a);
+    }
+
+    #[test]
+    fn matvec_matches_csr() {
+        let a = tridiag_csr();
+        let m = MsrMatrix::from_csr(&a).unwrap();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x).unwrap(), a.matvec(&x).unwrap());
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn layout_validation() {
+        // ja[0] wrong.
+        assert!(MsrMatrix::from_parts(1, vec![1.0, 0.0], vec![0, 2]).is_err());
+        // ja[n] must equal len.
+        assert!(MsrMatrix::from_parts(1, vec![1.0, 0.0], vec![2, 9]).is_err());
+        // Minimal valid 1x1: diagonal only.
+        let m = MsrMatrix::from_parts(1, vec![5.0, 0.0], vec![2, 2]).unwrap();
+        assert_eq!(m.matvec(&[2.0]).unwrap(), vec![10.0]);
+        // Off-diagonal region containing a diagonal entry is rejected.
+        assert!(MsrMatrix::from_parts(
+            2,
+            vec![1.0, 1.0, 0.0, 9.0],
+            vec![3, 4, 4, 0],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rectangular_csr_is_rejected() {
+        let a = CsrMatrix::from_parts(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();
+        assert!(MsrMatrix::from_csr(&a).is_err());
+    }
+
+    #[test]
+    fn zero_diagonal_is_stored_densely_but_dropped_on_csr() {
+        // [ 0 2 ]
+        // [ 0 5 ]
+        let a = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 1], vec![2.0, 5.0]).unwrap();
+        let m = MsrMatrix::from_csr(&a).unwrap();
+        assert_eq!(m.diagonal(), &[0.0, 5.0]);
+        assert_eq!(m.nnz_stored(), 3); // dense diagonal (2) + 1 off-diag
+        assert_eq!(m.to_csr(), a); // zero diagonal dropped again
+    }
+}

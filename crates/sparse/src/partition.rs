@@ -1,0 +1,155 @@
+//! Block-row partitioning — the data distribution LISI assumes (paper
+//! §5.4): global rows are split into contiguous blocks, one per rank, the
+//! layout `setStartRow` / `setLocalRows` describe.
+
+use crate::error::{SparseError, SparseResult};
+
+/// A contiguous block-row partition of `0..global_rows` across `parts`
+/// owners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRowPartition {
+    /// `offsets[r]..offsets[r+1]` is rank r's row range; `parts + 1`
+    /// entries, first 0, last `global_rows`.
+    offsets: Vec<usize>,
+}
+
+impl BlockRowPartition {
+    /// Even partition: the first `global_rows % parts` ranks get one extra
+    /// row — PETSc's default `PETSC_DECIDE` layout.
+    pub fn even(global_rows: usize, parts: usize) -> Self {
+        assert!(parts > 0, "partition needs at least one part");
+        let base = global_rows / parts;
+        let extra = global_rows % parts;
+        let mut offsets = Vec::with_capacity(parts + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for r in 0..parts {
+            acc += base + usize::from(r < extra);
+            offsets.push(acc);
+        }
+        BlockRowPartition { offsets }
+    }
+
+    /// Build from per-rank row counts.
+    pub fn from_counts(counts: &[usize]) -> SparseResult<Self> {
+        if counts.is_empty() {
+            return Err(SparseError::BadBlockPartition("no parts".into()));
+        }
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        offsets.push(0);
+        let mut acc = 0usize;
+        for &c in counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        Ok(BlockRowPartition { offsets })
+    }
+
+    /// Build from explicit offsets (must start at 0 and be non-decreasing).
+    pub fn from_offsets(offsets: Vec<usize>) -> SparseResult<Self> {
+        if offsets.len() < 2 || offsets[0] != 0 {
+            return Err(SparseError::BadBlockPartition(
+                "offsets must start at 0 and describe at least one part".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[1] < w[0]) {
+            return Err(SparseError::BadBlockPartition("offsets must be non-decreasing".into()));
+        }
+        Ok(BlockRowPartition { offsets })
+    }
+
+    /// Number of parts (ranks).
+    pub fn parts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of global rows.
+    pub fn global_rows(&self) -> usize {
+        *self.offsets.last().expect("validated")
+    }
+
+    /// Rank r's half-open row range.
+    pub fn range(&self, rank: usize) -> std::ops::Range<usize> {
+        self.offsets[rank]..self.offsets[rank + 1]
+    }
+
+    /// First global row owned by `rank` (LISI's `setStartRow`).
+    pub fn start_row(&self, rank: usize) -> usize {
+        self.offsets[rank]
+    }
+
+    /// Number of rows owned by `rank` (LISI's `setLocalRows`).
+    pub fn local_rows(&self, rank: usize) -> usize {
+        self.offsets[rank + 1] - self.offsets[rank]
+    }
+
+    /// Which rank owns global row `row`? Binary search over offsets.
+    pub fn owner(&self, row: usize) -> SparseResult<usize> {
+        if row >= self.global_rows() {
+            return Err(SparseError::IndexOutOfBounds {
+                axis: "row",
+                index: row,
+                bound: self.global_rows(),
+            });
+        }
+        // partition_point returns the first offset > row; owner is one less.
+        Ok(self.offsets.partition_point(|&o| o <= row) - 1)
+    }
+
+    /// Borrow the offsets array.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition_spreads_remainder_first() {
+        let p = BlockRowPartition::even(10, 4);
+        assert_eq!(p.offsets(), &[0, 3, 6, 8, 10]);
+        assert_eq!(p.parts(), 4);
+        assert_eq!(p.global_rows(), 10);
+        assert_eq!(p.local_rows(0), 3);
+        assert_eq!(p.local_rows(3), 2);
+        assert_eq!(p.start_row(2), 6);
+        assert_eq!(p.range(1), 3..6);
+    }
+
+    #[test]
+    fn owner_lookup_is_exact() {
+        let p = BlockRowPartition::even(10, 4);
+        let owners: Vec<usize> = (0..10).map(|r| p.owner(r).unwrap()).collect();
+        assert_eq!(owners, vec![0, 0, 0, 1, 1, 1, 2, 2, 3, 3]);
+        assert!(p.owner(10).is_err());
+    }
+
+    #[test]
+    fn empty_parts_are_allowed() {
+        // More ranks than rows: trailing ranks own nothing.
+        let p = BlockRowPartition::even(2, 4);
+        assert_eq!(p.offsets(), &[0, 1, 2, 2, 2]);
+        assert_eq!(p.local_rows(3), 0);
+        assert_eq!(p.owner(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn from_counts_and_offsets_round_trip() {
+        let p = BlockRowPartition::from_counts(&[4, 0, 6]).unwrap();
+        assert_eq!(p.offsets(), &[0, 4, 4, 10]);
+        let q = BlockRowPartition::from_offsets(vec![0, 4, 4, 10]).unwrap();
+        assert_eq!(p, q);
+        assert!(BlockRowPartition::from_offsets(vec![1, 2]).is_err());
+        assert!(BlockRowPartition::from_offsets(vec![0, 3, 2]).is_err());
+        assert!(BlockRowPartition::from_offsets(vec![0]).is_err());
+        assert!(BlockRowPartition::from_counts(&[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_panics() {
+        let _ = BlockRowPartition::even(5, 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Variable block row — LISI's `SparseStruct::VBR`. Rows and columns are
+//! grouped into variable-sized blocks; any block containing a nonzero is
+//! stored as a dense column-major sub-matrix. The layout follows the
+//! classic SPARSKIT/Aztec convention:
+//!
+//! * `rpntr[0..=nbr]` — first scalar row of each block row;
+//! * `cpntr[0..=nbc]` — first scalar column of each block column;
+//! * `bptr[0..=nbr]`  — extent of each block row inside `bindx`;
+//! * `bindx`          — block-column index of every stored block;
+//! * `indx[0..=bnnz]` — offset of every stored block inside `val`;
+//! * `val`            — the dense blocks, column-major within a block.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{SparseError, SparseResult};
+
+/// A sparse matrix in VBR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VbrMatrix {
+    rpntr: Vec<usize>,
+    cpntr: Vec<usize>,
+    bptr: Vec<usize>,
+    bindx: Vec<usize>,
+    indx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl VbrMatrix {
+    /// Build from raw parts, validating the full layout.
+    pub fn from_parts(
+        rpntr: Vec<usize>,
+        cpntr: Vec<usize>,
+        bptr: Vec<usize>,
+        bindx: Vec<usize>,
+        indx: Vec<usize>,
+        val: Vec<f64>,
+    ) -> SparseResult<Self> {
+        let check_partition = |p: &[usize], what: &str| -> SparseResult<()> {
+            if p.is_empty() || p[0] != 0 {
+                return Err(SparseError::BadBlockPartition(format!(
+                    "{what} must start at 0"
+                )));
+            }
+            if p.windows(2).any(|w| w[1] <= w[0]) {
+                return Err(SparseError::BadBlockPartition(format!(
+                    "{what} must be strictly increasing"
+                )));
+            }
+            Ok(())
+        };
+        check_partition(&rpntr, "rpntr")?;
+        check_partition(&cpntr, "cpntr")?;
+        let nbr = rpntr.len() - 1;
+        let nbc = cpntr.len() - 1;
+        if bptr.len() != nbr + 1 {
+            return Err(SparseError::LengthMismatch {
+                what: "VBR bptr",
+                expected: nbr + 1,
+                got: bptr.len(),
+            });
+        }
+        if bptr[0] != 0 || *bptr.last().expect("nonempty") != bindx.len() {
+            return Err(SparseError::MalformedPointers("bptr bounds"));
+        }
+        if bptr.windows(2).any(|w| w[1] < w[0]) {
+            return Err(SparseError::MalformedPointers("bptr must be non-decreasing"));
+        }
+        if indx.len() != bindx.len() + 1 {
+            return Err(SparseError::LengthMismatch {
+                what: "VBR indx",
+                expected: bindx.len() + 1,
+                got: indx.len(),
+            });
+        }
+        if indx[0] != 0 || *indx.last().expect("nonempty") != val.len() {
+            return Err(SparseError::MalformedPointers("indx bounds"));
+        }
+        // Every stored block's extent must match its block dimensions.
+        for br in 0..nbr {
+            let brows = rpntr[br + 1] - rpntr[br];
+            for k in bptr[br]..bptr[br + 1] {
+                let bc = bindx[k];
+                if bc >= nbc {
+                    return Err(SparseError::IndexOutOfBounds {
+                        axis: "block column",
+                        index: bc,
+                        bound: nbc,
+                    });
+                }
+                let bcols = cpntr[bc + 1] - cpntr[bc];
+                if indx[k + 1] - indx[k] != brows * bcols {
+                    return Err(SparseError::BadBlockPartition(format!(
+                        "block ({br},{bc}) has {} values, expected {}",
+                        indx[k + 1] - indx[k],
+                        brows * bcols
+                    )));
+                }
+            }
+        }
+        Ok(VbrMatrix { rpntr, cpntr, bptr, bindx, indx, val })
+    }
+
+    /// Scalar shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (
+            *self.rpntr.last().expect("validated"),
+            *self.cpntr.last().expect("validated"),
+        )
+    }
+
+    /// Block shape `(block_rows, block_cols)`.
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.rpntr.len() - 1, self.cpntr.len() - 1)
+    }
+
+    /// Number of stored dense blocks.
+    pub fn stored_blocks(&self) -> usize {
+        self.bindx.len()
+    }
+
+    /// Number of stored scalar values (including explicit zeros inside
+    /// blocks — the padding cost of a block format).
+    pub fn stored_values(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Construct from CSR given block partitions; every block with at
+    /// least one nonzero is stored densely.
+    pub fn from_csr(a: &CsrMatrix, rpntr: &[usize], cpntr: &[usize]) -> SparseResult<Self> {
+        let (rows, cols) = a.shape();
+        if rpntr.last() != Some(&rows) || cpntr.last() != Some(&cols) {
+            return Err(SparseError::BadBlockPartition(
+                "partitions must cover the matrix".into(),
+            ));
+        }
+        let nbr = rpntr.len() - 1;
+        let nbc = cpntr.len() - 1;
+        // Map each scalar column to its block column.
+        let mut col_block = vec![0usize; cols];
+        for bc in 0..nbc {
+            for c in cpntr[bc]..cpntr[bc + 1] {
+                col_block[c] = bc;
+            }
+        }
+        let mut bptr = vec![0usize; nbr + 1];
+        let mut bindx = Vec::new();
+        let mut indx = vec![0usize];
+        let mut val = Vec::new();
+        for br in 0..nbr {
+            let brows = rpntr[br + 1] - rpntr[br];
+            // Which block columns are populated in this block row?
+            let mut present = vec![false; nbc];
+            for r in rpntr[br]..rpntr[br + 1] {
+                for &c in a.row(r).0 {
+                    present[col_block[c]] = true;
+                }
+            }
+            for bc in 0..nbc {
+                if !present[bc] {
+                    continue;
+                }
+                let bcols = cpntr[bc + 1] - cpntr[bc];
+                let base = val.len();
+                val.resize(base + brows * bcols, 0.0);
+                for (lr, r) in (rpntr[br]..rpntr[br + 1]).enumerate() {
+                    let (cs, vs) = a.row(r);
+                    for (&c, &v) in cs.iter().zip(vs) {
+                        if col_block[c] == bc {
+                            let lc = c - cpntr[bc];
+                            // Column-major within the block.
+                            val[base + lc * brows + lr] = v;
+                        }
+                    }
+                }
+                bindx.push(bc);
+                indx.push(val.len());
+            }
+            bptr[br + 1] = bindx.len();
+        }
+        VbrMatrix::from_parts(rpntr.to_vec(), cpntr.to_vec(), bptr, bindx, indx, val)
+    }
+
+    /// Convert to CSR, dropping the explicit zeros block padding added.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let (rows, cols) = self.shape();
+        let mut coo = CooMatrix::new(rows, cols);
+        let nbr = self.rpntr.len() - 1;
+        for br in 0..nbr {
+            let brows = self.rpntr[br + 1] - self.rpntr[br];
+            for k in self.bptr[br]..self.bptr[br + 1] {
+                let bc = self.bindx[k];
+                let bcols = self.cpntr[bc + 1] - self.cpntr[bc];
+                let base = self.indx[k];
+                for lc in 0..bcols {
+                    for lr in 0..brows {
+                        let v = self.val[base + lc * brows + lr];
+                        if v != 0.0 {
+                            coo.push(self.rpntr[br] + lr, self.cpntr[bc] + lc, v)
+                                .expect("indices valid by construction");
+                        }
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// y = A·x using block kernels.
+    pub fn matvec(&self, x: &[f64]) -> SparseResult<Vec<f64>> {
+        let (rows, cols) = self.shape();
+        if x.len() != cols {
+            return Err(SparseError::LengthMismatch {
+                what: "matvec input",
+                expected: cols,
+                got: x.len(),
+            });
+        }
+        let mut y = vec![0.0; rows];
+        let nbr = self.rpntr.len() - 1;
+        for br in 0..nbr {
+            let r0 = self.rpntr[br];
+            let brows = self.rpntr[br + 1] - r0;
+            for k in self.bptr[br]..self.bptr[br + 1] {
+                let bc = self.bindx[k];
+                let c0 = self.cpntr[bc];
+                let bcols = self.cpntr[bc + 1] - c0;
+                let base = self.indx[k];
+                for lc in 0..bcols {
+                    let xc = x[c0 + lc];
+                    if xc != 0.0 {
+                        let col = &self.val[base + lc * brows..base + (lc + 1) * brows];
+                        for (lr, &v) in col.iter().enumerate() {
+                            y[r0 + lr] += v * xc;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4×4 with 2×2 blocks:
+    /// [ 1 2 | 0 0 ]
+    /// [ 3 4 | 0 0 ]
+    /// [ 0 0 | 5 0 ]
+    /// [ 0 6 | 0 7 ]
+    fn sample_csr() -> CsrMatrix {
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            &[0, 0, 1, 1, 2, 3, 3],
+            &[0, 1, 0, 1, 2, 1, 3],
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn from_csr_stores_touched_blocks_only() {
+        let a = sample_csr();
+        let v = VbrMatrix::from_csr(&a, &[0, 2, 4], &[0, 2, 4]).unwrap();
+        assert_eq!(v.shape(), (4, 4));
+        assert_eq!(v.block_shape(), (2, 2));
+        // Blocks (0,0), (1,0) (because of the 6 at (3,1)), (1,1).
+        assert_eq!(v.stored_blocks(), 3);
+        assert_eq!(v.stored_values(), 12);
+    }
+
+    #[test]
+    fn vbr_round_trips_through_csr() {
+        let a = sample_csr();
+        let v = VbrMatrix::from_csr(&a, &[0, 2, 4], &[0, 2, 4]).unwrap();
+        assert_eq!(v.to_csr(), a);
+    }
+
+    #[test]
+    fn uneven_blocks_round_trip() {
+        let a = sample_csr();
+        let v = VbrMatrix::from_csr(&a, &[0, 1, 4], &[0, 3, 4]).unwrap();
+        assert_eq!(v.to_csr(), a);
+    }
+
+    #[test]
+    fn matvec_matches_csr() {
+        let a = sample_csr();
+        let v = VbrMatrix::from_csr(&a, &[0, 2, 4], &[0, 2, 4]).unwrap();
+        let x = vec![1.0, -1.0, 2.0, 0.5];
+        assert_eq!(v.matvec(&x).unwrap(), a.matvec(&x).unwrap());
+        assert!(v.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn partition_validation() {
+        let a = sample_csr();
+        // Partition not covering the matrix.
+        assert!(VbrMatrix::from_csr(&a, &[0, 2], &[0, 2, 4]).is_err());
+        // Non-monotone partition.
+        assert!(VbrMatrix::from_parts(
+            vec![0, 2, 1],
+            vec![0, 1],
+            vec![0, 0, 0],
+            vec![],
+            vec![0],
+            vec![],
+        )
+        .is_err());
+        // Block size mismatch in indx.
+        assert!(VbrMatrix::from_parts(
+            vec![0, 2],
+            vec![0, 2],
+            vec![0, 1],
+            vec![0],
+            vec![0, 3],
+            vec![1.0, 2.0, 3.0],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Fuzz/property tests on the MatrixMarket reader: hostile input must
+//! produce typed errors, never panics, and valid input must round-trip.
+
+use proptest::prelude::*;
+use rsparse::io::{read_matrix, read_vector, write_matrix, write_vector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reader_never_panics_on_arbitrary_text(input in ".{0,400}") {
+        let _ = read_matrix(std::io::Cursor::new(input.clone()));
+        let _ = read_vector(std::io::Cursor::new(input));
+    }
+
+    #[test]
+    fn reader_never_panics_on_mm_flavoured_soup(
+        lines in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "%%MatrixMarket matrix coordinate real general",
+                "%%MatrixMarket matrix coordinate real symmetric",
+                "%%MatrixMarket matrix array real general",
+                "% comment",
+                "",
+                "3 3 2",
+                "3 1",
+                "1 1 1.0",
+                "2 2",
+                "0 0 0.0",
+                "9 9 9.9",
+                "-1 2 3",
+                "a b c",
+                "1.5",
+            ]),
+            0..12,
+        )
+    ) {
+        let input = lines.join("\n");
+        let _ = read_matrix(std::io::Cursor::new(input.clone()));
+        let _ = read_vector(std::io::Cursor::new(input));
+    }
+
+    #[test]
+    fn valid_matrices_round_trip(
+        n in 1usize..12,
+        entries in proptest::collection::vec((0usize..12, 0usize..12, -1e6f64..1e6), 0..30),
+    ) {
+        let mut coo = rsparse::CooMatrix::new(n, n);
+        for (r, c, v) in entries {
+            if r < n && c < n {
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &a).unwrap();
+        let back = read_matrix(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn valid_vectors_round_trip(v in proptest::collection::vec(-1e9f64..1e9, 0..40)) {
+        let mut buf = Vec::new();
+        write_vector(&mut buf, &v).unwrap();
+        let back = read_vector(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}

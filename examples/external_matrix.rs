@@ -1,0 +1,96 @@
+//! Solve an external MatrixMarket system through LISI — the "bring your
+//! own matrix" workflow. Pass a `.mtx` path (plus optionally a rhs
+//! `.mtx`) on the command line, or run bare to use a generated demo file.
+//! The solver package and parameters come from the command line too, so
+//! this doubles as a small driver utility:
+//!
+//! ```text
+//! cargo run --release --example external_matrix -- \
+//!     [matrix.mtx] [--solver rksp|raztec|rslu] [--ranks N] [--key value]...
+//! ```
+
+use cca_lisi::comm::Universe;
+use cca_lisi::lisi::{
+    RaztecAdapter, RkspAdapter, RsluAdapter, SolveReport, SparseSolverPort, SparseStruct,
+    STATUS_LEN,
+};
+use cca_lisi::sparse::BlockRowPartition;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut matrix_path: Option<String> = None;
+    let mut package = "rksp".to_string();
+    let mut ranks = 2usize;
+    let mut params: Vec<(String, String)> = vec![("tol".into(), "1e-10".into())];
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--solver" => package = it.next().expect("--solver needs a value"),
+            "--ranks" => ranks = it.next().expect("--ranks needs a value").parse().unwrap(),
+            key if key.starts_with("--") => {
+                let v = it.next().unwrap_or_else(|| "true".into());
+                params.push((key.trim_start_matches("--").to_string(), v));
+            }
+            path => matrix_path = Some(path.to_string()),
+        }
+    }
+
+    // Load or fabricate the system.
+    let (a, b, note) = match &matrix_path {
+        Some(p) => {
+            let a = cca_lisi::sparse::io::read_matrix_file(p).expect("readable MatrixMarket file");
+            let b = vec![1.0; a.rows()];
+            (a, b, format!("loaded {p}"))
+        }
+        None => {
+            // Write a demo file first so the full IO path is exercised.
+            let dir = std::env::temp_dir().join("cca_lisi_external");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("demo.mtx");
+            let demo = cca_lisi::sparse::generate::random_diag_dominant(200, 4, 2024);
+            cca_lisi::sparse::io::write_matrix_file(&path, &demo).unwrap();
+            let a = cca_lisi::sparse::io::read_matrix_file(&path).unwrap();
+            let b = vec![1.0; a.rows()];
+            (a, b, format!("generated + round-tripped {}", path.display()))
+        }
+    };
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "system must be square");
+    println!("{note}: {n} unknowns, {} nonzeros, package = {package}, ranks = {ranks}", a.nnz());
+
+    let results = Universe::run(ranks, |comm| {
+        let part = BlockRowPartition::even(n, comm.size());
+        let range = part.range(comm.rank());
+        let local = a.row_block(range.start, range.end).unwrap();
+        let solver: Box<dyn SparseSolverPort> = match package.as_str() {
+            "rksp" => Box::new(RkspAdapter::new()),
+            "raztec" => Box::new(RaztecAdapter::new()),
+            "rslu" => Box::new(RsluAdapter::new()),
+            other => panic!("unknown package '{other}' (rksp|raztec|rslu)"),
+        };
+        solver.initialize(comm.dup().unwrap()).unwrap();
+        solver.set_start_row(range.start).unwrap();
+        solver.set_local_rows(range.len()).unwrap();
+        solver.set_global_cols(n).unwrap();
+        for (k, v) in &params {
+            solver.set(k, v).unwrap();
+        }
+        solver
+            .setup_matrix(local.values(), local.row_ptr(), local.col_idx(), SparseStruct::Csr)
+            .unwrap();
+        solver.setup_rhs(&b[range.clone()], 1).unwrap();
+        let mut x = vec![0.0; range.len()];
+        let mut status = [0.0; STATUS_LEN];
+        solver.solve(&mut x, &mut status).unwrap();
+        (SolveReport::from_slice(&status), comm.allgatherv(&x).unwrap())
+    });
+
+    let (report, x) = &results[0];
+    let r = cca_lisi::sparse::ops::residual(&a, x, &b).unwrap();
+    let rel = cca_lisi::sparse::dense::norm2(&r) / cca_lisi::sparse::dense::norm2(&b);
+    println!("converged         : {}", report.converged);
+    println!("iterations        : {}", report.iterations);
+    println!("relative residual : {rel:.3e}");
+    assert!(report.converged && rel < 1e-8);
+    println!("OK");
+}

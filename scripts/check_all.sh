@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification sweep: build, tests, examples, doc build, benches
+# (compile only). The experiment regeneration itself is table1/figure5
+# (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (all targets) =="
+cargo build --workspace --all-targets
+
+echo "== tests =="
+RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace
+
+echo "== examples =="
+for e in quickstart solver_switching matrix_free multigrid_recursion \
+         usage_scenarios formats_tour external_matrix; do
+  echo "-- $e"
+  cargo run --release --example "$e" >/dev/null
+done
+
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== bench compile =="
+cargo bench --workspace --no-run
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,160 @@
+//! Failure injection through the LISI interface: the error contract must
+//! hold across packages — typed errors with negative SIDL codes, no
+//! panics, and failures visible on every rank of the cohort.
+
+use cca_lisi::comm::Universe;
+use cca_lisi::lisi::{
+    LisiError, RaztecAdapter, RkspAdapter, RsluAdapter, SparseSolverPort, SparseStruct,
+    STATUS_LEN,
+};
+
+fn adapters() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn SparseSolverPort> + Sync>)> {
+    vec![
+        ("rksp", Box::new(|| Box::new(RkspAdapter::new()))),
+        ("raztec", Box::new(|| Box::new(RaztecAdapter::new()))),
+        ("rslu", Box::new(|| Box::new(RsluAdapter::new()))),
+    ]
+}
+
+#[test]
+fn solve_before_initialize_is_not_initialized() {
+    for (name, make) in adapters() {
+        let s = make();
+        s.set_start_row(0).unwrap();
+        s.set_local_rows(2).unwrap();
+        s.set_global_cols(2).unwrap();
+        s.setup_matrix_coo(&[1.0, 1.0], &[0, 1], &[0, 1]).unwrap();
+        s.setup_rhs(&[1.0, 1.0], 1).unwrap();
+        let mut x = [0.0; 2];
+        let mut st = [0.0; STATUS_LEN];
+        let err = s.solve(&mut x, &mut st).unwrap_err();
+        assert_eq!(err.code(), LisiError::NotInitialized.code(), "{name}");
+    }
+}
+
+#[test]
+fn setup_matrix_before_distribution_setters_is_a_phase_error() {
+    for (name, make) in adapters() {
+        let s = make();
+        let err = s.setup_matrix_coo(&[1.0], &[0], &[0]).unwrap_err();
+        assert!(matches!(err, LisiError::BadPhase(_)), "{name}: {err:?}");
+    }
+}
+
+#[test]
+fn wrong_buffer_sizes_are_invalid_input() {
+    let out = Universe::run(1, |comm| {
+        let mut results = Vec::new();
+        for (name, make) in adapters() {
+            let s = make();
+            s.initialize(comm.dup().unwrap()).unwrap();
+            s.set_start_row(0).unwrap();
+            s.set_local_rows(3).unwrap();
+            s.set_global_cols(3).unwrap();
+            // RHS of the wrong length.
+            let rhs_err = s.setup_rhs(&[1.0, 2.0], 1).unwrap_err();
+            // Solution buffer of the wrong length.
+            s.setup_matrix_coo(&[1.0, 1.0, 1.0], &[0, 1, 2], &[0, 1, 2]).unwrap();
+            s.setup_rhs(&[1.0, 2.0, 3.0], 1).unwrap();
+            let mut x = [0.0; 2];
+            let mut st = [0.0; STATUS_LEN];
+            let sol_err = s.solve(&mut x, &mut st).unwrap_err();
+            // Status buffer too short.
+            let mut x3 = [0.0; 3];
+            let mut st_short = [0.0; 2];
+            let st_err = s.solve(&mut x3, &mut st_short).unwrap_err();
+            results.push((
+                name,
+                matches!(rhs_err, LisiError::InvalidInput(_)),
+                matches!(sol_err, LisiError::InvalidInput(_)),
+                matches!(st_err, LisiError::InvalidInput(_)),
+            ));
+        }
+        results
+    });
+    for (name, a, b, c) in &out[0] {
+        assert!(a & b & c, "{name}");
+    }
+}
+
+#[test]
+fn singular_system_fails_cleanly_on_every_rank() {
+    // Zero column ⇒ structurally singular; the direct package must
+    // report failure on ALL ranks (not just the root that factors).
+    let out = Universe::run(3, |comm| {
+        let n = 6;
+        let part = cca_lisi::sparse::BlockRowPartition::even(n, comm.size());
+        let range = part.range(comm.rank());
+        // A = I except column 5 is zero (row 5 empty too).
+        let mut coo = cca_lisi::sparse::CooMatrix::new(range.len(), n);
+        for (lr, g) in range.clone().enumerate() {
+            if g != 5 {
+                coo.push(lr, g, 1.0).unwrap();
+            }
+        }
+        let local = coo.to_csr();
+        let s = RsluAdapter::new();
+        s.initialize(comm.dup().unwrap()).unwrap();
+        s.set_start_row(range.start).unwrap();
+        s.set_local_rows(range.len()).unwrap();
+        s.set_global_cols(n).unwrap();
+        s.setup_matrix(local.values(), local.row_ptr(), local.col_idx(), SparseStruct::Csr)
+            .unwrap();
+        s.setup_rhs(&vec![1.0; range.len()], 1).unwrap();
+        let mut x = vec![0.0; range.len()];
+        let mut st = [0.0; STATUS_LEN];
+        s.solve(&mut x, &mut st).unwrap_err()
+    });
+    for err in out {
+        assert!(matches!(err, LisiError::Package(_)), "{err:?}");
+        assert!(err.to_string().to_lowercase().contains("singular"), "{err}");
+    }
+}
+
+#[test]
+fn nonconvergence_reports_maxits_through_the_status_array() {
+    let out = Universe::run(1, |comm| {
+        let a = cca_lisi::sparse::generate::laplacian_2d(10);
+        let n = 100;
+        let s = RkspAdapter::new();
+        s.initialize(comm.dup().unwrap()).unwrap();
+        s.set_start_row(0).unwrap();
+        s.set_local_rows(n).unwrap();
+        s.set_global_cols(n).unwrap();
+        s.set("solver", "cg").unwrap();
+        s.set("preconditioner", "none").unwrap();
+        s.set_double("tol", 1e-14).unwrap();
+        s.set_int("maxits", 2).unwrap();
+        s.setup_matrix(a.values(), a.row_ptr(), a.col_idx(), SparseStruct::Csr).unwrap();
+        s.setup_rhs(&vec![1.0; n], 1).unwrap();
+        let mut x = vec![0.0; n];
+        let mut st = [0.0; STATUS_LEN];
+        let err = s.solve(&mut x, &mut st).unwrap_err();
+        (err, cca_lisi::lisi::SolveReport::from_slice(&st))
+    });
+    let (err, report) = &out[0];
+    assert!(matches!(err, LisiError::Package(_)));
+    // Even on failure the status array is filled so the application can
+    // inspect what happened — the post-solve contract.
+    assert!(!report.converged);
+    assert_eq!(report.iterations, 2);
+    assert!(report.reason < 0);
+}
+
+#[test]
+fn bad_parameters_surface_before_any_work() {
+    let out = Universe::run(1, |comm| {
+        let s = RaztecAdapter::new();
+        s.initialize(comm.dup().unwrap()).unwrap();
+        s.set_start_row(0).unwrap();
+        s.set_local_rows(1).unwrap();
+        s.set_global_cols(1).unwrap();
+        s.set("tol", "soon").unwrap();
+        s.setup_matrix_coo(&[1.0], &[0], &[0]).unwrap();
+        s.setup_rhs(&[1.0], 1).unwrap();
+        let mut x = [0.0];
+        let mut st = [0.0; STATUS_LEN];
+        s.solve(&mut x, &mut st).unwrap_err()
+    });
+    assert!(matches!(&out[0], LisiError::BadParameter { .. }));
+}

@@ -1,0 +1,51 @@
+//! Smoke tests on the benchmark harness itself: both measurement paths
+//! must run, converge, agree on iteration counts, and produce sane
+//! timings — the preconditions for trusting Table 1 / Figure 5 output.
+
+use lisi_bench::{measure_pair, paper_workload, run_cca, run_native, Package};
+use rcomm::Universe;
+
+#[test]
+fn harness_paths_agree_for_all_packages() {
+    let w = paper_workload(10);
+    for package in Package::ALL {
+        let out = Universe::run(2, |comm| {
+            let n = run_native(comm, package, &w);
+            let c = run_cca(comm, package, &w);
+            (n, c)
+        });
+        let (n, c) = &out[0];
+        assert!(n.converged && c.converged, "{package:?}");
+        assert_eq!(n.iterations, c.iterations, "{package:?}");
+        assert!(n.seconds > 0.0 && c.seconds > 0.0);
+        assert!(n.residual < 1e-6 && c.residual < 1e-6, "{package:?}");
+    }
+}
+
+#[test]
+fn measure_pair_median_is_within_sample_range() {
+    let w = paper_workload(8);
+    let out = Universe::run(2, |comm| {
+        let (native, cca_s, iters) = measure_pair(comm, Package::Rksp, &w, 3);
+        // Sanity on magnitudes: medians positive, iterations match a
+        // directly run solve.
+        let reference = run_native(comm, Package::Rksp, &w);
+        (native, cca_s, iters, reference.iterations)
+    });
+    let (native, cca_s, iters, ref_iters) = out[0];
+    assert!(native > 0.0 && cca_s > 0.0);
+    assert_eq!(iters, ref_iters);
+    // On the same substrate the two paths stay within a generous factor.
+    let ratio = cca_s / native;
+    assert!(ratio > 0.2 && ratio < 5.0, "suspicious ratio {ratio}");
+}
+
+#[test]
+fn workload_nnz_matches_the_paper_formula_for_all_sizes() {
+    for m in [10usize, 50, 200] {
+        let w = paper_workload(m);
+        let (a, _) = w.problem().assemble_global();
+        assert_eq!(a.nnz(), w.nnz());
+        assert_eq!(a.rows(), w.unknowns());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based integration tests on the interface contract: for random
+//! well-conditioned systems, every input format, any index base, any rank
+//! count, and any package must produce the same (correct) solution.
+
+use cca_lisi::comm::Universe;
+use cca_lisi::lisi::{
+    RaztecAdapter, RkspAdapter, RsluAdapter, SparseSolverPort, SparseStruct, STATUS_LEN,
+};
+use cca_lisi::sparse::{generate, BlockRowPartition, MsrMatrix};
+use proptest::prelude::*;
+
+/// Solve a pre-assembled global system through an adapter on `p` ranks,
+/// feeding the matrix in `structure` form with index base `offset`.
+fn solve_via(
+    adapter: &str,
+    p: usize,
+    a: &cca_lisi::sparse::CsrMatrix,
+    b: &[f64],
+    structure: SparseStruct,
+    offset: usize,
+) -> Vec<f64> {
+    let n = a.rows();
+    let out = Universe::run(p, |comm| {
+        let part = BlockRowPartition::even(n, comm.size());
+        let range = part.range(comm.rank());
+        let local = a.row_block(range.start, range.end).unwrap();
+        let solver: Box<dyn SparseSolverPort> = match adapter {
+            "rksp" => Box::new(RkspAdapter::new()),
+            "raztec" => Box::new(RaztecAdapter::new()),
+            "rslu" => Box::new(RsluAdapter::new()),
+            other => panic!("unknown adapter {other}"),
+        };
+        solver.initialize(comm.dup().unwrap()).unwrap();
+        solver.set_start_row(range.start).unwrap();
+        solver.set_local_rows(range.len()).unwrap();
+        solver.set_global_cols(n).unwrap();
+        solver.set("tol", "1e-11").unwrap();
+        match structure {
+            SparseStruct::Csr => {
+                let ptr: Vec<usize> = local.row_ptr().iter().map(|v| v + offset).collect();
+                let col: Vec<usize> = local.col_idx().iter().map(|v| v + offset).collect();
+                solver
+                    .setup_matrix_offset(local.values(), &ptr, &col, SparseStruct::Csr, offset)
+                    .unwrap();
+            }
+            SparseStruct::Coo => {
+                let coo = local.to_coo();
+                let (lr, lc, lv) = coo.triplets();
+                // COO carries *global* row ids through the interface.
+                let gr: Vec<usize> =
+                    lr.iter().map(|r| r + range.start + offset).collect();
+                let gc: Vec<usize> = lc.iter().map(|c| c + offset).collect();
+                solver
+                    .setup_matrix_offset(lv, &gr, &gc, SparseStruct::Coo, offset)
+                    .unwrap();
+            }
+            SparseStruct::Msr => {
+                // Build the local-MSR layout: diagonal entries are the
+                // (start + i) columns.
+                assert_eq!(offset, 0, "test drives MSR at base 0");
+                let local_sq = n == local.rows();
+                let msr_src = if local_sq {
+                    local.clone()
+                } else {
+                    // Generic path: construct MSR-like arrays by hand.
+                    local.clone()
+                };
+                let nrows = msr_src.rows();
+                let mut val = vec![0.0f64; nrows + 1];
+                let mut ja = vec![0usize; nrows + 1];
+                ja[0] = nrows + 1;
+                let mut off_val = Vec::new();
+                let mut off_ja = Vec::new();
+                for i in 0..nrows {
+                    let (cs, vs) = msr_src.row(i);
+                    for (&c, &v) in cs.iter().zip(vs) {
+                        if c == range.start + i {
+                            val[i] = v;
+                        } else {
+                            off_val.push(v);
+                            off_ja.push(c);
+                        }
+                    }
+                    ja[i + 1] = nrows + 1 + off_val.len();
+                }
+                val.extend(off_val);
+                ja.extend(off_ja);
+                solver.setup_matrix(&val, &[], &ja, SparseStruct::Msr).unwrap();
+            }
+            other => panic!("format {other:?} not driven here"),
+        }
+        solver.setup_rhs(&b[range.clone()], 1).unwrap();
+        let mut x = vec![0.0; range.len()];
+        let mut status = [0.0; STATUS_LEN];
+        solver.solve(&mut x, &mut status).unwrap();
+        comm.allgatherv(&x).unwrap()
+    });
+    out.into_iter().next().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn all_packages_agree_on_random_systems(
+        seed in 0u64..5000,
+        p in 1usize..4,
+    ) {
+        let n = 24;
+        let a = generate::random_diag_dominant(n, 3, seed);
+        let x_true = generate::random_vector(n, seed.wrapping_add(1));
+        let b = a.matvec(&x_true).unwrap();
+        for adapter in ["rksp", "raztec", "rslu"] {
+            let x = solve_via(adapter, p, &a, &b, SparseStruct::Csr, 0);
+            for (g, e) in x.iter().zip(&x_true) {
+                prop_assert!((g - e).abs() < 1e-6, "{adapter} p={p}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn formats_and_offsets_are_equivalent(
+        seed in 0u64..5000,
+        p in 1usize..4,
+        offset in 0usize..2,
+    ) {
+        let n = 20;
+        let a = generate::random_diag_dominant(n, 3, seed);
+        let x_true = generate::random_vector(n, seed.wrapping_add(9));
+        let b = a.matvec(&x_true).unwrap();
+        let via_csr = solve_via("rslu", p, &a, &b, SparseStruct::Csr, offset);
+        let via_coo = solve_via("rslu", p, &a, &b, SparseStruct::Coo, offset);
+        for ((c1, c2), e) in via_csr.iter().zip(&via_coo).zip(&x_true) {
+            prop_assert!((c1 - e).abs() < 1e-8);
+            prop_assert!((c2 - e).abs() < 1e-8);
+        }
+        if p == 1 {
+            // MSR path (serial layout identical to the library's).
+            let msr = MsrMatrix::from_csr(&a).unwrap();
+            let _ = msr;
+            let via_msr = solve_via("rslu", 1, &a, &b, SparseStruct::Msr, 0);
+            for (g, e) in via_msr.iter().zip(&x_true) {
+                prop_assert!((g - e).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_matches_sequential_solves(
+        seed in 0u64..5000,
+        n_rhs in 1usize..4,
+    ) {
+        let n = 18;
+        let a = generate::random_diag_dominant(n, 3, seed);
+        let xs: Vec<Vec<f64>> =
+            (0..n_rhs).map(|k| generate::random_vector(n, seed + k as u64)).collect();
+        let mut flat_b = Vec::new();
+        for x in &xs {
+            flat_b.extend(a.matvec(x).unwrap());
+        }
+        let out = Universe::run(1, |comm| {
+            let solver = RsluAdapter::new();
+            solver.initialize(comm.dup().unwrap()).unwrap();
+            solver.set_start_row(0).unwrap();
+            solver.set_local_rows(n).unwrap();
+            solver.set_global_cols(n).unwrap();
+            solver
+                .setup_matrix(a.values(), a.row_ptr(), a.col_idx(), SparseStruct::Csr)
+                .unwrap();
+            solver.setup_rhs(&flat_b, n_rhs).unwrap();
+            let mut x = vec![0.0; n * n_rhs];
+            let mut status = [0.0; STATUS_LEN];
+            solver.solve(&mut x, &mut status).unwrap();
+            x
+        });
+        for (k, x_true) in xs.iter().enumerate() {
+            for (g, e) in out[0][k * n..(k + 1) * n].iter().zip(x_true) {
+                prop_assert!((g - e).abs() < 1e-7);
+            }
+        }
+    }
+}
