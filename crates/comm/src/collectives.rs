@@ -211,7 +211,7 @@ pub fn gather<T: Send + Clone + 'static>(
     root: usize,
     value: T,
 ) -> CommResult<Option<Vec<T>>> {
-    Ok(gatherv(comm, root, std::slice::from_ref(&value))?)
+    gatherv(comm, root, std::slice::from_ref(&value))
 }
 
 /// Gather variable-length slices onto `root`, concatenated in rank order.

@@ -71,6 +71,9 @@ pub struct Communicator {
     /// Monotone salt so successive `split`/`dup` calls derive fresh
     /// contexts; advanced identically on every member.
     split_salt: AtomicU64,
+    /// How many allreduce-family collectives ran on this communicator —
+    /// the latency-bound cost solvers fuse reductions to cut.
+    allreduce_calls: AtomicU64,
     wiring: Arc<Wiring>,
     post: Arc<Mutex<PostOffice>>,
 }
@@ -83,7 +86,23 @@ impl Communicator {
         wiring: Arc<Wiring>,
         post: Arc<Mutex<PostOffice>>,
     ) -> Self {
-        Communicator { rank, members, context, split_salt: AtomicU64::new(1), wiring, post }
+        Communicator {
+            rank,
+            members,
+            context,
+            split_salt: AtomicU64::new(1),
+            allreduce_calls: AtomicU64::new(0),
+            wiring,
+            post,
+        }
+    }
+
+    /// Number of `allreduce`/`allreduce_vec` calls made on this
+    /// communicator. A fused allreduce counts once regardless of how many
+    /// scalars it carries, so tests can assert on a solver's per-iteration
+    /// reduction count.
+    pub fn allreduce_count(&self) -> u64 {
+        self.allreduce_calls.load(Ordering::Relaxed)
     }
 
     /// This process's rank in `0..self.size()`.
@@ -335,6 +354,7 @@ impl Communicator {
         T: Send + Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.allreduce_calls.fetch_add(1, Ordering::Relaxed);
         crate::collectives::allreduce(self, value, op)
     }
 
@@ -344,6 +364,7 @@ impl Communicator {
         T: Send + Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.allreduce_calls.fetch_add(1, Ordering::Relaxed);
         crate::collectives::allreduce_vec(self, values, op)
     }
 

@@ -35,8 +35,9 @@ impl Ilu0 {
             let row_ptr = lu.row_ptr().to_vec();
             let col_idx = lu.col_idx().to_vec();
             for i in 0..n {
-                for k in row_ptr[i]..row_ptr[i + 1] {
-                    if col_idx[k] == i {
+                let row = row_ptr[i]..row_ptr[i + 1];
+                for (k, &col) in row.clone().zip(&col_idx[row]) {
+                    if col == i {
                         diag_pos[i] = k;
                         break;
                     }
@@ -68,8 +69,8 @@ impl Ilu0 {
                 let lik = lu.values()[kk] / ukk;
                 lu.values_mut()[kk] = lik;
                 // Update row i against row k's upper part, pattern-limited.
-                for kj in diag_pos[k] + 1..row_ptr[k + 1] {
-                    let j = col_idx[kj];
+                let upper = diag_pos[k] + 1..row_ptr[k + 1];
+                for (kj, &j) in upper.clone().zip(&col_idx[upper]) {
                     let p = pos_of[j];
                     if p != usize::MAX {
                         let ukj = lu.values()[kj];
@@ -176,8 +177,8 @@ impl Ic0 {
                 // l_ij = (a_ij − Σ_{k<j} l_ik·l_jk) / l_jj, sums limited to
                 // the shared pattern.
                 let mut s = l.values()[kk];
-                for jk in row_ptr[j]..diag_pos[j] {
-                    let k = col_idx[jk];
+                let lower = row_ptr[j]..diag_pos[j];
+                for (jk, &k) in lower.clone().zip(&col_idx[lower]) {
                     let p = pos_of[k];
                     if p != usize::MAX && p < kk {
                         s -= l.values()[p] * l.values()[jk];

@@ -30,10 +30,10 @@ impl Ssor {
             return Err(KspError::Sparse(SparseError::NotSquare { rows: n, cols }));
         }
         let mut diag_pos = vec![usize::MAX; n];
-        for i in 0..n {
+        for (i, dp) in diag_pos.iter_mut().enumerate() {
             let (cs, vs) = block.row(i);
             match cs.binary_search(&i) {
-                Ok(k) if vs[k] != 0.0 => diag_pos[i] = block.row_ptr()[i] + k,
+                Ok(k) if vs[k] != 0.0 => *dp = block.row_ptr()[i] + k,
                 _ => return Err(KspError::Sparse(SparseError::ZeroPivot { row: i })),
             }
         }

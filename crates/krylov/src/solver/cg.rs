@@ -50,12 +50,32 @@ pub(crate) fn solve(
         let alpha = rz / pq;
         x.axpy(alpha, &p)?;
         r.axpy(-alpha, &q)?;
-        rnorm = r.norm2(comm)?;
-        if let Some(reason) = mon.check(iterations, rnorm) {
-            break reason;
+        let rz_new;
+        if cfg.fused_reductions {
+            // Apply the preconditioner first, then combine ‖r‖² and r·z
+            // into one collective: 2 allreduces per iteration instead of
+            // 3. The allreduce is elementwise over the same rank-ordered
+            // tree, so each component is bit-identical to its standalone
+            // reduction and the convergence history is unchanged.
+            pc.apply(comm, &r, &mut z)?;
+            let local = [
+                rsparse::dense::dot(r.local(), r.local()),
+                rsparse::dense::dot(r.local(), z.local()),
+            ];
+            let fused = comm.allreduce_vec(&local, rcomm::sum)?;
+            rnorm = fused[0].sqrt();
+            rz_new = fused[1];
+            if let Some(reason) = mon.check(iterations, rnorm) {
+                break reason;
+            }
+        } else {
+            rnorm = r.norm2(comm)?;
+            if let Some(reason) = mon.check(iterations, rnorm) {
+                break reason;
+            }
+            pc.apply(comm, &r, &mut z)?;
+            rz_new = r.dot(&z, comm)?;
         }
-        pc.apply(comm, &r, &mut z)?;
-        let rz_new = r.dot(&z, comm)?;
         if rz == 0.0 {
             break ConvergedReason::Breakdown;
         }

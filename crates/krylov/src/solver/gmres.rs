@@ -38,43 +38,88 @@ pub(crate) fn solve(
 
     let mut iterations = 0usize;
     let mut rnorm = r0;
-    // Hessenberg column storage: h[j] holds column j (length j + 2).
+
+    // Per-restart workspace, hoisted out of the cycle loop: the Arnoldi
+    // bases grow to restart length once and later cycles overwrite the
+    // same vectors; the Hessenberg columns, rotation parameters and the
+    // preconditioner scratch are likewise reused. Restart cycles after the
+    // first allocate nothing.
+    let mut basis_v: Vec<DistVector> = Vec::with_capacity(m + 1);
+    let mut basis_z: Vec<DistVector> = Vec::with_capacity(if flexible { m } else { 0 });
+    let mut z = DistVector::zeros(part.clone(), rank);
+    let mut vy = DistVector::zeros(part, rank);
+    let mut cs: Vec<f64> = Vec::with_capacity(m);
+    let mut sn: Vec<f64> = Vec::with_capacity(m);
+    let mut g = vec![0.0f64; m + 1];
+    // Hessenberg column storage: h_cols[j] holds column j; only entries
+    // 0..=j+1 of a column are ever written or read.
+    let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut dots_local: Vec<f64> = Vec::with_capacity(m + 1);
+
+    /// Copy `src` into slot `*n` of a reused basis, growing it only the
+    /// first time a cycle reaches this depth.
+    fn store_basis(basis: &mut Vec<DistVector>, n: &mut usize, src: &DistVector) {
+        if *n < basis.len() {
+            basis[*n].local_mut().copy_from_slice(src.local());
+        } else {
+            basis.push(src.clone());
+        }
+        *n += 1;
+    }
+
     let reason = 'outer: loop {
-        // Arnoldi basis V and (for FGMRES) preconditioned basis Z.
-        let mut basis_v: Vec<DistVector> = Vec::with_capacity(m + 1);
-        let mut basis_z: Vec<DistVector> = Vec::with_capacity(if flexible { m } else { 0 });
+        let mut n_v = 0usize;
+        let mut n_z = 0usize;
         let beta = rnorm;
         if beta == 0.0 {
             break ConvergedReason::AbsoluteTolerance;
         }
-        let mut v0 = r.clone();
-        rsparse::dense::scale(1.0 / beta, v0.local_mut());
-        basis_v.push(v0);
+        store_basis(&mut basis_v, &mut n_v, &r);
+        rsparse::dense::scale(1.0 / beta, basis_v[0].local_mut());
 
         // Givens rotation parameters and the rotated rhs g.
-        let mut cs: Vec<f64> = Vec::with_capacity(m);
-        let mut sn: Vec<f64> = Vec::with_capacity(m);
-        let mut g = vec![0.0f64; m + 1];
+        cs.clear();
+        sn.clear();
+        g.fill(0.0);
         g[0] = beta;
-        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
 
         let mut inner = 0usize;
         let mut inner_reason: Option<ConvergedReason> = None;
         while inner < m {
             let j = inner;
             // w = A·M⁻¹·v_j (right preconditioning).
-            let mut z = DistVector::zeros(part.clone(), rank);
             pc.apply(comm, &basis_v[j], &mut z)?;
             op.apply(comm, &z, &mut w)?;
             if flexible {
-                basis_z.push(z);
+                store_basis(&mut basis_z, &mut n_z, &z);
             }
-            // Modified Gram–Schmidt.
-            let mut hcol = vec![0.0f64; j + 2];
-            for (i, vi) in basis_v.iter().enumerate().take(j + 1) {
-                let hij = w.dot(vi, comm)?;
-                hcol[i] = hij;
-                w.axpy(-hij, vi)?;
+            if j == h_cols.len() {
+                h_cols.push(vec![0.0f64; m + 2]);
+            }
+            let hcol = &mut h_cols[j];
+            if cfg.fused_reductions {
+                // Classical Gram–Schmidt: project against the *unmodified*
+                // w, so all j+1 coefficients batch into a single
+                // allreduce_vec; one more reduction for the norm makes 2
+                // collectives for this inner iteration instead of j+2.
+                // (Slightly different roundoff than modified Gram–Schmidt;
+                // the basis subtraction itself is unchanged.)
+                dots_local.clear();
+                for vi in basis_v.iter().take(j + 1) {
+                    dots_local.push(rsparse::dense::dot(w.local(), vi.local()));
+                }
+                let dots = comm.allreduce_vec(&dots_local, rcomm::sum)?;
+                for (i, (vi, &hij)) in basis_v.iter().take(j + 1).zip(&dots).enumerate() {
+                    hcol[i] = hij;
+                    w.axpy(-hij, vi)?;
+                }
+            } else {
+                // Modified Gram–Schmidt: one collective per basis vector.
+                for (i, vi) in basis_v.iter().enumerate().take(j + 1) {
+                    let hij = w.dot(vi, comm)?;
+                    hcol[i] = hij;
+                    w.axpy(-hij, vi)?;
+                }
             }
             let hnext = w.norm2(comm)?;
             hcol[j + 1] = hnext;
@@ -93,7 +138,6 @@ pub(crate) fn solve(
             let gj = g[j];
             g[j] = c * gj;
             g[j + 1] = -s * gj;
-            h_cols.push(hcol);
 
             iterations += 1;
             inner += 1;
@@ -107,9 +151,8 @@ pub(crate) fn solve(
                 inner_reason = Some(ConvergedReason::AbsoluteTolerance);
                 break;
             }
-            let mut vnext = w.clone();
-            rsparse::dense::scale(1.0 / hnext, vnext.local_mut());
-            basis_v.push(vnext);
+            store_basis(&mut basis_v, &mut n_v, &w);
+            rsparse::dense::scale(1.0 / hnext, basis_v[j + 1].local_mut());
         }
 
         // Back-substitute y from the triangularized system.
@@ -128,11 +171,10 @@ pub(crate) fn solve(
                 x.axpy(*yi, zi)?;
             }
         } else {
-            let mut vy = DistVector::zeros(part.clone(), rank);
+            vy.local_mut().fill(0.0);
             for (vi, yi) in basis_v.iter().zip(&y) {
                 vy.axpy(*yi, vi)?;
             }
-            let mut z = DistVector::zeros(part.clone(), rank);
             pc.apply(comm, &vy, &mut z)?;
             x.axpy(1.0, &z)?;
         }
@@ -141,7 +183,7 @@ pub(crate) fn solve(
             break 'outer reason;
         }
         // Restart: recompute the true residual.
-        r = b.clone();
+        r.local_mut().copy_from_slice(b.local());
         op.apply(comm, x, &mut w)?;
         r.axpy(-1.0, &w)?;
         rnorm = r.norm2(comm)?;

@@ -98,6 +98,12 @@ pub struct KspConfig {
     pub cheby_bounds: Option<(f64, f64)>,
     /// Record the residual history (costs one Vec push per iteration).
     pub keep_history: bool,
+    /// Fuse per-iteration reductions into batched `allreduce_vec` calls
+    /// (CG: residual norm + r·z in one collective; GMRES: all Arnoldi
+    /// projection dots in one collective via classical Gram–Schmidt).
+    /// Cuts the latency-bound collective count per iteration; disable to
+    /// get the textbook one-reduction-per-dot schedule.
+    pub fused_reductions: bool,
 }
 
 impl Default for KspConfig {
@@ -113,6 +119,7 @@ impl Default for KspConfig {
             richardson_scale: 1.0,
             cheby_bounds: None,
             keep_history: true,
+            fused_reductions: true,
         }
     }
 }
@@ -136,7 +143,8 @@ impl KspConfig {
     /// LISI-friendly aliases): `ksp_type`/`solver`, `pc_type`/
     /// `preconditioner`, `ksp_rtol`/`tol`, `ksp_atol`, `ksp_dtol`,
     /// `ksp_max_it`/`maxits`, `ksp_gmres_restart`/`restart`,
-    /// `pc_sor_omega`, `richardson_scale`.
+    /// `pc_sor_omega`, `richardson_scale`,
+    /// `ksp_fused_reductions`/`fused_reductions`.
     pub fn from_options(opts: &Options) -> KspOutcome<Self> {
         let mut cfg = KspConfig::default();
         if let Some(v) = opts.get_first(&["ksp_type", "solver"]) {
@@ -186,6 +194,17 @@ impl KspConfig {
         if let Some(v) = opts.get_first(&["richardson_scale"]) {
             cfg.richardson_scale =
                 v.parse().map_err(|_| KspError::BadConfig(format!("bad scale '{v}'")))?;
+        }
+        if let Some(v) = opts.get_first(&["ksp_fused_reductions", "fused_reductions"]) {
+            cfg.fused_reductions = match v.to_ascii_lowercase().as_str() {
+                "1" | "true" | "yes" | "on" => true,
+                "0" | "false" | "no" | "off" => false,
+                other => {
+                    return Err(KspError::BadConfig(format!(
+                        "bad fused_reductions '{other}' (expected a boolean)"
+                    )))
+                }
+            };
         }
         cfg.validate()?;
         Ok(cfg)

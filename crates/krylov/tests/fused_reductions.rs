@@ -1,0 +1,129 @@
+//! Fused-reduction equivalence tests: on the paper's 5-point problem, the
+//! fused CG schedule (‖r‖² and r·z batched into one `allreduce_vec`) must
+//! reproduce the unfused residual history bit for bit at a strictly lower
+//! collective count, and fused (classical-Gram–Schmidt) GMRES must match
+//! unfused (modified-Gram–Schmidt) GMRES to tight tolerance with the same
+//! iteration count.
+
+use rcomm::Universe;
+use rkrylov::{Ksp, KspConfig, KspType, MatOperator, PcType};
+use rsparse::{generate, BlockRowPartition, DistCsrMatrix, DistVector};
+
+/// Solve the 2-D 5-point Laplacian at `p` ranks and return every rank's
+/// `(KspResult, allreduce calls made during the solve)`.
+fn solve_counted(
+    ksp_type: KspType,
+    fused: bool,
+    p: usize,
+    m: usize,
+) -> Vec<(rkrylov::KspResult, u64)> {
+    let a = generate::laplacian_2d(m);
+    let n = a.rows();
+    let x_true = generate::random_vector(n, 23);
+    let b = a.matvec(&x_true).unwrap();
+    Universe::run(p, move |comm| {
+        let part = BlockRowPartition::even(n, comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+        let op = MatOperator::new(da);
+        let db = DistVector::from_global(part.clone(), comm.rank(), &b).unwrap();
+        let mut dx = DistVector::zeros(part, comm.rank());
+        let ksp = Ksp::new(KspConfig {
+            ksp_type,
+            pc_type: PcType::Jacobi,
+            rtol: 1e-10,
+            maxits: 2000,
+            fused_reductions: fused,
+            ..KspConfig::default()
+        })
+        .unwrap();
+        let before = comm.allreduce_count();
+        let res = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+        (res, comm.allreduce_count() - before)
+    })
+}
+
+#[test]
+fn fused_cg_history_is_bit_identical_to_unfused() {
+    for p in [1usize, 4] {
+        let fused = solve_counted(KspType::Cg, true, p, 10);
+        let unfused = solve_counted(KspType::Cg, false, p, 10);
+        let (rf, _) = &fused[0];
+        let (ru, _) = &unfused[0];
+        assert!(rf.converged() && ru.converged(), "p = {p}");
+        assert_eq!(rf.iterations, ru.iterations, "p = {p}");
+        // The fused allreduce_vec reduces each component over the same
+        // rank-ordered tree as the standalone scalar allreduce, so the
+        // residual norms must agree exactly, not just approximately.
+        assert_eq!(rf.history, ru.history, "p = {p}");
+        assert_eq!(rf.final_residual.to_bits(), ru.final_residual.to_bits());
+    }
+}
+
+#[test]
+fn fused_cg_makes_at_most_two_allreduces_per_iteration() {
+    let out = solve_counted(KspType::Cg, true, 4, 10);
+    for (res, count) in &out {
+        assert!(res.converged());
+        // Setup costs three reductions (‖b‖, ‖r₀‖, r·z); each iteration
+        // costs p·q plus the fused pair — 2 per iteration, down from 3.
+        let per_iter = (*count as f64 - 3.0) / res.iterations as f64;
+        assert!(
+            per_iter <= 2.0,
+            "fused CG must spend ≤ 2 allreduces/iteration, measured {per_iter}"
+        );
+    }
+    let unfused = solve_counted(KspType::Cg, false, 4, 10);
+    assert!(
+        out[0].1 < unfused[0].1,
+        "fusing must lower the collective count ({} vs {})",
+        out[0].1,
+        unfused[0].1
+    );
+}
+
+#[test]
+fn fused_gmres_matches_unfused_convergence() {
+    for p in [1usize, 3] {
+        let fused = solve_counted(KspType::Gmres, true, p, 10);
+        let unfused = solve_counted(KspType::Gmres, false, p, 10);
+        let (rf, cf) = &fused[0];
+        let (ru, cu) = &unfused[0];
+        assert!(rf.converged() && ru.converged(), "p = {p}");
+        // Classical vs modified Gram–Schmidt differ only in roundoff on
+        // this well-conditioned problem: same iteration count, histories
+        // equal to tight tolerance.
+        assert_eq!(rf.iterations, ru.iterations, "p = {p}");
+        assert_eq!(rf.history.len(), ru.history.len());
+        for (hf, hu) in rf.history.iter().zip(&ru.history) {
+            assert!(
+                (hf - hu).abs() <= 1e-8 * (1.0 + hu.abs()),
+                "p = {p}: fused {hf} vs unfused {hu}"
+            );
+        }
+        // Batching the Arnoldi projection dots must cut the collective
+        // count (j+2 per inner iteration down to 2).
+        assert!(cf < cu, "p = {p}: fused {cf} vs unfused {cu} allreduces");
+    }
+}
+
+#[test]
+fn fgmres_supports_fused_reductions_too() {
+    let fused = solve_counted(KspType::Fgmres, true, 3, 8);
+    let unfused = solve_counted(KspType::Fgmres, false, 3, 8);
+    assert!(fused[0].0.converged() && unfused[0].0.converged());
+    assert_eq!(fused[0].0.iterations, unfused[0].0.iterations);
+    assert!(fused[0].1 < unfused[0].1);
+}
+
+#[test]
+fn fused_reductions_knob_parses_from_options() {
+    let mut o = rkrylov::Options::new();
+    o.set("ksp_type", "cg");
+    o.set("ksp_fused_reductions", "off");
+    let ksp = Ksp::from_options(&o).unwrap();
+    assert!(!ksp.config().fused_reductions);
+    o.set("ksp_fused_reductions", "true");
+    assert!(Ksp::from_options(&o).unwrap().config().fused_reductions);
+    o.set("ksp_fused_reductions", "maybe");
+    assert!(Ksp::from_options(&o).is_err());
+}

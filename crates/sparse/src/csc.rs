@@ -135,8 +135,7 @@ impl CscMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj != 0.0 {
                 let (rows, vals) = self.col(j);
                 for (&r, &v) in rows.iter().zip(vals) {

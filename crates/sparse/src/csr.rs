@@ -191,13 +191,13 @@ impl CsrMatrix {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(y.len(), self.rows);
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -233,9 +233,8 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &xi) in x.iter().enumerate() {
             let (cols, vals) = self.row(i);
-            let xi = x[i];
             if xi != 0.0 {
                 for (&c, &v) in cols.iter().zip(vals) {
                     y[c] += v * xi;

@@ -6,10 +6,27 @@
 //! into block rows, one block per processor. A [`DistCsrMatrix`] stores its
 //! local rows (with *global* column indices) and, at construction, builds a
 //! **halo-exchange plan**: which remote vector entries its rows touch, who
-//! owns them, and which of its own entries other ranks need. A parallel
-//! matvec is then: post sends of owned boundary entries, receive ghosts,
-//! multiply the locally compiled matrix against `[x_local, ghosts]`.
-//! Dot products and norms reduce over the communicator.
+//! owns them, and which of its own entries other ranks need.
+//!
+//! The matvec hot path is communication-overlapped and allocation-free in
+//! steady state. At plan-build time the local rows are split into an
+//! **interior** part (rows touching only owned columns) and a **boundary**
+//! part (rows touching at least one ghost column). A matvec then
+//!
+//! 1. posts halo sends from persistent staging buffers,
+//! 2. computes every interior row while the halos are in flight,
+//! 3. drains receives **out of order** as they arrive (via `iprobe`),
+//! 4. finishes with the boundary rows against `[x_local, ghosts]`.
+//!
+//! The ghost-extended vector and the send staging buffers live in a
+//! [`MatvecWorkspace`] owned by the matrix (interior mutability), so
+//! repeated matvecs — the inner loop of every Krylov solve — perform no
+//! heap allocation. Dot products and norms reduce over the communicator.
+//!
+//! Setting `RSPARSE_DISABLE_OVERLAP=1` falls back to the in-order blocking
+//! drain with no interleaved compute (a debugging / comparison knob).
+
+use std::sync::{Arc, Mutex};
 
 use rcomm::Communicator;
 
@@ -20,6 +37,14 @@ use crate::partition::BlockRowPartition;
 
 /// Reserved user-level tag for halo traffic.
 const TAG_HALO: rcomm::Tag = 7001;
+
+/// Whether to overlap interior compute with the halo drain (default yes).
+fn overlap_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("RSPARSE_DISABLE_OVERLAP").map(|v| v != "1").unwrap_or(true)
+    })
+}
 
 /// A block-row-distributed dense vector: each rank owns one contiguous
 /// chunk.
@@ -157,19 +182,157 @@ struct HaloPlan {
     n_ghosts: usize,
 }
 
-/// A block-row-distributed square sparse matrix in CSR form.
+/// The local rows compiled into two CSR pieces by halo dependence.
+///
+/// Columns are renumbered: `0..n_local` are owned columns (global start
+/// row subtracted), `n_local..` are ghost slots in plan order. Because
+/// block-row ownership is contiguous and ascending in rank, and ghost
+/// slots are grouped by owner rank and sorted by global column inside each
+/// group, the renumbering is monotone on owned columns and monotone on
+/// ghost columns, with every ghost above every owned column — so each
+/// renumbered row is "owned entries then ghost entries", both already
+/// sorted, and no per-row re-sort is needed to restore CSR invariants.
 #[derive(Debug, Clone, PartialEq)]
+struct SplitLocal {
+    /// Rows touching only owned columns; width `n_local`.
+    interior: CsrMatrix,
+    /// Local row index of each interior row, ascending.
+    interior_rows: Vec<usize>,
+    /// Rows touching at least one ghost column; width `n_local + n_ghosts`.
+    boundary: CsrMatrix,
+    /// Local row index of each boundary row, ascending.
+    boundary_rows: Vec<usize>,
+}
+
+/// Persistent per-matrix scratch for [`DistCsrMatrix::matvec_into`]: the
+/// ghost-extended input vector, one pool of reference-counted send staging
+/// buffers per destination, and the out-of-order receive bookkeeping.
+///
+/// Send payloads travel as `Arc<Vec<f64>>`: the sender keeps one clone in
+/// its pool and the receiver drops its clone after copying the values out,
+/// at which point `Arc::get_mut` succeeds again and the buffer is reused.
+/// A pool only grows when a matvec is staged while the receiver still
+/// holds the previous buffer (bounded by receiver lag); `steady_allocs`
+/// counts such growth after the first matvec so tests can assert the
+/// steady state allocates nothing.
+#[derive(Debug)]
+struct MatvecWorkspace {
+    /// `[x_local, ghosts]` staging for the boundary kernel.
+    ext: Vec<f64>,
+    /// Per-send-slot buffer pools, parallel to `HaloPlan::sends`.
+    send_pools: Vec<Vec<Arc<Vec<f64>>>>,
+    /// Per-recv "not yet drained this matvec" flags, parallel to
+    /// `HaloPlan::recvs`.
+    recv_pending: Vec<bool>,
+    /// Heap allocations made after the first matvec completed.
+    steady_allocs: u64,
+    /// Whether at least one matvec has completed.
+    primed: bool,
+}
+
+impl MatvecWorkspace {
+    fn new(n_local: usize, plan: &HaloPlan) -> Self {
+        MatvecWorkspace {
+            ext: vec![0.0; n_local + plan.n_ghosts],
+            // Two buffers per destination: a receiver may lag one full
+            // matvec behind its sender (it posts its own sends before
+            // draining ours), so the k-th buffer can still be in flight
+            // while the sender stages k+1. With a mutual (symmetric-
+            // pattern) halo dependency the skew cannot exceed that one
+            // iteration, so two buffers make the steady state
+            // allocation-free; one-way couplings may queue deeper and
+            // grow the pool (counted by `steady_allocs`).
+            send_pools: plan
+                .sends
+                .iter()
+                .map(|(_, idxs)| {
+                    (0..2).map(|_| Arc::new(vec![0.0; idxs.len()])).collect()
+                })
+                .collect(),
+            recv_pending: vec![false; plan.recvs.len()],
+            steady_allocs: 0,
+            primed: false,
+        }
+    }
+
+    /// Fill a free staging buffer for send slot `slot` with the gathered
+    /// entries of `x` and return a clone to ship.
+    fn stage_send(&mut self, slot: usize, idxs: &[usize], x: &[f64]) -> Arc<Vec<f64>> {
+        let pool = &mut self.send_pools[slot];
+        let pos = match pool.iter().position(|b| Arc::strong_count(b) == 1) {
+            Some(p) => p,
+            None => {
+                // Every buffer is still in flight (receiver lagging);
+                // grow the pool.
+                if self.primed {
+                    self.steady_allocs += 1;
+                }
+                pool.push(Arc::new(vec![0.0; idxs.len()]));
+                pool.len() - 1
+            }
+        };
+        let buf = Arc::get_mut(&mut pool[pos])
+            .expect("buffer uniqueness was just checked; only this rank clones it");
+        for (dst, &i) in buf.iter_mut().zip(idxs) {
+            *dst = x[i];
+        }
+        Arc::clone(&pool[pos])
+    }
+}
+
+/// y[rows[i]] = mat.row(i) · x — the scatter kernel both halves of the
+/// split matvec share.
+#[inline]
+fn spmv_rows(mat: &CsrMatrix, rows: &[usize], x: &[f64], y: &mut [f64]) {
+    for (i, &r) in rows.iter().enumerate() {
+        let (cols, vals) = mat.row(i);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c];
+        }
+        y[r] = acc;
+    }
+}
+
+/// A block-row-distributed square sparse matrix in CSR form.
+#[derive(Debug)]
 pub struct DistCsrMatrix {
     partition: BlockRowPartition,
     rank: usize,
-    /// Local rows with columns renumbered: `0..local_rows` are owned
-    /// columns (global start-row subtracted), `local_rows..` are ghost
-    /// slots in plan order.
-    compiled: CsrMatrix,
+    /// Local rows compiled into interior/boundary pieces with renumbered
+    /// columns (see [`SplitLocal`]).
+    split: SplitLocal,
     /// Local rows with original global column indices (kept for gather,
     /// value updates and diagnostics).
     local_global: CsrMatrix,
     plan: HaloPlan,
+    /// Reusable matvec scratch; interior mutability so the hot path takes
+    /// `&self` (each rank owns its matrix, so the lock is uncontended).
+    workspace: Mutex<MatvecWorkspace>,
+}
+
+impl Clone for DistCsrMatrix {
+    fn clone(&self) -> Self {
+        DistCsrMatrix {
+            partition: self.partition.clone(),
+            rank: self.rank,
+            split: self.split.clone(),
+            local_global: self.local_global.clone(),
+            plan: self.plan.clone(),
+            workspace: Mutex::new(MatvecWorkspace::new(self.local_rows(), &self.plan)),
+        }
+    }
+}
+
+impl PartialEq for DistCsrMatrix {
+    /// Structural equality; the matvec workspace is scratch and ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.partition == other.partition
+            && self.rank == other.rank
+            && self.split == other.split
+            && self.local_global == other.local_global
+            && self.plan == other.plan
+    }
 }
 
 impl DistCsrMatrix {
@@ -278,31 +441,68 @@ impl DistCsrMatrix {
         let n_ghosts = offset;
         let plan = HaloPlan { sends, recvs, n_ghosts };
 
-        // 4. Compile the local matrix with renumbered columns.
-        let (rows, _, row_ptr, col_idx, values) = local.clone().into_parts();
+        // 4. Split-compile the local matrix with renumbered columns,
+        //    straight into two CSR pieces. The renumbering keeps owned
+        //    columns sorted below all ghost columns and both groups in
+        //    order (see [`SplitLocal`]), so each output row is "owned
+        //    entries then ghost entries" in one linear pass — no COO
+        //    round-trip, no per-row sort.
         let my_range = partition.range(rank);
-        let new_cols: Vec<usize> = col_idx
-            .iter()
-            .map(|&c| {
-                if my_range.contains(&c) {
-                    c - start
-                } else {
-                    n_local + ghost_of[&c]
+        let mut interior_rows = Vec::new();
+        let mut boundary_rows = Vec::new();
+        let mut int_ptr = Vec::with_capacity(n_local + 1);
+        let mut bnd_ptr = Vec::with_capacity(n_local + 1);
+        int_ptr.push(0);
+        bnd_ptr.push(0);
+        let mut int_cols = Vec::new();
+        let mut int_vals = Vec::new();
+        let mut bnd_cols = Vec::new();
+        let mut bnd_vals = Vec::new();
+        let mut ghost_cols_scratch: Vec<usize> = Vec::new();
+        let mut ghost_vals_scratch: Vec<f64> = Vec::new();
+        for i in 0..n_local {
+            let (gcols, gvals) = local.row(i);
+            ghost_cols_scratch.clear();
+            ghost_vals_scratch.clear();
+            if gcols.iter().all(|c| my_range.contains(c)) {
+                interior_rows.push(i);
+                int_cols.extend(gcols.iter().map(|&c| c - start));
+                int_vals.extend_from_slice(gvals);
+                int_ptr.push(int_cols.len());
+            } else {
+                boundary_rows.push(i);
+                for (&c, &v) in gcols.iter().zip(gvals) {
+                    if my_range.contains(&c) {
+                        bnd_cols.push(c - start);
+                        bnd_vals.push(v);
+                    } else {
+                        ghost_cols_scratch.push(n_local + ghost_of[&c]);
+                        ghost_vals_scratch.push(v);
+                    }
                 }
-            })
-            .collect();
-        // Renumbering is monotone within owned vs ghost groups but not
-        // globally sorted per row; rebuild through COO to restore CSR
-        // invariants.
-        let mut coo = crate::coo::CooMatrix::new(rows, n_local + n_ghosts);
-        for i in 0..rows {
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                coo.push(i, new_cols[k], values[k])?;
+                bnd_cols.extend_from_slice(&ghost_cols_scratch);
+                bnd_vals.extend_from_slice(&ghost_vals_scratch);
+                bnd_ptr.push(bnd_cols.len());
             }
         }
-        let compiled = coo.to_csr();
+        let interior = CsrMatrix::from_parts_unchecked(
+            interior_rows.len(),
+            n_local,
+            int_ptr,
+            int_cols,
+            int_vals,
+        );
+        let boundary = CsrMatrix::from_parts_unchecked(
+            boundary_rows.len(),
+            n_local + n_ghosts,
+            bnd_ptr,
+            bnd_cols,
+            bnd_vals,
+        );
+        let split = SplitLocal { interior, interior_rows, boundary, boundary_rows };
 
-        Ok(DistCsrMatrix { partition, rank, compiled, local_global: local, plan })
+        let workspace = Mutex::new(MatvecWorkspace::new(n_local, &plan));
+        Ok(DistCsrMatrix { partition, rank, split, local_global: local, plan, workspace })
     }
 
     /// The row partition.
@@ -366,8 +566,16 @@ impl DistCsrMatrix {
         Ok(y)
     }
 
-    /// Parallel matvec into an existing conforming vector (no allocation of
-    /// the result; the ghost buffer is still built per call).
+    /// Parallel matvec into an existing conforming vector — the solver hot
+    /// path. Collective.
+    ///
+    /// Communication-overlapped: halo sends are posted from persistent
+    /// staging buffers, interior rows are computed while the halos are in
+    /// flight, receives are drained out-of-order as they arrive, and the
+    /// boundary rows finish against `[x_local, ghosts]`. All scratch comes
+    /// from the matrix's [`MatvecWorkspace`], so repeated calls allocate
+    /// nothing in steady state (see
+    /// [`steady_state_allocs`](Self::steady_state_allocs)).
     pub fn matvec_into(
         &self,
         comm: &Communicator,
@@ -379,16 +587,73 @@ impl DistCsrMatrix {
                 "matvec vector partition differs from matrix partition".into(),
             ));
         }
-        // Post all sends first (eager, non-blocking), then receive.
-        for (dest, idxs) in &self.plan.sends {
-            let payload: Vec<f64> = idxs.iter().map(|&i| x.local[i]).collect();
+        let n_local = self.local_rows();
+        let mut guard = self.workspace.lock().unwrap_or_else(|e| e.into_inner());
+        let ws = &mut *guard;
+        let overlap = overlap_enabled();
+
+        // 1. Post all halo sends (eager, non-blocking) from staged buffers.
+        for (slot, (dest, idxs)) in self.plan.sends.iter().enumerate() {
+            let payload = ws.stage_send(slot, idxs, &x.local);
             comm.send(*dest, TAG_HALO, payload)?;
         }
+
+        // 2. Interior rows depend only on owned entries: compute them now,
+        //    while the halos are in flight.
+        let yl = y.local_mut();
+        if overlap {
+            spmv_rows(&self.split.interior, &self.split.interior_rows, &x.local, yl);
+        }
+
+        // 3. Drain the halo receives (out of order when overlapping).
+        ws.ext[..n_local].copy_from_slice(&x.local);
+        self.drain_halos(comm, ws, overlap)?;
+        if !overlap {
+            spmv_rows(&self.split.interior, &self.split.interior_rows, &x.local, yl);
+        }
+
+        // 4. Boundary rows against the ghost-extended vector.
+        spmv_rows(&self.split.boundary, &self.split.boundary_rows, &ws.ext, yl);
+        ws.primed = true;
+        Ok(())
+    }
+
+    /// Receive every halo payload for one matvec into `ws.ext`.
+    ///
+    /// With overlap enabled, polls all still-pending sources via `iprobe`
+    /// and consumes whichever arrived first; when a poll sweep finds
+    /// nothing, blocks on the first pending source instead of spinning.
+    /// Each source is received from exactly once, so a fast neighbour's
+    /// *next*-iteration payload (queued behind this iteration's, FIFO per
+    /// source) can never be consumed early.
+    fn drain_halos(
+        &self,
+        comm: &Communicator,
+        ws: &mut MatvecWorkspace,
+        overlap: bool,
+    ) -> SparseResult<()> {
         let n_local = self.local_rows();
-        let mut ext = vec![0.0f64; n_local + self.plan.n_ghosts];
-        ext[..n_local].copy_from_slice(&x.local);
-        for &(src, offset, count) in &self.plan.recvs {
-            let vals: Vec<f64> = comm.recv(src, TAG_HALO)?;
+        for pending in ws.recv_pending.iter_mut() {
+            *pending = true;
+        }
+        let mut remaining = self.plan.recvs.len();
+        while remaining > 0 {
+            let mut received = None;
+            if overlap {
+                for (k, &(src, ..)) in self.plan.recvs.iter().enumerate() {
+                    if ws.recv_pending[k] && comm.iprobe(src as i32, TAG_HALO)?.is_some() {
+                        received = Some(k);
+                        break;
+                    }
+                }
+            }
+            // Nothing ready (or overlap disabled): block on the first
+            // pending source in plan order.
+            let k = received.unwrap_or_else(|| {
+                ws.recv_pending.iter().position(|&p| p).expect("remaining > 0")
+            });
+            let (src, offset, count) = self.plan.recvs[k];
+            let vals: Arc<Vec<f64>> = comm.recv(src, TAG_HALO)?;
             if vals.len() != count {
                 return Err(SparseError::LengthMismatch {
                     what: "halo payload",
@@ -396,10 +661,32 @@ impl DistCsrMatrix {
                     got: vals.len(),
                 });
             }
-            ext[n_local + offset..n_local + offset + count].copy_from_slice(&vals);
+            ws.ext[n_local + offset..n_local + offset + count].copy_from_slice(&vals);
+            // Drop our clone promptly so the sender's staging buffer frees
+            // up for its next matvec.
+            drop(vals);
+            ws.recv_pending[k] = false;
+            remaining -= 1;
         }
-        self.compiled.matvec_into(&ext, y.local_mut());
         Ok(())
+    }
+
+    /// Number of local rows that touch no ghost column (computed before
+    /// the halo arrives).
+    pub fn interior_row_count(&self) -> usize {
+        self.split.interior_rows.len()
+    }
+
+    /// Number of local rows that touch at least one ghost column.
+    pub fn boundary_row_count(&self) -> usize {
+        self.split.boundary_rows.len()
+    }
+
+    /// Workspace heap allocations made after the first matvec completed.
+    /// Zero in steady state; grows only if a receiver lags far enough
+    /// behind that every staged send buffer is still in flight.
+    pub fn steady_state_allocs(&self) -> u64 {
+        self.workspace.lock().unwrap_or_else(|e| e.into_inner()).steady_allocs
     }
 
     /// Gather the full matrix onto `root` as a replicated CSR (the
@@ -447,41 +734,37 @@ impl DistCsrMatrix {
             });
         }
         self.local_global.values_mut().copy_from_slice(values);
-        // compiled holds the same entries but re-sorted per row by the
-        // renumbered columns; rebuild its values by replaying the same
-        // renumber-and-sort path. Cheap relative to a solve.
-        let order: Vec<f64> = values.to_vec();
-        let _ = order;
-        // Positions differ only by the per-row stable sort done at
-        // construction; recompute by matching (row, renumbered col).
-        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.local_rows()];
-        let n_local = self.local_rows();
-        let start = self.partition.start_row(self.rank);
+        // The split pieces hold the same entries per row, permuted to
+        // "owned entries then ghost entries" (each group in original scan
+        // order — the renumbering is monotone within a group). Replay that
+        // permutation directly: one linear pass, no sorting.
         let my_range = self.partition.range(self.rank);
-        // Reconstruct ghost numbering from the compiled matrix: build
-        // global-col -> compiled-col map from local_global vs compiled.
-        for (i, row) in per_row.iter_mut().enumerate() {
+        let n_local = self.local_global.rows();
+        let mut int_cursor = 0usize;
+        let mut bnd_cursor = 0usize;
+        let int_vals = self.split.interior.values_mut();
+        for i in 0..n_local {
             let (gcols, gvals) = self.local_global.row(i);
-            for (&gc, &gv) in gcols.iter().zip(gvals) {
-                let cc = if my_range.contains(&gc) {
-                    gc - start
-                } else {
-                    // Ghost: find in compiled row by elimination below.
-                    usize::MAX
-                };
-                row.push((if cc == usize::MAX { gc + n_local } else { cc }, gv));
+            let n_owned = gcols.iter().filter(|&&c| my_range.contains(&c)).count();
+            if n_owned == gcols.len() {
+                int_vals[int_cursor..int_cursor + gvals.len()].copy_from_slice(gvals);
+                int_cursor += gvals.len();
+            } else {
+                let dst = &mut self.split.boundary.values_mut()
+                    [bnd_cursor..bnd_cursor + gcols.len()];
+                let (mut o, mut g) = (0, n_owned);
+                for (&c, &v) in gcols.iter().zip(gvals) {
+                    if my_range.contains(&c) {
+                        dst[o] = v;
+                        o += 1;
+                    } else {
+                        dst[g] = v;
+                        g += 1;
+                    }
+                }
+                bnd_cursor += gcols.len();
             }
         }
-        // Ghost columns sort in the same relative (global) order as their
-        // slot order within each owner group, and owner groups are ordered
-        // by rank which is ordered by global column ranges — so sorting by
-        // (is_ghost, global col) equals sorting by compiled index.
-        let mut vbuf: Vec<f64> = Vec::with_capacity(self.local_nnz());
-        for row in &mut per_row {
-            row.sort_unstable_by_key(|&(k, _)| k);
-            vbuf.extend(row.iter().map(|&(_, v)| v));
-        }
-        self.compiled.values_mut().copy_from_slice(&vbuf);
         Ok(())
     }
 }

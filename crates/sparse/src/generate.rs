@@ -61,18 +61,18 @@ pub fn random_diag_dominant(n: usize, off_per_row: usize, seed: u64) -> CsrMatri
     let mut rng = XorShift64::new(seed);
     let mut coo = CooMatrix::new(n, n);
     let mut row_sums = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, row_sum) in row_sums.iter_mut().enumerate() {
         for _ in 0..off_per_row {
             let j = rng.next_below(n);
             if j != i {
                 let v = 2.0 * rng.next_f64() - 1.0;
                 coo.push(i, j, v).expect("bounds");
-                row_sums[i] += v.abs();
+                *row_sum += v.abs();
             }
         }
     }
-    for i in 0..n {
-        coo.push(i, i, row_sums[i] + 1.0).expect("bounds");
+    for (i, &row_sum) in row_sums.iter().enumerate() {
+        coo.push(i, i, row_sum + 1.0).expect("bounds");
     }
     coo.to_csr()
 }

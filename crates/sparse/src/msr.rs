@@ -47,19 +47,19 @@ impl MsrMatrix {
                 return Err(SparseError::MalformedPointers("MSR pointers must be non-decreasing"));
             }
         }
-        for k in n + 1..ja.len() {
-            if ja[k] >= n {
+        for &col in ja.iter().skip(n + 1) {
+            if col >= n {
                 return Err(SparseError::IndexOutOfBounds {
                     axis: "column",
-                    index: ja[k],
+                    index: col,
                     bound: n,
                 });
             }
         }
         // Off-diagonal region must not contain diagonal entries.
         for i in 0..n {
-            for k in ja[i]..ja[i + 1] {
-                if ja[k] == i {
+            for &col in &ja[ja[i]..ja[i + 1]] {
+                if col == i {
                     return Err(SparseError::MalformedPointers(
                         "MSR off-diagonal region contains a diagonal entry",
                     ));

@@ -112,9 +112,9 @@ pub fn diag_scale_rows(d: &[f64], a: &CsrMatrix) -> SparseResult<CsrMatrix> {
         });
     }
     let (rows, cols, row_ptr, col_idx, mut values) = a.clone().into_parts();
-    for i in 0..rows {
-        for k in row_ptr[i]..row_ptr[i + 1] {
-            values[k] *= d[i];
+    for (i, &di) in d.iter().enumerate() {
+        for v in &mut values[row_ptr[i]..row_ptr[i + 1]] {
+            *v *= di;
         }
     }
     Ok(CsrMatrix::from_parts_unchecked(rows, cols, row_ptr, col_idx, values))
@@ -137,13 +137,13 @@ pub fn residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> SparseResult<Vec<f64>> {
         });
     }
     let mut r = b.to_vec();
-    for i in 0..a.rows() {
+    for (i, ri) in r.iter_mut().enumerate() {
         let (cols, vals) = a.row(i);
         let mut acc = 0.0;
         for (&c, &v) in cols.iter().zip(vals) {
             acc += v * x[c];
         }
-        r[i] -= acc;
+        *ri -= acc;
     }
     Ok(r)
 }

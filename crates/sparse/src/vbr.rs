@@ -138,8 +138,8 @@ impl VbrMatrix {
         // Map each scalar column to its block column.
         let mut col_block = vec![0usize; cols];
         for bc in 0..nbc {
-            for c in cpntr[bc]..cpntr[bc + 1] {
-                col_block[c] = bc;
+            for cb in &mut col_block[cpntr[bc]..cpntr[bc + 1]] {
+                *cb = bc;
             }
         }
         let mut bptr = vec![0usize; nbr + 1];

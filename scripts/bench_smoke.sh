@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Quick SpMV benchmark smoke run: exercises the `spmv` criterion group for a
+# short wall-clock budget and records elements/sec for the serial and dist4
+# variants at m=200 into BENCH_spmv.json under the given label.
+#
+# Usage: scripts/bench_smoke.sh [pre|post]   (default: post)
+#
+# BENCH_spmv.json accumulates one entry per label, so running once before a
+# performance change with "pre" and once after with "post" leaves both
+# baselines side by side for comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-post}"
+# Absolute path: cargo runs bench binaries with cwd = the package dir, so a
+# relative CRITERION_SHIM_OUT would land under crates/bench/.
+OUT_DIR="$(pwd)/target/criterion-shim"
+rm -rf "$OUT_DIR"
+
+echo "== spmv bench smoke (label: $LABEL) =="
+BENCH_MEASURE_MS="${BENCH_MEASURE_MS:-600}" BENCH_WARMUP_MS="${BENCH_WARMUP_MS:-150}" \
+CRITERION_SHIM_OUT="$OUT_DIR" \
+  cargo bench -q -p lisi-bench --bench kernels -- spmv
+
+python3 - "$LABEL" "$OUT_DIR" <<'EOF'
+import json, os, sys
+
+label, out_dir = sys.argv[1], sys.argv[2]
+entry = {}
+for variant in ("serial", "dist4"):
+    path = os.path.join(out_dir, f"spmv_{variant}_200.json")
+    with open(path) as f:
+        rec = json.load(f)
+    entry[variant] = {
+        "mean_ns": rec["mean_ns"],
+        "elements_per_sec": rec.get("per_sec"),
+    }
+
+bench_file = "BENCH_spmv.json"
+data = {}
+if os.path.exists(bench_file):
+    with open(bench_file) as f:
+        data = json.load(f)
+data[label] = entry
+with open(bench_file, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+
+print(f"recorded '{label}' into {bench_file}:")
+print(json.dumps(entry, indent=2))
+if "pre" in data and "post" in data:
+    for variant in ("serial", "dist4"):
+        pre = data["pre"][variant]["elements_per_sec"]
+        post = data["post"][variant]["elements_per_sec"]
+        if pre and post:
+            print(f"{variant}: {post / pre:.2f}x vs pre")
+EOF
