@@ -1,0 +1,88 @@
+//! Paired probe-overhead guard.
+//!
+//! A criterion-style A/B (one long disabled window, then one long enabled
+//! window) cannot resolve a <2% effect on a shared machine whose load
+//! drifts several percent between the windows. This bin instead runs the
+//! dist4 m=200 SpMV workload in *alternating* disabled/enabled pairs —
+//! order swapped every trial so a monotone load ramp biases neither mode —
+//! and reports the median per-pair overhead ratio, which cancels the
+//! drift. `scripts/bench_smoke.sh` turns the output into
+//! `BENCH_probe_overhead.json` with the <2% target.
+//!
+//! Output: one JSON object on stdout.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use probe::ProbeMode;
+use rcomm::Universe;
+use rsparse::{generate, BlockRowPartition, CsrMatrix, DistCsrMatrix, DistVector};
+
+/// Same workload as the `spmv/dist4/200` and `probe_overhead` criterion
+/// benches: distribute, one allocating matvec, nine in-place matvecs.
+fn workload(a: &CsrMatrix, x: &[f64]) -> f64 {
+    Universe::run(4, |comm| {
+        let part = BlockRowPartition::even(a.rows(), comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), a).unwrap();
+        let dx = DistVector::from_global(part, comm.rank(), x).unwrap();
+        let mut dy = da.matvec(comm, &dx).unwrap();
+        for _ in 0..9 {
+            da.matvec_into(comm, &dx, &mut dy).unwrap();
+        }
+        dy.local()[0]
+    })[0]
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn main() {
+    let trials: usize = std::env::var("PROBE_GUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let a = generate::laplacian_2d(200);
+    let x = generate::random_vector(a.cols(), 7);
+
+    probe::set_mode(ProbeMode::Off);
+    let mut sink = 0.0;
+    for _ in 0..3 {
+        sink += workload(&a, &x);
+    }
+
+    let mut off_s = Vec::with_capacity(trials);
+    let mut on_s = Vec::with_capacity(trials);
+    let mut ratios = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let order = if t % 2 == 0 {
+            [ProbeMode::Off, ProbeMode::Summary]
+        } else {
+            [ProbeMode::Summary, ProbeMode::Off]
+        };
+        let mut pair = [0.0f64; 2]; // [disabled, enabled]
+        for mode in order {
+            probe::set_mode(mode);
+            let t0 = Instant::now();
+            sink += workload(&a, &x);
+            sink += workload(&a, &x);
+            pair[usize::from(mode == ProbeMode::Summary)] = t0.elapsed().as_secs_f64() / 2.0;
+        }
+        off_s.push(pair[0]);
+        on_s.push(pair[1]);
+        ratios.push(pair[1] / pair[0]);
+    }
+    probe::set_mode(ProbeMode::Off);
+    probe::reset();
+    black_box(sink);
+
+    let overhead_pct = 100.0 * (median(&mut ratios) - 1.0);
+    println!(
+        "{{\"workload\":\"dist4 m=200 spmv x10\",\"trials\":{trials},\
+\"disabled_median_ns\":{:.1},\"enabled_median_ns\":{:.1},\
+\"overhead_pct\":{overhead_pct:.4}}}",
+        median(&mut off_s) * 1e9,
+        median(&mut on_s) * 1e9,
+    );
+}

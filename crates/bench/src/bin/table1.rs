@@ -22,8 +22,30 @@ fn main() {
     eprintln!(
         "Table 1 reproduction: RKSP component, {processors} ranks, grids {grids:?}, {reps} runs each"
     );
+    // Default the probe to the summary sink so the per-rank breakdown
+    // below always prints; RSPARSE_PROBE=json|chrome overrides.
+    let mode = match probe::mode() {
+        probe::ProbeMode::Off => probe::ProbeMode::Summary,
+        m => m,
+    };
+    probe::set_mode(mode);
+    probe::reset();
     let rows = table1_rows(&grids, processors, reps);
     println!("{}", format_table1(&rows));
+    let reports = probe::aggregate();
+    println!(
+        "per-rank setup/solve/port-overhead breakdown (cumulative over all grids and reps, probe={}):",
+        mode.name()
+    );
+    print!("{}", probe::render_breakdown(&reports));
+    if mode == probe::ProbeMode::Json {
+        print!("{}", probe::render_jsonl(&reports));
+    }
+    if mode == probe::ProbeMode::Chrome {
+        probe::write_chrome_trace("probe_trace.json").expect("write probe_trace.json");
+        eprintln!("chrome trace written to probe_trace.json (load in chrome://tracing)");
+    }
+    println!();
     println!("paper reference (PETSc on 8 cluster nodes):");
     println!("| 12300  | 0.086   | 0.070     | +0.016/18.61     | 36    |");
     println!("| 49600  | 0.189   | 0.144     | +0.045/23.73     | 67    |");

@@ -49,15 +49,16 @@ pub struct RunResult {
 }
 
 /// Synchronized wall-time of `f` on this communicator: barrier, run,
-/// barrier, allreduce-max of the per-rank elapsed times.
+/// allreduce-max of the per-rank elapsed times. Timing goes through
+/// [`probe::timed`], so when the probe is enabled the same measurement
+/// also lands in the per-rank span table (and chrome trace) under `name`.
 fn timed<R>(
     comm: &Communicator,
+    name: &'static str,
     f: impl FnOnce() -> R,
 ) -> (f64, R) {
     comm.barrier().expect("barrier");
-    let t0 = std::time::Instant::now();
-    let r = f();
-    let mine = t0.elapsed().as_secs_f64();
+    let (r, mine) = probe::timed(name, f);
     let max = comm.allreduce(mine, rcomm::max).expect("allreduce");
     (max, r)
 }
@@ -77,7 +78,8 @@ pub fn run_native(comm: &Communicator, package: Package, w: &Workload) -> RunRes
             for (k, v) in &w.params {
                 opts.set(k, v);
             }
-            let (secs, out) = timed(comm, || {
+            let (secs, out) = timed(comm, "native", || {
+                let setup = probe::SectionTimer::start("native_setup");
                 let dist =
                     DistCsrMatrix::from_local_rows(comm, partition.clone(), local.matrix.clone())
                         .expect("distribute");
@@ -85,6 +87,8 @@ pub fn run_native(comm: &Communicator, package: Package, w: &Workload) -> RunRes
                 let ksp = rkrylov::Ksp::from_options(&opts).expect("configure");
                 let b = DistVector::from_local(partition.clone(), rank, local.rhs.clone())
                     .expect("rhs");
+                setup.stop();
+                let _solve = probe::span!("native_solve");
                 let mut x = DistVector::zeros(partition.clone(), rank);
                 let res = ksp.solve(comm, &op, &b, &mut x).expect("solve");
                 (res.iterations, res.final_residual, res.converged())
@@ -106,7 +110,8 @@ pub fn run_native(comm: &Communicator, package: Package, w: &Workload) -> RunRes
             }
             // Match the LISI convergence convention (‖r‖/‖b‖).
             az_opts.conv = raztec::AzConv::Rhs;
-            let (secs, out) = timed(comm, || {
+            let (secs, out) = timed(comm, "native", || {
+                let setup = probe::SectionTimer::start("native_setup");
                 let map = raztec::Map::from_partition(partition.clone(), rank);
                 let a = raztec::CrsMatrix::from_local_rows(comm, map.clone(), local.matrix.clone())
                     .expect("distribute");
@@ -114,13 +119,16 @@ pub fn run_native(comm: &Communicator, package: Package, w: &Workload) -> RunRes
                 let mut x = raztec::Vector::new(map);
                 let mut az = raztec::AztecOO::new(&a);
                 az.set_options(az_opts.clone());
+                setup.stop();
+                let _solve = probe::span!("native_solve");
                 let st = az.iterate(comm, &b, &mut x).expect("solve");
                 (st.its, st.true_residual, st.why.converged())
             });
             RunResult { seconds: secs, iterations: out.0, residual: out.1, converged: out.2 }
         }
         Package::Rslu => {
-            let (secs, out) = timed(comm, || {
+            let (secs, out) = timed(comm, "native", || {
+                let setup = probe::SectionTimer::start("native_setup");
                 let dist =
                     DistCsrMatrix::from_local_rows(comm, partition.clone(), local.matrix.clone())
                         .expect("distribute");
@@ -128,6 +136,8 @@ pub fn run_native(comm: &Communicator, package: Package, w: &Workload) -> RunRes
                 solver.factorize(comm, &dist).expect("factorize");
                 let b = DistVector::from_local(partition.clone(), rank, local.rhs.clone())
                     .expect("rhs");
+                setup.stop();
+                let _solve = probe::span!("native_solve");
                 let x = solver.solve(comm, &partition, &b).expect("solve");
                 let r = {
                     // Residual check so both paths do equivalent work.
@@ -180,7 +190,8 @@ pub fn run_cca(comm: &Communicator, package: Package, w: &Workload) -> RunResult
     let range = partition.range(rank);
     let (_fw, port) = wire_component(package);
 
-    let (secs, out) = timed(comm, || {
+    let (secs, out) = timed(comm, "cca", || {
+        let setup = probe::SectionTimer::start("cca_setup");
         port.initialize(comm.dup().expect("dup")).expect("initialize");
         port.set_start_row(range.start).expect("start row");
         port.set_local_rows(range.len()).expect("local rows");
@@ -197,6 +208,8 @@ pub fn run_cca(comm: &Communicator, package: Package, w: &Workload) -> RunResult
         )
         .expect("setup matrix");
         port.setup_rhs(&local.rhs, 1).expect("setup rhs");
+        setup.stop();
+        let _solve = probe::span!("cca_solve");
         let mut x = vec![0.0; range.len()];
         let mut status = [0.0; lisi::STATUS_LEN];
         port.solve(&mut x, &mut status).expect("solve");

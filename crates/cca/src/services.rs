@@ -146,6 +146,7 @@ impl Services {
     /// `getPort` — called at use time, so a rewired connection is picked
     /// up automatically.
     pub fn get_port<P: Any + Clone>(&self, name: &str) -> CcaResult<P> {
+        probe::incr(probe::Counter::PortFetches);
         let st = self.state.read();
         if !st.uses.contains_key(name) {
             return Err(CcaError::NoSuchPort {

@@ -7,7 +7,7 @@
 //! scatter), recursive doubling for the barrier (dissemination), a ring for
 //! all-gather, and tree-reduce + tree-broadcast for all-reduce. Each rank
 //! must call every collective in the same order — violations surface as
-//! [`CommError::DeadlockSuspected`](crate::CommError::DeadlockSuspected).
+//! [`CommError::DeadlockSuspected`].
 
 use crate::comm::Communicator;
 use crate::error::{CommError, CommResult};

@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 
 use crate::envelope::{child_context, Context, Envelope, COLLECTIVE_BIT};
 use crate::error::{CommError, CommResult};
+use crate::stats::{CommStats, StatsCell};
 use crate::Tag;
 
 /// Wildcard source for [`Communicator::recv_any`]-style matching.
@@ -71,9 +72,8 @@ pub struct Communicator {
     /// Monotone salt so successive `split`/`dup` calls derive fresh
     /// contexts; advanced identically on every member.
     split_salt: AtomicU64,
-    /// How many allreduce-family collectives ran on this communicator —
-    /// the latency-bound cost solvers fuse reductions to cut.
-    allreduce_calls: AtomicU64,
+    /// Per-communicator traffic accounting (see [`CommStats`]).
+    stats: StatsCell,
     wiring: Arc<Wiring>,
     post: Arc<Mutex<PostOffice>>,
 }
@@ -91,7 +91,7 @@ impl Communicator {
             members,
             context,
             split_salt: AtomicU64::new(1),
-            allreduce_calls: AtomicU64::new(0),
+            stats: StatsCell::default(),
             wiring,
             post,
         }
@@ -102,7 +102,14 @@ impl Communicator {
     /// scalars it carries, so tests can assert on a solver's per-iteration
     /// reduction count.
     pub fn allreduce_count(&self) -> u64 {
-        self.allreduce_calls.load(Ordering::Relaxed)
+        self.stats.allreduce_count()
+    }
+
+    /// Snapshot this communicator's full traffic accounting: every
+    /// collective flavour plus point-to-point calls and bytes. Counts are
+    /// per communicator — `dup`/`split` children start from zero.
+    pub fn stats(&self) -> CommStats {
+        self.stats.snapshot()
     }
 
     /// This process's rank in `0..self.size()`.
@@ -145,7 +152,9 @@ impl Communicator {
     /// to self is allowed and is matched by a later receive.
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> CommResult<()> {
         Self::check_tag(tag)?;
-        self.send_ctx(dest, tag, self.context, value)
+        self.send_ctx(dest, tag, self.context, value)?;
+        self.stats.send(std::mem::size_of::<T>() as u64);
+        Ok(())
     }
 
     pub(crate) fn send_ctx<T: Send + 'static>(
@@ -171,7 +180,9 @@ impl Communicator {
     /// communicator, blocking until a matching message arrives.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> CommResult<T> {
         Self::check_tag(tag)?;
-        self.recv_match(Some(src), Some(tag), self.context).map(|(v, _)| v)
+        let (v, _) = self.recv_match::<T>(Some(src), Some(tag), self.context)?;
+        self.stats.recv(std::mem::size_of::<T>() as u64);
+        Ok(v)
     }
 
     /// Receive from any source and/or any tag. Pass [`ANY_SOURCE`] /
@@ -184,7 +195,9 @@ impl Communicator {
     ) -> CommResult<(T, RecvStatus)> {
         let src = if src == ANY_SOURCE { None } else { Some(src as usize) };
         let tag = if tag == ANY_TAG { None } else { Some(tag) };
-        self.recv_match(src, tag, self.context)
+        let out = self.recv_match::<T>(src, tag, self.context)?;
+        self.stats.recv(std::mem::size_of::<T>() as u64);
+        Ok(out)
     }
 
     /// Non-blocking probe: is a matching message already available?
@@ -329,12 +342,14 @@ impl Communicator {
 
     /// Synchronize all ranks (dissemination barrier).
     pub fn barrier(&self) -> CommResult<()> {
+        self.stats.barrier();
         crate::collectives::barrier(self)
     }
 
     /// Broadcast `value` from `root` to every rank; returns the value on
     /// all ranks.
     pub fn bcast<T: Send + Clone + 'static>(&self, root: usize, value: T) -> CommResult<T> {
+        self.stats.bcast();
         crate::collectives::bcast(self, root, value)
     }
 
@@ -345,6 +360,7 @@ impl Communicator {
         T: Send + Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.stats.reduce();
         crate::collectives::reduce(self, root, value, op)
     }
 
@@ -354,7 +370,7 @@ impl Communicator {
         T: Send + Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
-        self.allreduce_calls.fetch_add(1, Ordering::Relaxed);
+        self.stats.allreduce();
         crate::collectives::allreduce(self, value, op)
     }
 
@@ -364,7 +380,7 @@ impl Communicator {
         T: Send + Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
-        self.allreduce_calls.fetch_add(1, Ordering::Relaxed);
+        self.stats.allreduce();
         crate::collectives::allreduce_vec(self, values, op)
     }
 
@@ -374,6 +390,7 @@ impl Communicator {
         root: usize,
         value: T,
     ) -> CommResult<Option<Vec<T>>> {
+        self.stats.gather();
         crate::collectives::gather(self, root, value)
     }
 
@@ -384,17 +401,20 @@ impl Communicator {
         root: usize,
         values: &[T],
     ) -> CommResult<Option<Vec<T>>> {
+        self.stats.gather();
         crate::collectives::gatherv(self, root, values)
     }
 
     /// Gather one value per rank onto **all** ranks.
     pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> CommResult<Vec<T>> {
+        self.stats.allgather();
         crate::collectives::allgather(self, value)
     }
 
     /// Gather variable-length slices onto all ranks, concatenated in rank
     /// order.
     pub fn allgatherv<T: Send + Clone + 'static>(&self, values: &[T]) -> CommResult<Vec<T>> {
+        self.stats.allgather();
         crate::collectives::allgatherv(self, values)
     }
 
@@ -404,6 +424,7 @@ impl Communicator {
         root: usize,
         chunks: Option<Vec<Vec<T>>>,
     ) -> CommResult<Vec<T>> {
+        self.stats.scatter();
         crate::collectives::scatter(self, root, chunks)
     }
 
@@ -413,6 +434,7 @@ impl Communicator {
         &self,
         chunks: Vec<Vec<T>>,
     ) -> CommResult<Vec<Vec<T>>> {
+        self.stats.alltoall();
         crate::collectives::alltoall(self, chunks)
     }
 
@@ -422,6 +444,7 @@ impl Communicator {
         T: Send + Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.stats.scan();
         crate::collectives::scan(self, value, op)
     }
 
@@ -432,6 +455,7 @@ impl Communicator {
         T: Send + Clone + 'static,
         F: Fn(&T, &T) -> T,
     {
+        self.stats.scan();
         crate::collectives::exscan(self, value, op)
     }
 }

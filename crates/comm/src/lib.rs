@@ -35,6 +35,7 @@ mod comm;
 mod envelope;
 mod error;
 mod reduce;
+mod stats;
 mod timer;
 mod universe;
 
@@ -42,6 +43,7 @@ pub mod collectives;
 
 pub use comm::{Communicator, RecvStatus, ANY_SOURCE, ANY_TAG};
 pub use error::{CommError, CommResult};
+pub use stats::CommStats;
 pub use reduce::{land, lor, max, maxloc, min, minloc, prod, sum};
 pub use timer::Stopwatch;
 pub use universe::Universe;

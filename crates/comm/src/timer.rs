@@ -2,9 +2,11 @@
 
 use std::time::{Duration, Instant};
 
-/// A resettable stopwatch with accumulating segments, used by the benchmark
-/// harness to time setup and solve phases separately.
-#[derive(Debug, Clone)]
+/// A resettable stopwatch with accumulating segments. The probe crate's
+/// `SectionTimer` supersedes it for phase timing (one construct feeds both
+/// the caller and the probe report); `Stopwatch` remains for callers that
+/// need pause/resume accumulation.
+#[derive(Debug, Clone, Default)]
 pub struct Stopwatch {
     started: Option<Instant>,
     accumulated: Duration,
@@ -13,7 +15,7 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// A stopped stopwatch with zero accumulated time.
     pub fn new() -> Self {
-        Stopwatch { started: None, accumulated: Duration::ZERO }
+        Self::default()
     }
 
     /// A stopwatch that is already running.
@@ -52,12 +54,6 @@ impl Stopwatch {
     pub fn reset(&mut self) {
         self.started = None;
         self.accumulated = Duration::ZERO;
-    }
-}
-
-impl Default for Stopwatch {
-    fn default() -> Self {
-        Self::new()
     }
 }
 

@@ -60,6 +60,9 @@ impl Universe {
                 .drain(..)
                 .map(|comm| {
                     scope.spawn(move || {
+                        // Tag this thread's probe recorder so per-rank
+                        // reports group correctly.
+                        probe::set_rank(comm.rank());
                         let r = fref(&comm);
                         // Keep the communicator (and thus our mailbox
                         // sender handles) alive until the closure returns,

@@ -1,4 +1,4 @@
-//! The solver-package adapters: each implements [`SparseSolverPort`] over
+//! The solver-package adapters: each implements [`crate::SparseSolverPort`] over
 //! one underlying library, converting LISI's generic inputs and
 //! parameters to the package's native forms. This is the reusable "CCA
 //! toolkit" the paper's abstract promises — swap the adapter, keep the
@@ -100,6 +100,22 @@ macro_rules! lisi_common_methods {
         }
 
         fn set(&self, key: &str, value: &str) -> crate::error::LisiResult<()> {
+            // Reserved key: "probe" switches the process-wide tracing
+            // mode through the generic option surface, so applications
+            // can enable observability without a LISI interface change
+            // (SIDL conformance forbids adding trait methods).
+            if key == "probe" {
+                let mode = probe::ProbeMode::parse(value).ok_or_else(|| {
+                    crate::error::LisiError::BadParameter {
+                        key: "probe".into(),
+                        reason: format!(
+                            "unknown probe mode '{value}' (expected off|summary|json|chrome)"
+                        ),
+                    }
+                })?;
+                probe::set_mode(mode);
+                return Ok(());
+            }
             self.state.lock().options.set(key, value);
             Ok(())
         }

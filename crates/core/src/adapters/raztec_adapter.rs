@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rcomm::{Communicator, Stopwatch};
+use rcomm::Communicator;
 use raztec::{AztecOO, AztecOptions, AzConv, AzPrecond, AzSolver, AzWhy, CrsMatrix, Map, RowMatrix, Vector};
 
 use crate::error::{LisiError, LisiResult};
@@ -102,7 +102,7 @@ impl SparseSolverPort for RaztecAdapter {
     fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
         let st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
-        let mut setup_sw = Stopwatch::started();
+        let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
         let rank = comm.rank();
@@ -120,17 +120,17 @@ impl SparseSolverPort for RaztecAdapter {
                     .map_err(LisiError::from)?,
             )
         };
-        setup_sw.stop();
+        let setup_seconds = setup_t.stop();
 
         let rhs = st.require_rhs()?;
         let n_rhs = st.n_rhs;
         let mut az = AztecOO::new(operator.as_ref());
         az.set_options(opts);
 
-        let mut solve_sw = Stopwatch::started();
+        let solve_t = probe::SectionTimer::start("lisi_solve");
         let mut report = SolveReport {
             converged: true,
-            setup_seconds: setup_sw.seconds() + st.convert_seconds,
+            setup_seconds: setup_seconds + st.convert_seconds,
             ..Default::default()
         };
         for k in 0..n_rhs {
@@ -156,8 +156,7 @@ impl SparseSolverPort for RaztecAdapter {
                 AzWhy::Ill => -3,
             };
         }
-        solve_sw.stop();
-        report.solve_seconds = solve_sw.seconds();
+        report.solve_seconds = solve_t.stop();
         report.write_into(status);
         if report.converged {
             Ok(())

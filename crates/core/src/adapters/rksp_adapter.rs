@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rcomm::{Communicator, Stopwatch};
+use rcomm::Communicator;
 use rkrylov::{Ksp, KspConfig, LinearOperator, MatOperator, Preconditioner, ShellOperator};
 use rsparse::{DistCsrMatrix, DistVector};
 
@@ -67,7 +67,7 @@ impl SparseSolverPort for RkspAdapter {
     fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
         let st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
-        let mut setup_sw = Stopwatch::started();
+        let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
         let rank = comm.rank();
@@ -123,14 +123,14 @@ impl SparseSolverPort for RkspAdapter {
             let op: Arc<dyn LinearOperator> = cache.operator.clone().expect("filled above");
             (op, cache.pc.clone().expect("filled above"))
         };
-        setup_sw.stop();
+        let setup_seconds = setup_t.stop();
 
         let rhs = st.require_rhs()?.to_vec();
         let n_rhs = st.n_rhs;
-        let mut solve_sw = Stopwatch::started();
+        let solve_t = probe::SectionTimer::start("lisi_solve");
         let mut report = SolveReport {
             converged: true,
-            setup_seconds: setup_sw.seconds() + st.convert_seconds,
+            setup_seconds: setup_seconds + st.convert_seconds,
             ..Default::default()
         };
         for k in 0..n_rhs {
@@ -159,8 +159,7 @@ impl SparseSolverPort for RkspAdapter {
                 rkrylov::ConvergedReason::Diverged => -3,
             };
         }
-        solve_sw.stop();
-        report.solve_seconds = solve_sw.seconds();
+        report.solve_seconds = solve_t.stop();
         report.write_into(status);
         if report.converged {
             Ok(())

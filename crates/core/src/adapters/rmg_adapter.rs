@@ -8,7 +8,6 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rcomm::Stopwatch;
 use rmg::{CoarseOperator, CoarseSolver, CycleType, Hierarchy, MgConfig, RmgSolver, Smoother};
 use rsparse::CsrMatrix;
 
@@ -106,7 +105,7 @@ impl SparseSolverPort for RmgAdapter {
                 "RMG builds Galerkin coarse operators and needs assembled entries".into(),
             ));
         }
-        let mut setup_sw = Stopwatch::started();
+        let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
         let rank = comm.rank();
@@ -125,15 +124,15 @@ impl SparseSolverPort for RmgAdapter {
         let dist =
             rsparse::DistCsrMatrix::from_local_rows(comm, partition.clone(), matrix.clone())?;
         let global = dist.gather_to_root(comm, 0)?;
-        setup_sw.stop();
+        let setup_seconds = setup_t.stop();
 
         let rhs = st.require_rhs()?;
         let n_rhs = st.n_rhs;
         let coarse = self.coarse.lock().clone();
-        let mut solve_sw = Stopwatch::started();
+        let solve_t = probe::SectionTimer::start("lisi_solve");
         let mut report = SolveReport {
             converged: true,
-            setup_seconds: setup_sw.seconds() + st.convert_seconds,
+            setup_seconds: setup_seconds + st.convert_seconds,
             reason: 1,
             ..Default::default()
         };
@@ -188,8 +187,7 @@ impl SparseSolverPort for RmgAdapter {
                 report.reason = -1;
             }
         }
-        solve_sw.stop();
-        report.solve_seconds = solve_sw.seconds();
+        report.solve_seconds = solve_t.stop();
         report.write_into(status);
         if report.converged {
             Ok(())

@@ -5,7 +5,6 @@
 //! interface.
 
 use parking_lot::Mutex;
-use rcomm::Stopwatch;
 use rdirect::{DistRslu, Ordering, RsluOptions};
 use rsparse::{DistCsrMatrix, DistVector};
 
@@ -68,7 +67,7 @@ impl SparseSolverPort for RsluAdapter {
                 "a direct solver cannot run matrix-free (it factors explicit entries)".into(),
             ));
         }
-        let mut setup_sw = Stopwatch::started();
+        let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
         let rank = comm.rank();
@@ -85,12 +84,12 @@ impl SparseSolverPort for RsluAdapter {
             cache.solver = Some(solver);
             cache.factored_epoch = Some(st.matrix_epoch);
         }
-        setup_sw.stop();
+        let setup_seconds = setup_t.stop();
 
         let rhs = st.require_rhs()?;
         let n_rhs = st.n_rhs;
         let solver = cache.solver.as_mut().expect("factored above");
-        let mut solve_sw = Stopwatch::started();
+        let solve_t = probe::SectionTimer::start("lisi_solve");
         let mut residual: f64 = 0.0;
         for k in 0..n_rhs {
             let b = DistVector::from_local(
@@ -115,14 +114,14 @@ impl SparseSolverPort for RsluAdapter {
             let global: f64 = comm.allreduce(local_res, rcomm::sum)?;
             residual = residual.max(global.sqrt());
         }
-        solve_sw.stop();
+        let solve_seconds = solve_t.stop();
 
         let report = SolveReport {
             converged: true,
             iterations: 0, // direct solve
             residual,
-            setup_seconds: setup_sw.seconds() + st.convert_seconds,
-            solve_seconds: solve_sw.seconds(),
+            setup_seconds: setup_seconds + st.convert_seconds,
+            solve_seconds,
             reason: 1,
         };
         report.write_into(status);

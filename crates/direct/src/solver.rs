@@ -124,6 +124,7 @@ impl RsluSolver {
 
     /// Phase 1: symbolic analysis (reused until the pattern changes).
     pub fn analyze(&mut self, a: &CsrMatrix) -> RsluResult<()> {
+        let _span = probe::span!("rslu_analyze");
         self.symbolic = Some(Symbolic::analyze(a, self.options.ordering)?);
         self.factors = None;
         self.matrix = None;
@@ -140,6 +141,8 @@ impl RsluSolver {
         if need_analysis {
             self.analyze(a)?;
         }
+        let _span = probe::span!("rslu_factor");
+        probe::incr(probe::Counter::FactorCalls);
         let (work, scales) = if self.options.equilibrate {
             let (scaled, r, c) = equilibrate(a)?;
             (scaled, Some((r, c)))
@@ -168,6 +171,8 @@ impl RsluSolver {
         }
         a.values_mut().copy_from_slice(values);
         let a = a.clone();
+        let _span = probe::span!("rslu_factor");
+        probe::incr(probe::Counter::FactorCalls);
         let (work, scales) = if self.options.equilibrate {
             let (scaled, r, c) = equilibrate(&a)?;
             (scaled, Some((r, c)))
@@ -185,6 +190,7 @@ impl RsluSolver {
 
     /// Phase 3: triangular solves (+ optional refinement).
     pub fn solve(&mut self, b: &[f64]) -> RsluResult<Vec<f64>> {
+        let _span = probe::span!("rslu_solve");
         let lu = self
             .factors
             .as_ref()
@@ -192,6 +198,7 @@ impl RsluSolver {
         // With equilibration the factors invert A' = R·A·C, so
         // A·x = b ⟺ A'·y = R·b with x = C·y.
         let scaled_solve = |rhs: &[f64]| -> RsluResult<Vec<f64>> {
+            probe::incr(probe::Counter::TriangularSolves);
             match &self.scales {
                 None => lu.solve(rhs),
                 Some((r, c)) => {
@@ -240,6 +247,37 @@ impl RsluSolver {
         self.factorize(a)?;
         self.solve(b)
     }
+
+    /// [`RsluSolver::factorize`] with the phase duration streamed to a
+    /// [`probe::SolveMonitor`] as `on_phase("rslu_factor", seconds)`.
+    pub fn factorize_monitored(
+        &mut self,
+        a: &CsrMatrix,
+        mon: &mut dyn probe::SolveMonitor,
+    ) -> RsluResult<()> {
+        let t = std::time::Instant::now();
+        let out = self.factorize(a);
+        mon.on_phase("rslu_factor", t.elapsed().as_secs_f64());
+        out
+    }
+
+    /// [`RsluSolver::solve`] with the phase duration and outcome streamed
+    /// to a [`probe::SolveMonitor`]: `on_phase("rslu_solve", seconds)`
+    /// followed by `on_finish` carrying the backward error. A direct
+    /// method "iterates" zero or one times — the iteration count reported
+    /// is the number of refinement steps taken.
+    pub fn solve_monitored(
+        &mut self,
+        b: &[f64],
+        mon: &mut dyn probe::SolveMonitor,
+    ) -> RsluResult<Vec<f64>> {
+        let t = std::time::Instant::now();
+        let out = self.solve(b);
+        mon.on_phase("rslu_solve", t.elapsed().as_secs_f64());
+        let refinements = usize::from(self.options.refine);
+        mon.on_finish(refinements, self.stats.backward_error, out.is_ok());
+        out
+    }
 }
 
 /// Distributed front-end: gathers the block-row system to rank 0, runs
@@ -263,6 +301,7 @@ impl DistRslu {
 
     /// Factor a distributed matrix (gather happens here). Collective.
     pub fn factorize(&mut self, comm: &Communicator, a: &DistCsrMatrix) -> RsluResult<()> {
+        let _span = probe::span!("rslu_dist_factor");
         let gathered = a.gather_to_root(comm, 0)?;
         let ok_flag = if comm.rank() == 0 {
             let global = gathered.expect("root receives the gathered matrix");
@@ -289,6 +328,7 @@ impl DistRslu {
         partition: &BlockRowPartition,
         b: &DistVector,
     ) -> RsluResult<DistVector> {
+        let _span = probe::span!("rslu_dist_solve");
         let b_full = b.gather_to_root(comm, 0)?;
         let chunks: Option<Vec<Vec<f64>>> = if comm.rank() == 0 {
             let full = b_full.expect("root receives the gathered rhs");
@@ -306,6 +346,38 @@ impl DistRslu {
         };
         let mine = comm.scatter(0, chunks)?;
         Ok(DistVector::from_local(partition.clone(), comm.rank(), mine)?)
+    }
+
+    /// [`DistRslu::factorize`] streaming the phase duration (gather +
+    /// factor + agreement broadcast) to a per-rank monitor. Collective.
+    pub fn factorize_monitored(
+        &mut self,
+        comm: &Communicator,
+        a: &DistCsrMatrix,
+        mon: &mut dyn probe::SolveMonitor,
+    ) -> RsluResult<()> {
+        let t = std::time::Instant::now();
+        let out = self.factorize(comm, a);
+        mon.on_phase("rslu_factor", t.elapsed().as_secs_f64());
+        out
+    }
+
+    /// [`DistRslu::solve`] streaming the phase duration and outcome to a
+    /// per-rank monitor. The backward error is only measured on the root
+    /// rank (where the factors live); other ranks report 0. Collective.
+    pub fn solve_monitored(
+        &mut self,
+        comm: &Communicator,
+        partition: &BlockRowPartition,
+        b: &DistVector,
+        mon: &mut dyn probe::SolveMonitor,
+    ) -> RsluResult<DistVector> {
+        let t = std::time::Instant::now();
+        let out = self.solve(comm, partition, b);
+        mon.on_phase("rslu_solve", t.elapsed().as_secs_f64());
+        let refinements = usize::from(self.inner.options.refine);
+        mon.on_finish(refinements, self.inner.stats.backward_error, out.is_ok());
+        out
     }
 }
 
@@ -457,6 +529,66 @@ mod tests {
                 for (g, e) in got.iter().zip(&x_true) {
                     assert!((g - e).abs() < 1e-8, "p = {p}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn monitored_phases_and_probe_counters_stream_out() {
+        let a = generate::random_diag_dominant(30, 3, 11);
+        let x_true = generate::random_vector(30, 12);
+        let b = a.matvec(&x_true).unwrap();
+
+        let factors0 = probe::get(probe::Counter::FactorCalls);
+        let trisolves0 = probe::get(probe::Counter::TriangularSolves);
+
+        let mut s = RsluSolver::new(RsluOptions::default());
+        let mut mon = probe::ResidualHistory::new();
+        s.factorize_monitored(&a, &mut mon).unwrap();
+        let x = s.solve_monitored(&b, &mut mon).unwrap();
+        for (g, e) in x.iter().zip(&x_true) {
+            assert!((g - e).abs() < 1e-9);
+        }
+
+        let phases: Vec<&str> = mon.phases.iter().map(|(p, _)| *p).collect();
+        assert_eq!(phases, vec!["rslu_factor", "rslu_solve"]);
+        assert!(mon.phases.iter().all(|(_, s)| *s >= 0.0));
+        assert!(mon.converged);
+        assert_eq!(mon.iterations, 1, "default options take one refinement step");
+        assert!(mon.final_residual < 1e-10);
+
+        // Counters are always on: one factorization, and with refinement
+        // each solve() runs two triangular solves.
+        assert_eq!(probe::get(probe::Counter::FactorCalls) - factors0, 1);
+        assert_eq!(probe::get(probe::Counter::TriangularSolves) - trisolves0, 2);
+    }
+
+    #[test]
+    fn distributed_monitored_solve_reports_on_every_rank() {
+        let a = generate::random_diag_dominant(24, 3, 21);
+        let n = a.rows();
+        let x_true = generate::random_vector(n, 22);
+        let b = a.matvec(&x_true).unwrap();
+        let out = Universe::run(3, |comm| {
+            let part = BlockRowPartition::even(n, comm.size());
+            let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+            let db = DistVector::from_global(part.clone(), comm.rank(), &b).unwrap();
+            let mut solver = DistRslu::new(RsluOptions::default());
+            let mut mon = probe::ResidualHistory::new();
+            solver.factorize_monitored(comm, &da, &mut mon).unwrap();
+            let dx = solver.solve_monitored(comm, &part, &db, &mut mon).unwrap();
+            let full = dx.allgather_full(comm).unwrap();
+            (full, mon)
+        });
+        for (rank, (full, mon)) in out.into_iter().enumerate() {
+            for (g, e) in full.iter().zip(&x_true) {
+                assert!((g - e).abs() < 1e-8);
+            }
+            let phases: Vec<&str> = mon.phases.iter().map(|(p, _)| *p).collect();
+            assert_eq!(phases, vec!["rslu_factor", "rslu_solve"], "rank {rank}");
+            assert!(mon.converged);
+            if rank == 0 {
+                assert!(mon.final_residual < 1e-10);
             }
         }
     }

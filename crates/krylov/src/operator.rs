@@ -144,6 +144,9 @@ impl LinearOperator for ShellOperator {
         x: &DistVector,
         y: &mut DistVector,
     ) -> KspOutcome<()> {
+        // Matrix-backed operators are counted inside the distributed
+        // matvec; shell applies never reach that layer, so count here.
+        probe::incr(probe::Counter::MatvecCalls);
         (self.apply)(comm, x, y).map_err(KspError::Nonconforming)
     }
 

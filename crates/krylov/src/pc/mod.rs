@@ -87,6 +87,22 @@ impl PcType {
     }
 }
 
+/// Wrapper that bumps the probe's `pc_applies` counter around an inner
+/// preconditioner, so apply counts show up in per-rank reports no matter
+/// which concrete PC the factory produced.
+struct Counted(Box<dyn Preconditioner>);
+
+impl Preconditioner for Counted {
+    fn apply(&self, comm: &Communicator, r: &DistVector, z: &mut DistVector) -> KspOutcome<()> {
+        probe::incr(probe::Counter::PcApplies);
+        self.0.apply(comm, r, z)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
 /// Build a preconditioner of the given type for an operator. Fails with
 /// [`KspError::BadConfig`] when the operator cannot supply what the
 /// preconditioner needs (e.g. ILU on a matrix-free shell).
@@ -94,39 +110,40 @@ pub fn make_preconditioner(
     pc: PcType,
     op: &dyn LinearOperator,
 ) -> KspOutcome<Box<dyn Preconditioner>> {
-    match pc {
-        PcType::None => Ok(Box::new(Identity)),
+    let inner: Box<dyn Preconditioner> = match pc {
+        PcType::None => Box::new(Identity),
         PcType::Jacobi => {
             let d = op.diagonal_local().ok_or_else(|| {
                 KspError::BadConfig("Jacobi needs the operator diagonal".into())
             })?;
-            Ok(Box::new(Jacobi::new(d)?))
+            Box::new(Jacobi::new(d)?)
         }
         PcType::Ilu0 | PcType::AdditiveSchwarz => {
             let blk = op.diagonal_block().ok_or_else(|| {
                 KspError::BadConfig("ILU(0) needs an assembled diagonal block".into())
             })?;
-            Ok(Box::new(Ilu0::new(&blk)?))
+            Box::new(Ilu0::new(&blk)?)
         }
         PcType::Ic0 => {
             let blk = op.diagonal_block().ok_or_else(|| {
                 KspError::BadConfig("IC(0) needs an assembled diagonal block".into())
             })?;
-            Ok(Box::new(Ic0::new(&blk)?))
+            Box::new(Ic0::new(&blk)?)
         }
         PcType::Ssor { omega } => {
             let blk = op.diagonal_block().ok_or_else(|| {
                 KspError::BadConfig("SSOR needs an assembled diagonal block".into())
             })?;
-            Ok(Box::new(Ssor::new(&blk, omega)?))
+            Box::new(Ssor::new(&blk, omega)?)
         }
         PcType::Ilut { droptol, max_fill } => {
             let blk = op.diagonal_block().ok_or_else(|| {
                 KspError::BadConfig("ILUT needs an assembled diagonal block".into())
             })?;
-            Ok(Box::new(Ilut::new(&blk, droptol, max_fill)?))
+            Box::new(Ilut::new(&blk, droptol, max_fill)?)
         }
-    }
+    };
+    Ok(Box::new(Counted(inner)))
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ pub(crate) fn solve(
     b: &DistVector,
     x: &mut DistVector,
     cfg: &KspConfig,
+    cb: Option<&mut dyn probe::SolveMonitor>,
 ) -> KspOutcome<KspResult> {
     cfg.validate()?;
     let part = op.partition().clone();
@@ -27,7 +28,7 @@ pub(crate) fn solve(
     op.apply(comm, x, &mut t)?;
     r.axpy(-1.0, &t)?;
     let r0_norm = r.norm2(comm)?;
-    let mut mon = Monitor::new(cfg, bnorm, r0_norm);
+    let mut mon = Monitor::new(comm, cfg, bnorm, r0_norm, cb);
     if let Some(reason) = mon.check(0, r0_norm) {
         return Ok(mon.finish(reason, 0, r0_norm, r0_norm));
     }

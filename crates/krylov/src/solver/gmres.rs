@@ -11,6 +11,7 @@ use crate::pc::Preconditioner;
 use crate::result::{ConvergedReason, KspOutcome, KspResult};
 use crate::solver::{KspConfig, Monitor};
 
+#[allow(clippy::too_many_arguments)] // internal entry point shared by GMRES/FGMRES
 pub(crate) fn solve(
     comm: &Communicator,
     op: &dyn LinearOperator,
@@ -19,6 +20,7 @@ pub(crate) fn solve(
     x: &mut DistVector,
     cfg: &KspConfig,
     flexible: bool,
+    cb: Option<&mut dyn probe::SolveMonitor>,
 ) -> KspOutcome<KspResult> {
     cfg.validate()?;
     let part = op.partition().clone();
@@ -31,7 +33,7 @@ pub(crate) fn solve(
     op.apply(comm, x, &mut w)?;
     r.axpy(-1.0, &w)?;
     let r0 = r.norm2(comm)?;
-    let mut mon = Monitor::new(cfg, bnorm, r0);
+    let mut mon = Monitor::new(comm, cfg, bnorm, r0, cb);
     if let Some(reason) = mon.check(0, r0) {
         return Ok(mon.finish(reason, 0, r0, r0));
     }

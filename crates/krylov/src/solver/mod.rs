@@ -96,7 +96,11 @@ pub struct KspConfig {
     /// Chebyshev spectral bounds (λmin, λmax) of the preconditioned
     /// operator; `None` triggers a power-method estimate.
     pub cheby_bounds: Option<(f64, f64)>,
-    /// Record the residual history (costs one Vec push per iteration).
+    /// Record the residual history into [`KspResult::history`] (costs one
+    /// Vec push per iteration). Automatically suppressed when a
+    /// [`probe::SolveMonitor`] is attached via
+    /// [`Ksp::solve_monitored`] — the monitor receives the same stream,
+    /// so the legacy Vec would be a duplicate allocation.
     pub keep_history: bool,
     /// Fuse per-iteration reductions into batched `allreduce_vec` calls
     /// (CG: residual norm + r·z in one collective; GMRES: all Arnoldi
@@ -211,21 +215,42 @@ impl KspConfig {
     }
 }
 
-/// Convergence bookkeeping shared by every method.
-pub(crate) struct Monitor {
+/// Convergence bookkeeping shared by every method. Streams residuals to
+/// an optional [`probe::SolveMonitor`] callback as the solve progresses;
+/// when one is attached, the legacy in-result history Vec is suppressed
+/// (the monitor receives the identical stream).
+pub(crate) struct Monitor<'a, 'b> {
     rtol_target: f64,
     atol: f64,
     dtol_target: f64,
     maxits: usize,
     pub history: Vec<f64>,
     keep_history: bool,
+    comm: &'a Communicator,
+    cb: Option<&'b mut dyn probe::SolveMonitor>,
+    /// `comm.allreduce_count()` at solve start, so callbacks report the
+    /// collectives issued by *this* solve.
+    allreduce0: u64,
+    /// Highest iteration number seen, so methods that check twice per
+    /// iteration (BiCGStab's half-step) count each iteration once.
+    last_counted: usize,
 }
 
-impl Monitor {
-    pub(crate) fn new(cfg: &KspConfig, bnorm: f64, r0: f64) -> Self {
+impl<'a, 'b> Monitor<'a, 'b> {
+    pub(crate) fn new(
+        comm: &'a Communicator,
+        cfg: &KspConfig,
+        bnorm: f64,
+        r0: f64,
+        mut cb: Option<&'b mut dyn probe::SolveMonitor>,
+    ) -> Self {
+        let keep_history = cfg.keep_history && cb.is_none();
         let mut history = Vec::new();
-        if cfg.keep_history {
+        if keep_history {
             history.push(r0);
+        }
+        if let Some(m) = cb.as_deref_mut() {
+            m.on_start(r0);
         }
         // PETSc semantics: relative to ‖b‖ unless b = 0, then absolute.
         let scale = if bnorm > 0.0 { bnorm } else { 1.0 };
@@ -235,14 +260,28 @@ impl Monitor {
             dtol_target: cfg.dtol * scale.max(r0),
             maxits: cfg.maxits,
             history,
-            keep_history: cfg.keep_history,
+            keep_history,
+            comm,
+            cb,
+            allreduce0: comm.allreduce_count(),
+            last_counted: 0,
         }
     }
 
     /// Record a residual norm; `Some(reason)` means stop.
     pub(crate) fn check(&mut self, iteration: usize, rnorm: f64) -> Option<ConvergedReason> {
-        if iteration > 0 && self.keep_history {
-            self.history.push(rnorm);
+        if iteration > 0 {
+            if iteration > self.last_counted {
+                self.last_counted = iteration;
+                probe::incr(probe::Counter::KspIterations);
+            }
+            if self.keep_history {
+                self.history.push(rnorm);
+            }
+            if let Some(m) = self.cb.as_deref_mut() {
+                let collectives = self.comm.allreduce_count() - self.allreduce0;
+                m.on_iteration(iteration, rnorm, collectives);
+            }
         }
         if rnorm <= self.atol {
             return Some(ConvergedReason::AbsoluteTolerance);
@@ -260,19 +299,23 @@ impl Monitor {
     }
 
     pub(crate) fn finish(
-        self,
+        mut self,
         reason: ConvergedReason,
         iterations: usize,
         r0: f64,
         rfinal: f64,
     ) -> KspResult {
-        KspResult {
+        let result = KspResult {
             reason,
             iterations,
             initial_residual: r0,
             final_residual: rfinal,
-            history: self.history,
+            history: std::mem::take(&mut self.history),
+        };
+        if let Some(m) = self.cb.as_deref_mut() {
+            m.on_finish(iterations, rfinal, result.converged());
         }
+        result
     }
 }
 
@@ -329,7 +372,7 @@ impl Ksp {
         x: &mut DistVector,
     ) -> KspOutcome<KspResult> {
         let pc = self.make_pc(op)?;
-        self.solve_with_pc(comm, op, pc.as_ref(), b, x)
+        self.dispatch(comm, op, pc.as_ref(), b, x, None)
     }
 
     /// Solve with a caller-provided (possibly reused) preconditioner.
@@ -341,16 +384,58 @@ impl Ksp {
         b: &DistVector,
         x: &mut DistVector,
     ) -> KspOutcome<KspResult> {
+        self.dispatch(comm, op, pc, b, x, None)
+    }
+
+    /// Solve with a [`probe::SolveMonitor`] receiving the residual stream,
+    /// per-solve collective counts and completion callback as the solve
+    /// runs. The result's legacy `history` Vec is left empty: the monitor
+    /// receives the identical data, so retaining both would allocate twice.
+    pub fn solve_monitored(
+        &self,
+        comm: &Communicator,
+        op: &dyn LinearOperator,
+        b: &DistVector,
+        x: &mut DistVector,
+        mon: &mut dyn probe::SolveMonitor,
+    ) -> KspOutcome<KspResult> {
+        let pc = self.make_pc(op)?;
+        self.dispatch(comm, op, pc.as_ref(), b, x, Some(mon))
+    }
+
+    /// [`Self::solve_monitored`] with a caller-provided preconditioner.
+    pub fn solve_with_pc_monitored(
+        &self,
+        comm: &Communicator,
+        op: &dyn LinearOperator,
+        pc: &dyn Preconditioner,
+        b: &DistVector,
+        x: &mut DistVector,
+        mon: &mut dyn probe::SolveMonitor,
+    ) -> KspOutcome<KspResult> {
+        self.dispatch(comm, op, pc, b, x, Some(mon))
+    }
+
+    fn dispatch(
+        &self,
+        comm: &Communicator,
+        op: &dyn LinearOperator,
+        pc: &dyn Preconditioner,
+        b: &DistVector,
+        x: &mut DistVector,
+        cb: Option<&mut dyn probe::SolveMonitor>,
+    ) -> KspOutcome<KspResult> {
+        let _span = probe::span!("ksp_solve");
         let cfg = &self.config;
         match cfg.ksp_type {
-            KspType::Cg => cg::solve(comm, op, pc, b, x, cfg),
-            KspType::BiCgStab => bicgstab::solve(comm, op, pc, b, x, cfg),
-            KspType::Gmres => gmres::solve(comm, op, pc, b, x, cfg, false),
-            KspType::Fgmres => gmres::solve(comm, op, pc, b, x, cfg, true),
-            KspType::Cgs => cgs::solve(comm, op, pc, b, x, cfg),
-            KspType::Tfqmr => tfqmr::solve(comm, op, pc, b, x, cfg),
-            KspType::Richardson => richardson::solve(comm, op, pc, b, x, cfg),
-            KspType::Chebyshev => chebyshev::solve(comm, op, pc, b, x, cfg),
+            KspType::Cg => cg::solve(comm, op, pc, b, x, cfg, cb),
+            KspType::BiCgStab => bicgstab::solve(comm, op, pc, b, x, cfg, cb),
+            KspType::Gmres => gmres::solve(comm, op, pc, b, x, cfg, false, cb),
+            KspType::Fgmres => gmres::solve(comm, op, pc, b, x, cfg, true, cb),
+            KspType::Cgs => cgs::solve(comm, op, pc, b, x, cfg, cb),
+            KspType::Tfqmr => tfqmr::solve(comm, op, pc, b, x, cfg, cb),
+            KspType::Richardson => richardson::solve(comm, op, pc, b, x, cfg, cb),
+            KspType::Chebyshev => chebyshev::solve(comm, op, pc, b, x, cfg, cb),
         }
     }
 }

@@ -1,0 +1,166 @@
+//! Typed event counters.
+//!
+//! Counters are always-on: each is a relaxed per-thread atomic, so bumping
+//! one costs a handful of nanoseconds regardless of the probe mode. The
+//! probe mode only gates the *timing* machinery (spans, chrome events).
+
+use crate::recorder;
+
+/// Everything the instrumented layers count. One slot per variant in each
+/// per-rank recorder.
+///
+/// The first block mirrors `rcomm::CommStats` (the communicator keeps its
+/// own per-communicator snapshot; these are the per-rank totals across all
+/// communicators). The rest are layer-specific: sparse halo traffic,
+/// Krylov/direct solver work, and CCA component-layer activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// `barrier()` calls.
+    Barriers,
+    /// `bcast()` calls.
+    Bcasts,
+    /// Rooted `reduce()` calls.
+    Reduces,
+    /// `allreduce()` / `allreduce_vec()` calls.
+    Allreduces,
+    /// `gather()` / `gatherv()` calls.
+    Gathers,
+    /// `allgather()` / `allgatherv()` calls.
+    Allgathers,
+    /// `scatter()` calls.
+    Scatters,
+    /// `alltoall()` calls.
+    Alltoalls,
+    /// `scan()` / `exscan()` calls.
+    Scans,
+    /// Point-to-point sends posted.
+    SendsPosted,
+    /// Point-to-point receives completed.
+    RecvsCompleted,
+    /// Payload bytes handed to point-to-point sends.
+    BytesSent,
+    /// Payload bytes delivered by point-to-point receives.
+    BytesReceived,
+    /// Halo-exchange messages posted by the distributed matvec.
+    HaloMessages,
+    /// Halo-exchange payload bytes (the boundary values actually moved).
+    HaloBytes,
+    /// Allocations taken on the steady-state (primed-workspace) matvec
+    /// path. Should stay 0 after the first matvec.
+    SteadyStateAllocs,
+    /// Operator applications (distributed matvec or shell apply).
+    MatvecCalls,
+    /// Preconditioner applications.
+    PcApplies,
+    /// Krylov iterations across all solves.
+    KspIterations,
+    /// Direct-solver numeric factorizations (incl. refactorizations).
+    FactorCalls,
+    /// Direct-solver triangular solves (one per right-hand side).
+    TriangularSolves,
+    /// CCA port method invocations crossing the component boundary.
+    PortCalls,
+    /// `Services::get_port` lookups.
+    PortFetches,
+}
+
+/// Number of counter variants (recorder slot-array length).
+pub(crate) const COUNTER_COUNT: usize = 23;
+
+impl Counter {
+    /// All variants, in declaration order (matching slot indices).
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::Barriers,
+        Counter::Bcasts,
+        Counter::Reduces,
+        Counter::Allreduces,
+        Counter::Gathers,
+        Counter::Allgathers,
+        Counter::Scatters,
+        Counter::Alltoalls,
+        Counter::Scans,
+        Counter::SendsPosted,
+        Counter::RecvsCompleted,
+        Counter::BytesSent,
+        Counter::BytesReceived,
+        Counter::HaloMessages,
+        Counter::HaloBytes,
+        Counter::SteadyStateAllocs,
+        Counter::MatvecCalls,
+        Counter::PcApplies,
+        Counter::KspIterations,
+        Counter::FactorCalls,
+        Counter::TriangularSolves,
+        Counter::PortCalls,
+        Counter::PortFetches,
+    ];
+
+    /// Stable snake_case name used by the JSON and summary sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Barriers => "barriers",
+            Counter::Bcasts => "bcasts",
+            Counter::Reduces => "reduces",
+            Counter::Allreduces => "allreduces",
+            Counter::Gathers => "gathers",
+            Counter::Allgathers => "allgathers",
+            Counter::Scatters => "scatters",
+            Counter::Alltoalls => "alltoalls",
+            Counter::Scans => "scans",
+            Counter::SendsPosted => "sends_posted",
+            Counter::RecvsCompleted => "recvs_completed",
+            Counter::BytesSent => "bytes_sent",
+            Counter::BytesReceived => "bytes_received",
+            Counter::HaloMessages => "halo_messages",
+            Counter::HaloBytes => "halo_bytes",
+            Counter::SteadyStateAllocs => "steady_state_allocs",
+            Counter::MatvecCalls => "matvec_calls",
+            Counter::PcApplies => "pc_applies",
+            Counter::KspIterations => "ksp_iterations",
+            Counter::FactorCalls => "factor_calls",
+            Counter::TriangularSolves => "triangular_solves",
+            Counter::PortCalls => "port_calls",
+            Counter::PortFetches => "port_fetches",
+        }
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Add `v` to counter `c` on the current thread's recorder.
+#[inline]
+pub fn add(c: Counter, v: u64) {
+    recorder::with_local(|r| r.add_counter(c, v));
+}
+
+/// Increment counter `c` by one on the current thread's recorder.
+#[inline]
+pub fn incr(c: Counter) {
+    add(c, 1);
+}
+
+/// Read counter `c` from the current thread's recorder.
+pub fn get(c: Counter) -> u64 {
+    recorder::with_local(|r| r.counter(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_exhaustive_and_ordered() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{} out of order", c.name());
+        }
+        // Names are unique.
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_COUNT);
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-thread recorders, the global registry, and the probe mode.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::counter::{Counter, COUNTER_COUNT};
+
+// ---------------------------------------------------------------------------
+// Probe mode
+// ---------------------------------------------------------------------------
+
+/// What the probe records and where it reports.
+///
+/// Counters are always on; the mode controls span timing and which sink
+/// the top-level binaries drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ProbeMode {
+    /// Spans disabled (one relaxed load per span site); counters only.
+    Off = 0,
+    /// Spans on; binaries print the per-rank summary/breakdown tables.
+    Summary = 1,
+    /// Spans on; binaries print one JSON object per rank (JSON lines).
+    Json = 2,
+    /// Spans on and every span also records a chrome://tracing event.
+    Chrome = 3,
+}
+
+impl ProbeMode {
+    /// Parse a mode from an env-var or `set("probe", ...)` value.
+    /// Case-insensitive; returns `None` for unrecognized spellings.
+    pub fn parse(s: &str) -> Option<ProbeMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "off" | "0" | "none" | "false" => Some(ProbeMode::Off),
+            "summary" | "table" | "1" | "on" | "true" => Some(ProbeMode::Summary),
+            "json" | "jsonl" => Some(ProbeMode::Json),
+            "chrome" | "trace" => Some(ProbeMode::Chrome),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeMode::Off => "off",
+            ProbeMode::Summary => "summary",
+            ProbeMode::Json => "json",
+            ProbeMode::Chrome => "chrome",
+        }
+    }
+
+    fn from_u8(v: u8) -> ProbeMode {
+        match v {
+            1 => ProbeMode::Summary,
+            2 => ProbeMode::Json,
+            3 => ProbeMode::Chrome,
+            _ => ProbeMode::Off,
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialized from the environment".
+const MODE_UNSET: u8 = u8::MAX;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Read the `RSPARSE_PROBE` environment variable (unrecognized or unset
+/// values mean [`ProbeMode::Off`]).
+pub fn mode_from_env() -> ProbeMode {
+    std::env::var("RSPARSE_PROBE")
+        .ok()
+        .and_then(|v| ProbeMode::parse(&v))
+        .unwrap_or(ProbeMode::Off)
+}
+
+/// Current global probe mode, lazily initialized from `RSPARSE_PROBE` on
+/// first use.
+#[inline]
+pub fn mode() -> ProbeMode {
+    let raw = MODE.load(Ordering::Relaxed);
+    if raw == MODE_UNSET {
+        let m = mode_from_env();
+        // Racing initializers compute the same value; either store wins.
+        let _ = MODE.compare_exchange(MODE_UNSET, m as u8, Ordering::Relaxed, Ordering::Relaxed);
+        m
+    } else {
+        ProbeMode::from_u8(raw)
+    }
+}
+
+/// Set the global probe mode (overrides the environment).
+pub fn set_mode(m: ProbeMode) {
+    MODE.store(m as u8, Ordering::Relaxed);
+}
+
+/// Whether span timing is currently active (`mode() != Off`).
+#[inline]
+pub fn enabled() -> bool {
+    // Single relaxed load on the hot path once initialized.
+    let raw = MODE.load(Ordering::Relaxed);
+    if raw == MODE_UNSET {
+        return mode() != ProbeMode::Off;
+    }
+    raw != ProbeMode::Off as u8
+}
+
+#[inline]
+pub(crate) fn chrome_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) == ProbeMode::Chrome as u8
+}
+
+// ---------------------------------------------------------------------------
+// Epoch & chrome event budget
+// ---------------------------------------------------------------------------
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Process-wide timestamp origin for chrome-trace `ts` fields.
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Global cap on retained chrome events: a long solve in Chrome mode must
+/// not grow memory without bound. ~0.5M events is plenty for a timeline.
+const EVENT_BUDGET: u64 = 1 << 19;
+
+static EVENTS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn claim_event_slot() -> bool {
+    EVENTS_TOTAL.fetch_add(1, Ordering::Relaxed) < EVENT_BUDGET
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+/// Accumulated statistics for one span name on one thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SpanStat {
+    pub calls: u64,
+    pub total_ns: u64,
+    /// Time spent inside child spans (subtracted to get self time).
+    pub child_ns: u64,
+}
+
+/// One complete chrome-trace event (`ph: "X"`).
+#[derive(Debug, Clone)]
+pub(crate) struct TraceEvent {
+    pub name: &'static str,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub rank: Option<usize>,
+}
+
+const RANK_UNSET: usize = usize::MAX;
+
+/// Per-thread metric store. Shared with the global registry via `Arc` so
+/// [`crate::aggregate`] can read it after the thread exits.
+pub(crate) struct Recorder {
+    rank: AtomicUsize,
+    counters: [AtomicU64; COUNTER_COUNT],
+    pub(crate) spans: Mutex<BTreeMap<&'static str, SpanStat>>,
+    pub(crate) events: Mutex<Vec<TraceEvent>>,
+    /// Chrome events dropped after the global budget was exhausted.
+    pub(crate) dropped_events: AtomicU64,
+}
+
+impl Recorder {
+    fn new() -> Recorder {
+        Recorder {
+            rank: AtomicUsize::new(RANK_UNSET),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            spans: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+            dropped_events: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn rank(&self) -> Option<usize> {
+        match self.rank.load(Ordering::Relaxed) {
+            RANK_UNSET => None,
+            r => Some(r),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add_counter(&self, c: Counter, v: u64) {
+        self.counters[c.index()].fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_span(&self, name: &'static str, dur_ns: u64, child_ns: u64) {
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let stat = spans.entry(name).or_default();
+        stat.calls += 1;
+        stat.total_ns += dur_ns;
+        stat.child_ns += child_ns;
+    }
+
+    pub(crate) fn record_event(&self, name: &'static str, ts_us: u64, dur_us: u64) {
+        if claim_event_slot() {
+            let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+            events.push(TraceEvent { name, ts_us, dur_us, rank: self.rank() });
+        } else {
+            self.dropped_events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn clear(&self) {
+        self.rank.store(RANK_UNSET, Ordering::Relaxed);
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.dropped_events.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry and thread-locals
+// ---------------------------------------------------------------------------
+
+static REGISTRY: Mutex<Vec<Arc<Recorder>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: Arc<Recorder> = {
+        let r = Arc::new(Recorder::new());
+        REGISTRY
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&r));
+        r
+    };
+
+    /// Stack of child-time accumulators for currently-open spans on this
+    /// thread. Each open span pushes a 0 frame; a closing child adds its
+    /// duration to the top frame so the parent can compute self time.
+    pub(crate) static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+#[inline]
+pub(crate) fn with_local<T>(f: impl FnOnce(&Recorder) -> T) -> T {
+    LOCAL.with(|r| f(r))
+}
+
+/// Clone the current thread's recorder handle.
+pub(crate) fn local_arc() -> Arc<Recorder> {
+    LOCAL.with(Arc::clone)
+}
+
+/// Tag the current thread's recorder with an SPMD rank. Called by the
+/// `rcomm` launcher on every rank thread; reports then group by rank.
+pub fn set_rank(rank: usize) {
+    with_local(|r| r.rank.store(rank, Ordering::Relaxed));
+}
+
+/// Snapshot every live recorder (for [`crate::aggregate`]).
+pub(crate) fn all_recorders() -> Vec<Arc<Recorder>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Zero all recorded counters, spans and chrome events in place, and
+/// reset the chrome event budget. Recorders stay registered (thread-local
+/// handles remain valid); this is a measurement reset, not a teardown.
+pub fn reset() {
+    for r in all_recorders() {
+        r.clear();
+    }
+    EVENTS_TOTAL.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,307 @@
+//! Report assembly and output sinks: per-rank summary tables, the
+//! Table-1-style setup/solve/port-overhead breakdown, JSON lines, and
+//! chrome://tracing export.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::counter::{Counter, COUNTER_COUNT};
+use crate::recorder::{self, Recorder};
+
+/// Aggregated statistics for one span name (see [`RankReport::spans`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span name as given to [`crate::span!`].
+    pub name: &'static str,
+    /// Number of times the span closed.
+    pub calls: u64,
+    /// Total (inclusive) wall-clock seconds.
+    pub total_s: f64,
+    /// Self (exclusive) wall-clock seconds: total minus time spent in
+    /// child spans.
+    pub self_s: f64,
+}
+
+/// A snapshot of one rank's counters and spans (or of the current thread,
+/// via [`local_report`]).
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// SPMD rank, if the recording thread was tagged via
+    /// [`crate::set_rank`]; `None` for untagged threads.
+    pub rank: Option<usize>,
+    counters: [u64; COUNTER_COUNT],
+    /// Spans sorted by descending total time.
+    pub spans: Vec<SpanSummary>,
+}
+
+impl RankReport {
+    /// Read one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Look up a span summary by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Total self-seconds of all `port:*` spans — the component-layer
+    /// overhead this rank spent crossing the CCA port boundary.
+    pub fn port_self_seconds(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name.starts_with("port:"))
+            .map(|s| s.self_s)
+            .sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.iter().all(|&c| c == 0)
+    }
+
+    fn from_parts(rank: Option<usize>, counters: [u64; COUNTER_COUNT], spans: Vec<SpanSummary>) -> RankReport {
+        let mut report = RankReport { rank, counters, spans };
+        report
+            .spans
+            .sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(b.name)));
+        report
+    }
+}
+
+fn ns_to_s(ns: u64) -> f64 {
+    ns as f64 * 1e-9
+}
+
+fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> RankReport {
+    let mut counters = [0u64; COUNTER_COUNT];
+    let mut spans: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+    for r in recorders {
+        for c in Counter::ALL {
+            counters[c as usize] += r.counter(c);
+        }
+        let locked = r.spans.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, stat) in locked.iter() {
+            let slot = spans.entry(name).or_insert((0, 0, 0));
+            slot.0 += stat.calls;
+            slot.1 += stat.total_ns;
+            slot.2 += stat.child_ns;
+        }
+    }
+    let spans = spans
+        .into_iter()
+        .map(|(name, (calls, total_ns, child_ns))| SpanSummary {
+            name,
+            calls,
+            total_s: ns_to_s(total_ns),
+            self_s: ns_to_s(total_ns.saturating_sub(child_ns)),
+        })
+        .collect();
+    RankReport::from_parts(rank, counters, spans)
+}
+
+/// Snapshot the current thread's recorder only. This is what tests use
+/// inside SPMD rank closures: each rank thread sees exactly its own
+/// counters and spans.
+pub fn local_report() -> RankReport {
+    let arc = recorder::local_arc();
+    snapshot(std::slice::from_ref(&arc), arc.rank())
+}
+
+/// Merge every recorder created since the last [`crate::reset`] into
+/// per-rank reports: ranked threads first (sorted by rank, recorders
+/// sharing a rank combined), then at most one report for untagged
+/// threads. Empty recorders are skipped.
+pub fn aggregate() -> Vec<RankReport> {
+    let mut by_rank: BTreeMap<usize, Vec<std::sync::Arc<Recorder>>> = BTreeMap::new();
+    let mut unranked: Vec<std::sync::Arc<Recorder>> = Vec::new();
+    for r in recorder::all_recorders() {
+        match r.rank() {
+            Some(rank) => by_rank.entry(rank).or_default().push(r),
+            None => unranked.push(r),
+        }
+    }
+    let mut reports: Vec<RankReport> = Vec::new();
+    for (rank, rs) in by_rank {
+        let rep = snapshot(&rs, Some(rank));
+        if !rep.is_empty() {
+            reports.push(rep);
+        }
+    }
+    if !unranked.is_empty() {
+        let rep = snapshot(&unranked, None);
+        if !rep.is_empty() {
+            reports.push(rep);
+        }
+    }
+    reports
+}
+
+fn rank_label(rank: Option<usize>) -> String {
+    match rank {
+        Some(r) => format!("rank {r}"),
+        None => "unranked".to_string(),
+    }
+}
+
+/// Render the full per-rank summary: every nonzero counter and every span
+/// (calls, total seconds, self seconds), one block per rank.
+pub fn render_summary(reports: &[RankReport]) -> String {
+    let mut out = String::new();
+    if reports.is_empty() {
+        return "probe: nothing recorded\n".to_string();
+    }
+    for rep in reports {
+        let _ = writeln!(out, "== probe summary: {} ==", rank_label(rep.rank));
+        let nonzero: Vec<Counter> = Counter::ALL
+            .into_iter()
+            .filter(|&c| rep.counter(c) > 0)
+            .collect();
+        if !nonzero.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for c in nonzero {
+                let _ = writeln!(out, "    {:<22} {:>12}", c.name(), rep.counter(c));
+            }
+        }
+        if !rep.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "  spans: {:<22} {:>8} {:>12} {:>12}",
+                "name", "calls", "total (s)", "self (s)"
+            );
+            for s in &rep.spans {
+                let _ = writeln!(
+                    out,
+                    "         {:<22} {:>8} {:>12.6} {:>12.6}",
+                    s.name, s.calls, s.total_s, s.self_s
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Render the Table-1-style breakdown: one row per rank with native and
+/// CCA setup/solve seconds plus the port-crossing overhead (self time of
+/// all `port:*` spans) measured by the framework itself.
+pub fn render_breakdown(reports: &[RankReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "rank", "native setup", "native solve", "cca setup", "cca solve", "port self (s)", "port calls"
+    );
+    let span_total = |rep: &RankReport, name: &str| -> f64 {
+        rep.span(name).map(|s| s.total_s).unwrap_or(0.0)
+    };
+    for rep in reports {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>10}",
+            rank_label(rep.rank),
+            span_total(rep, "native_setup"),
+            span_total(rep, "native_solve"),
+            span_total(rep, "cca_setup"),
+            span_total(rep, "cca_solve"),
+            rep.port_self_seconds(),
+            rep.counter(Counter::PortCalls),
+        );
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one JSON object per rank (JSON lines): all nonzero counters and
+/// all spans.
+pub fn render_jsonl(reports: &[RankReport]) -> String {
+    let mut out = String::new();
+    for rep in reports {
+        out.push('{');
+        match rep.rank {
+            Some(r) => {
+                let _ = write!(out, "\"rank\":{r}");
+            }
+            None => out.push_str("\"rank\":null"),
+        }
+        out.push_str(",\"counters\":{");
+        let mut first = true;
+        for c in Counter::ALL {
+            let v = rep.counter(c);
+            if v > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{}\":{v}", c.name());
+            }
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in rep.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"calls\":{},\"total_s\":{:e},\"self_s\":{:e}}}",
+                escape_json(s.name),
+                s.calls,
+                s.total_s,
+                s.self_s
+            );
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+/// Serialize every recorded chrome event into a chrome://tracing
+/// (`trace_event` format) JSON document. Load the result via
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json() -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut dropped: u64 = 0;
+    for r in recorder::all_recorders() {
+        dropped += r.dropped_events.load(std::sync::atomic::Ordering::Relaxed);
+        let events = r.events.lock().unwrap_or_else(|e| e.into_inner());
+        for e in events.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let tid = e.rank.map(|r| r as u64).unwrap_or(999);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"probe\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                escape_json(e.name),
+                e.ts_us,
+                e.dur_us,
+                tid
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped}}}}}"
+    );
+    out
+}
+
+/// Write [`chrome_trace_json`] to `path`.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}

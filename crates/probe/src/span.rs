@@ -1,0 +1,110 @@
+//! Scoped spans and section timers.
+
+use std::time::Instant;
+
+use crate::recorder::{self, chrome_enabled, enabled, epoch, STACK};
+
+fn push_frame() {
+    STACK.with(|s| s.borrow_mut().push(0));
+}
+
+/// Close a frame: record the span, pop our child accumulator, and add our
+/// duration to the parent frame (if any).
+fn close_frame(name: &'static str, start: Instant) {
+    let dur_ns = start.elapsed().as_nanos() as u64;
+    let child_ns = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let mine = stack.pop().unwrap_or(0);
+        if let Some(parent) = stack.last_mut() {
+            *parent += dur_ns;
+        }
+        mine
+    });
+    recorder::with_local(|r| {
+        r.record_span(name, dur_ns, child_ns);
+        if chrome_enabled() {
+            let ts_us = start.duration_since(epoch()).as_micros() as u64;
+            r.record_event(name, ts_us, dur_ns / 1_000);
+        }
+    });
+}
+
+/// RAII guard for a scoped span; created by [`crate::span!`]. Records on
+/// drop. Inert (no clock read, no allocation) when the probe is disabled.
+#[must_use = "binding the guard keeps the span open until end of scope"]
+pub struct SpanGuard {
+    live: Option<(&'static str, Instant)>,
+}
+
+impl SpanGuard {
+    /// Open a span named `name`. Prefer the [`crate::span!`] macro.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { live: None };
+        }
+        push_frame();
+        SpanGuard { live: Some((name, Instant::now())) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.live.take() {
+            close_frame(name, start);
+        }
+    }
+}
+
+/// A timer that always measures wall-clock seconds (its callers need the
+/// number regardless of probe mode) and additionally records a span when
+/// the probe is enabled. Replaces ad-hoc `Stopwatch` plumbing in the
+/// adapters and bench harness: one construct yields both the caller's
+/// `SolveReport` seconds and the probe's per-rank breakdown.
+#[must_use = "call stop() to retrieve the measured seconds"]
+pub struct SectionTimer {
+    name: &'static str,
+    start: Instant,
+    /// Whether we pushed a span frame at start (probe was enabled).
+    pushed: bool,
+    done: bool,
+}
+
+impl SectionTimer {
+    /// Start timing a named section.
+    pub fn start(name: &'static str) -> SectionTimer {
+        let pushed = enabled();
+        if pushed {
+            push_frame();
+        }
+        SectionTimer { name, start: Instant::now(), pushed, done: false }
+    }
+
+    /// Stop and return the elapsed wall-clock seconds, recording the span
+    /// if the probe was enabled at start.
+    pub fn stop(mut self) -> f64 {
+        self.done = true;
+        if self.pushed {
+            close_frame(self.name, self.start);
+        }
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SectionTimer {
+    fn drop(&mut self) {
+        // Early-return/`?` paths still close the span frame; the measured
+        // seconds are simply lost to the caller.
+        if !self.done && self.pushed {
+            close_frame(self.name, self.start);
+        }
+    }
+}
+
+/// Run `f` under a span named `name`, returning its result and the
+/// elapsed wall-clock seconds.
+pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, f64) {
+    let t = SectionTimer::start(name);
+    let out = f();
+    (out, t.stop())
+}

@@ -339,7 +339,7 @@ impl CsrMatrix {
     }
 
     /// Symmetric permutation B = A(p, p): entry (i, j) moves to
-    /// (inv_p[i], inv_p[j]) where `perm[k]` is the old index placed at new
+    /// `(inv_p[i], inv_p[j])` where `perm[k]` is the old index placed at new
     /// position k. Used by fill-reducing orderings.
     pub fn permute_symmetric(&self, perm: &[usize]) -> SparseResult<CsrMatrix> {
         if self.rows != self.cols {

@@ -19,7 +19,7 @@
 //! 4. finishes with the boundary rows against `[x_local, ghosts]`.
 //!
 //! The ghost-extended vector and the send staging buffers live in a
-//! [`MatvecWorkspace`] owned by the matrix (interior mutability), so
+//! `MatvecWorkspace` owned by the matrix (interior mutability), so
 //! repeated matvecs — the inner loop of every Krylov solve — perform no
 //! heap allocation. Dot products and norms reduce over the communicator.
 //!
@@ -266,6 +266,7 @@ impl MatvecWorkspace {
                 // grow the pool.
                 if self.primed {
                     self.steady_allocs += 1;
+                    probe::incr(probe::Counter::SteadyStateAllocs);
                 }
                 pool.push(Arc::new(vec![0.0; idxs.len()]));
                 pool.len() - 1
@@ -573,7 +574,7 @@ impl DistCsrMatrix {
     /// staging buffers, interior rows are computed while the halos are in
     /// flight, receives are drained out-of-order as they arrive, and the
     /// boundary rows finish against `[x_local, ghosts]`. All scratch comes
-    /// from the matrix's [`MatvecWorkspace`], so repeated calls allocate
+    /// from the matrix's `MatvecWorkspace`, so repeated calls allocate
     /// nothing in steady state (see
     /// [`steady_state_allocs`](Self::steady_state_allocs)).
     pub fn matvec_into(
@@ -591,29 +592,47 @@ impl DistCsrMatrix {
         let mut guard = self.workspace.lock().unwrap_or_else(|e| e.into_inner());
         let ws = &mut *guard;
         let overlap = overlap_enabled();
+        probe::incr(probe::Counter::MatvecCalls);
+        let _matvec_span = probe::span!("matvec");
 
         // 1. Post all halo sends (eager, non-blocking) from staged buffers.
-        for (slot, (dest, idxs)) in self.plan.sends.iter().enumerate() {
-            let payload = ws.stage_send(slot, idxs, &x.local);
-            comm.send(*dest, TAG_HALO, payload)?;
+        {
+            let _s = probe::span!("halo_post");
+            for (slot, (dest, idxs)) in self.plan.sends.iter().enumerate() {
+                let payload = ws.stage_send(slot, idxs, &x.local);
+                probe::incr(probe::Counter::HaloMessages);
+                probe::add(
+                    probe::Counter::HaloBytes,
+                    (idxs.len() * std::mem::size_of::<f64>()) as u64,
+                );
+                comm.send(*dest, TAG_HALO, payload)?;
+            }
         }
 
         // 2. Interior rows depend only on owned entries: compute them now,
         //    while the halos are in flight.
         let yl = y.local_mut();
         if overlap {
+            let _s = probe::span!("spmv_interior");
             spmv_rows(&self.split.interior, &self.split.interior_rows, &x.local, yl);
         }
 
         // 3. Drain the halo receives (out of order when overlapping).
         ws.ext[..n_local].copy_from_slice(&x.local);
-        self.drain_halos(comm, ws, overlap)?;
+        {
+            let _s = probe::span!("halo_drain");
+            self.drain_halos(comm, ws, overlap)?;
+        }
         if !overlap {
+            let _s = probe::span!("spmv_interior");
             spmv_rows(&self.split.interior, &self.split.interior_rows, &x.local, yl);
         }
 
         // 4. Boundary rows against the ghost-extended vector.
-        spmv_rows(&self.split.boundary, &self.split.boundary_rows, &ws.ext, yl);
+        {
+            let _s = probe::span!("spmv_boundary");
+            spmv_rows(&self.split.boundary, &self.split.boundary_rows, &ws.ext, yl);
+        }
         ws.primed = true;
         Ok(())
     }

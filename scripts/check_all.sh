@@ -8,8 +8,8 @@ cd "$(dirname "$0")/.."
 echo "== build (all targets) =="
 cargo build --workspace --all-targets
 
-echo "== clippy (sparse + krylov) =="
-cargo clippy -p lisi-sparse -p lisi-krylov --all-targets -- -D warnings
+echo "== clippy (probe + sparse + krylov) =="
+cargo clippy -p lisi-probe -p lisi-sparse -p lisi-krylov --all-targets -- -D warnings
 
 echo "== tests =="
 RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace

@@ -11,6 +11,7 @@
 //!
 //! | module | crate | role |
 //! |--------|-------|------|
+//! | [`probe`] | `lisi-probe` | per-rank tracing, metrics, solve monitors |
 //! | [`comm`] | `lisi-comm` | MPI-like message passing (ranks, collectives) |
 //! | [`sparse`] | `lisi-sparse` | formats, kernels, distributed matrices |
 //! | [`mesh`] | `lisi-mesh` | the paper's PDE problem generator |
@@ -57,6 +58,7 @@
 
 pub use cca;
 pub use lisi;
+pub use probe;
 pub use raztec as aztec;
 pub use rcomm as comm;
 pub use rdirect as direct;
