@@ -88,6 +88,9 @@ pub enum AzWhy {
     Breakdown,
     /// Residual blow-up / ill-conditioning detected.
     Ill,
+    /// No new best residual for [`AztecOptions::stall_window`]
+    /// consecutive iterations.
+    Stagnated,
 }
 
 impl AzWhy {
@@ -113,6 +116,11 @@ pub struct AztecOptions {
     pub max_iter: usize,
     /// GMRES restart space (`options[AZ_kspace]`).
     pub kspace: usize,
+    /// Stagnation guard: stop with [`AzWhy::Stagnated`] after this many
+    /// consecutive iterations without a new best residual (0 disables —
+    /// Aztec itself has no such test). The test uses only the
+    /// rank-agreed recurrence residual, so every rank stops identically.
+    pub stall_window: usize,
 }
 
 impl Default for AztecOptions {
@@ -124,6 +132,7 @@ impl Default for AztecOptions {
             tol: 1e-8,
             max_iter: 10_000,
             kspace: 30,
+            stall_window: 0,
         }
     }
 }
@@ -338,6 +347,36 @@ mod tests {
         assert_eq!(out[0].why, AzWhy::Maxits);
         assert_eq!(out[0].its, 2);
         assert!(!out[0].why.converged());
+    }
+
+    #[test]
+    fn stagnation_guard_stops_stalled_iteration() {
+        // Unpreconditioned CG with a 1-iteration stall window on a stiff
+        // problem: the non-monotone residual trips the guard long before
+        // max_iter, and identically on every rank.
+        let a = generate::laplacian_2d(10);
+        let n = 100;
+        let b = vec![1.0; n];
+        for ranks in [1usize, 2] {
+            let out = Universe::run(ranks, |comm| {
+                let m = CrsMatrix::from_global(comm, &a).unwrap();
+                let bv = Vector::from_global(m.row_map().clone(), &b).unwrap();
+                let mut xv = Vector::new(m.row_map().clone());
+                let mut az = AztecOO::new(&m);
+                az.options_mut().solver = AzSolver::Cg;
+                az.options_mut().tol = 1e-300;
+                az.options_mut().max_iter = 1_000_000;
+                az.options_mut().stall_window = 1;
+                az.iterate(comm, &bv, &mut xv).unwrap()
+            });
+            for st in &out {
+                assert_eq!(st.why, out[0].why, "ranks disagree");
+                assert_eq!(st.its, out[0].its, "ranks disagree");
+            }
+            assert_eq!(out[0].why, AzWhy::Stagnated);
+            assert!(!out[0].why.converged());
+            assert!(out[0].its < 1_000_000);
+        }
     }
 
     #[test]

@@ -20,12 +20,28 @@ pub(crate) struct RawOutcome {
     pub initial_residual: f64,
 }
 
+/// Per-solve stagnation bookkeeping, threaded through [`stop_check`].
+/// Derived purely from the rank-agreed recurrence residual, so every rank
+/// reaches the same verdict on the same iteration.
+pub(crate) struct StopState {
+    best: f64,
+    stalled: usize,
+    last_it: usize,
+}
+
+impl StopState {
+    pub(crate) fn new(r0: f64) -> Self {
+        StopState { best: r0, stalled: 0, last_it: 0 }
+    }
+}
+
 fn stop_check(
     rnorm: f64,
     r0: f64,
     bnorm: f64,
     opts: &AztecOptions,
     it: usize,
+    state: &mut StopState,
 ) -> Option<AzWhy> {
     let scale = match opts.conv {
         crate::aztecoo::AzConv::R0 => {
@@ -52,6 +68,21 @@ fn stop_check(
     if rnorm > 1e8 * scale.max(1.0) {
         return Some(AzWhy::Ill);
     }
+    // Stagnation test: count each iteration once (methods that check
+    // twice per iteration — BiCGStab's half-step, TFQMR's inner loop —
+    // only advance the stall counter when `it` advances).
+    if opts.stall_window > 0 && it > state.last_it {
+        state.last_it = it;
+        if rnorm < state.best * (1.0 - 1e-12) {
+            state.best = rnorm;
+            state.stalled = 0;
+        } else {
+            state.stalled += 1;
+        }
+        if state.stalled >= opts.stall_window {
+            return Some(AzWhy::Stagnated);
+        }
+    }
     if it >= opts.max_iter {
         return Some(AzWhy::Maxits);
     }
@@ -76,7 +107,8 @@ pub(crate) fn cg(
     let mut z = Vector::new(map.clone());
     pc.apply(comm, &r, &mut z)?;
     let r0 = z.norm2(comm)?; // Aztec-style: preconditioned residual norm
-    if let Some(why) = stop_check(r0, r0, bnorm, opts, 0) {
+    let mut stop = StopState::new(r0);
+    if let Some(why) = stop_check(r0, r0, bnorm, opts, 0, &mut stop) {
         return Ok(RawOutcome { why, iterations: 0, rec_residual: r0, initial_residual: r0 });
     }
     let mut p = z.clone();
@@ -96,7 +128,7 @@ pub(crate) fn cg(
         r.update(-alpha, &q)?;
         pc.apply(comm, &r, &mut z)?;
         rnorm = z.norm2(comm)?;
-        if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it) {
+        if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it, &mut stop) {
             break why;
         }
         let rz_new = r.dot(&z, comm)?;
@@ -137,7 +169,8 @@ pub(crate) fn gmres(
     let mut z = Vector::new(map.clone());
     precond_residual(comm, x, &mut ax, &mut z)?;
     let r0 = z.norm2(comm)?;
-    if let Some(why) = stop_check(r0, r0, bnorm, opts, 0) {
+    let mut stop = StopState::new(r0);
+    if let Some(why) = stop_check(r0, r0, bnorm, opts, 0, &mut stop) {
         return Ok(RawOutcome { why, iterations: 0, rec_residual: r0, initial_residual: r0 });
     }
 
@@ -185,7 +218,7 @@ pub(crate) fn gmres(
             it += 1;
             inner += 1;
             rnorm = g[j + 1].abs();
-            if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it) {
+            if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it, &mut stop) {
                 cycle_why = Some(why);
                 break;
             }
@@ -215,7 +248,7 @@ pub(crate) fn gmres(
         }
         precond_residual(comm, x, &mut ax, &mut z)?;
         rnorm = z.norm2(comm)?;
-        if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it) {
+        if let Some(why) = stop_check(rnorm, r0, bnorm, opts, it, &mut stop) {
             break 'outer why;
         }
     };
@@ -241,7 +274,8 @@ pub(crate) fn bicgstab(
     let mut r = Vector::new(map.clone());
     pc.apply(comm, &raw, &mut r)?;
     let r0n = r.norm2(comm)?;
-    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0) {
+    let mut stop = StopState::new(r0n);
+    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0, &mut stop) {
         return Ok(RawOutcome { why, iterations: 0, rec_residual: r0n, initial_residual: r0n });
     }
     let r_hat = r.clone();
@@ -263,7 +297,7 @@ pub(crate) fn bicgstab(
         let alpha = rho / rhv;
         r.update(-alpha, &v)?; // s stored in r
         let snorm = r.norm2(comm)?;
-        if let Some(why) = stop_check(snorm, r0n, bnorm, opts, it) {
+        if let Some(why) = stop_check(snorm, r0n, bnorm, opts, it, &mut stop) {
             x.update(alpha, &p)?;
             rnorm = snorm;
             break why;
@@ -283,7 +317,7 @@ pub(crate) fn bicgstab(
         x.update(omega, &r)?;
         r.update(-omega, &t)?;
         rnorm = r.norm2(comm)?;
-        if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it) {
+        if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it, &mut stop) {
             break why;
         }
         let rho_new = r_hat.dot(&r, comm)?;
@@ -320,7 +354,8 @@ pub(crate) fn cgs(
     let mut r = Vector::new(map.clone());
     pc.apply(comm, &raw, &mut r)?;
     let r0n = r.norm2(comm)?;
-    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0) {
+    let mut stop = StopState::new(r0n);
+    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0, &mut stop) {
         return Ok(RawOutcome { why, iterations: 0, rec_residual: r0n, initial_residual: r0n });
     }
     let r_hat = r.clone();
@@ -359,7 +394,7 @@ pub(crate) fn cgs(
         pc.apply(comm, &tmp, &mut mau)?;
         r.update(-alpha, &mau)?;
         rnorm = r.norm2(comm)?;
-        if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it) {
+        if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it, &mut stop) {
             break why;
         }
         let rho_new = r_hat.dot(&r, comm)?;
@@ -403,7 +438,8 @@ pub(crate) fn tfqmr(
         pc.apply(comm, &scratch, vout)
     };
     let r0n = r.norm2(comm)?;
-    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0) {
+    let mut stop = StopState::new(r0n);
+    if let Some(why) = stop_check(r0n, r0n, bnorm, opts, 0, &mut stop) {
         return Ok(RawOutcome { why, iterations: 0, rec_residual: r0n, initial_residual: r0n });
     }
     let r_hat = r.clone();
@@ -442,7 +478,7 @@ pub(crate) fn tfqmr(
             eta = cfac * cfac * alpha;
             x.update(eta, &d)?;
             rnorm = tau * ((2 * it) as f64).sqrt();
-            if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it) {
+            if let Some(why) = stop_check(rnorm, r0n, bnorm, opts, it, &mut stop) {
                 break 'outer why;
             }
         }

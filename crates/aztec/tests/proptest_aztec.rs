@@ -27,6 +27,7 @@ fn run(
             tol: 1e-11,
             max_iter: 5000,
             kspace: 30,
+            stall_window: 0,
         });
         let st = az.iterate(comm, &bv, &mut xv).unwrap();
         (st, xv.gather_all(comm).unwrap())
@@ -128,6 +129,7 @@ proptest! {
                 tol: 1e-11,
                 max_iter: 2000,
                 kspace: 30,
+                stall_window: 0,
             };
             // Assembled.
             let m1 = CrsMatrix::from_global(comm, &a).unwrap();

@@ -1,0 +1,136 @@
+//! Paired fault-machinery overhead guard.
+//!
+//! The fault-injection hooks in `rcomm` sit on every communication call;
+//! their disarmed cost must stay invisible (<1%). Like `probe_guard`,
+//! a two-window A/B cannot resolve that on a drifting shared machine, so
+//! this bin alternates *disarmed* against *armed-but-inert* (a plan whose
+//! rule can never fire: it names a rank outside the cohort) in
+//! order-swapped pairs and reports the median per-pair ratio for the two
+//! communication-heavy workloads the resilience work touches:
+//!
+//! * `spmv` — the dist4 m=200 SpMV burst (halo p2p traffic), and
+//! * `fused_cg` — a fixed-iteration fused-reduction CG solve
+//!   (allreduce traffic through the guarded Monitor path).
+//!
+//! Two distinct costs are at stake. The *disarmed* path is a single
+//! relaxed atomic load per call — the <1% no-faults budget is checked by
+//! `scripts/bench_smoke.sh` comparing fresh disarmed throughput against
+//! the stored `BENCH_spmv.json` baseline. What this bin pins down is the
+//! *armed* path (global mutex + rule scan per call), which is only ever
+//! paid while a fault plan is loaded for testing; the smoke script holds
+//! it to a looser diagnostic budget in `BENCH_fault_overhead.json`.
+//!
+//! Output: one JSON object on stdout.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rcomm::Universe;
+use rkrylov::{Ksp, KspConfig, KspType, MatOperator, PcType};
+use rsparse::{generate, BlockRowPartition, CsrMatrix, DistCsrMatrix, DistVector};
+
+fn spmv_workload(a: &CsrMatrix, x: &[f64]) -> f64 {
+    Universe::run(4, |comm| {
+        let part = BlockRowPartition::even(a.rows(), comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), a).unwrap();
+        let dx = DistVector::from_global(part, comm.rank(), x).unwrap();
+        let mut dy = da.matvec(comm, &dx).unwrap();
+        for _ in 0..9 {
+            da.matvec_into(comm, &dx, &mut dy).unwrap();
+        }
+        dy.local()[0]
+    })[0]
+}
+
+fn fused_cg_workload(a: &CsrMatrix, b: &[f64]) -> f64 {
+    Universe::run(4, |comm| {
+        let part = BlockRowPartition::even(a.rows(), comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), a).unwrap();
+        let op = MatOperator::new(da);
+        let db = DistVector::from_global(part.clone(), comm.rank(), b).unwrap();
+        let mut dx = DistVector::zeros(part, comm.rank());
+        let ksp = Ksp::new(KspConfig {
+            ksp_type: KspType::Cg,
+            pc_type: PcType::None,
+            // Fixed work: 40 fused-reduction iterations, no early exit.
+            rtol: 0.0,
+            atol: 0.0,
+            maxits: 40,
+            keep_history: false,
+            fused_reductions: true,
+            ..KspConfig::default()
+        })
+        .unwrap();
+        let r = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+        r.final_residual
+    })[0]
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Run one workload in alternating disarmed/inert-armed pairs and return
+/// `(disarmed_median_s, armed_median_s, overhead_pct)`.
+fn paired(trials: usize, mut work: impl FnMut() -> f64) -> (f64, f64, f64) {
+    // The rule targets a rank no 4-rank cohort contains, so it matches
+    // nothing — but the armed branch and rule scan run on every call.
+    let inert = rcomm::FaultPlan::parse("op=allreduce,rank=9999,call=1,kind=error").unwrap();
+    let mut sink = 0.0;
+    for _ in 0..2 {
+        sink += work(); // warm-up
+    }
+    let mut off_s = Vec::with_capacity(trials);
+    let mut on_s = Vec::with_capacity(trials);
+    let mut ratios = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let armed_first = t % 2 == 1;
+        let mut pair = [0.0f64; 2]; // [disarmed, armed]
+        for step in 0..2 {
+            let armed = (step == 1) != armed_first;
+            if armed {
+                rcomm::fault::arm(inert.clone());
+            } else {
+                rcomm::fault::disarm();
+            }
+            let t0 = Instant::now();
+            sink += work();
+            sink += work();
+            pair[usize::from(armed)] = t0.elapsed().as_secs_f64() / 2.0;
+        }
+        off_s.push(pair[0]);
+        on_s.push(pair[1]);
+        ratios.push(pair[1] / pair[0]);
+    }
+    rcomm::fault::disarm();
+    black_box(sink);
+    let pct = 100.0 * (median(&mut ratios) - 1.0);
+    (median(&mut off_s), median(&mut on_s), pct)
+}
+
+fn main() {
+    let trials: usize = std::env::var("FAULT_GUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let a = generate::laplacian_2d(200);
+    let x = generate::random_vector(a.cols(), 7);
+    let (spmv_off, spmv_on, spmv_pct) = paired(trials, || spmv_workload(&a, &x));
+
+    let c = generate::laplacian_2d(120);
+    let b = vec![1.0; c.rows()];
+    let (cg_off, cg_on, cg_pct) = paired(trials, || fused_cg_workload(&c, &b));
+
+    println!(
+        "{{\"trials\":{trials},\
+\"spmv\":{{\"workload\":\"dist4 m=200 spmv x10\",\
+\"disarmed_median_ns\":{:.1},\"armed_inert_median_ns\":{:.1},\"overhead_pct\":{spmv_pct:.4}}},\
+\"fused_cg\":{{\"workload\":\"dist4 m=120 fused cg 40 its\",\
+\"disarmed_median_ns\":{:.1},\"armed_inert_median_ns\":{:.1},\"overhead_pct\":{cg_pct:.4}}}}}",
+        spmv_off * 1e9,
+        spmv_on * 1e9,
+        cg_off * 1e9,
+        cg_on * 1e9,
+    );
+}

@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 
 use crate::envelope::{child_context, Context, Envelope, COLLECTIVE_BIT};
 use crate::error::{CommError, CommResult};
+use crate::fault::{self, FaultAction, FaultOp};
 use crate::stats::{CommStats, StatsCell};
 use crate::Tag;
 
@@ -145,6 +146,54 @@ impl Communicator {
         Ok(())
     }
 
+    /// This rank's world rank — the rank space fault plans address.
+    #[inline]
+    fn my_world_rank(&self) -> usize {
+        self.members[self.rank]
+    }
+
+    /// Fault gate for receive paths. Error/delay are handled here; a
+    /// `Corrupt` action is returned so the caller can poison the payload
+    /// *after* it arrives.
+    fn recv_fault(&self, tag: Option<Tag>) -> CommResult<Option<FaultAction>> {
+        if !fault::armed() {
+            return Ok(None);
+        }
+        match fault::check(FaultOp::Recv, self.my_world_rank(), tag) {
+            Some(FaultAction::Error { call }) => {
+                Err(CommError::Injected { op: "recv", rank: self.my_world_rank(), call })
+            }
+            Some(FaultAction::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(None)
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Fault gate for collective wrappers. Error/delay are handled here;
+    /// a `Corrupt` action is returned so value-carrying collectives can
+    /// poison this rank's local contribution before reducing.
+    fn collective_fault(
+        &self,
+        op: FaultOp,
+        name: &'static str,
+    ) -> CommResult<Option<FaultAction>> {
+        if !fault::armed() {
+            return Ok(None);
+        }
+        match fault::check(op, self.my_world_rank(), None) {
+            Some(FaultAction::Error { call }) => {
+                Err(CommError::Injected { op: name, rank: self.my_world_rank(), call })
+            }
+            Some(FaultAction::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(None)
+            }
+            other => Ok(other),
+        }
+    }
+
     /// Send `value` to local rank `dest` with `tag`.
     ///
     /// Sends are *eager*: the payload is moved into the destination mailbox
@@ -152,6 +201,31 @@ impl Communicator {
     /// to self is allowed and is matched by a later receive.
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> CommResult<()> {
         Self::check_tag(tag)?;
+        let mut value = value;
+        if fault::armed() {
+            match fault::check(FaultOp::Send, self.my_world_rank(), Some(tag)) {
+                Some(FaultAction::Error { call }) => {
+                    return Err(CommError::Injected {
+                        op: "send",
+                        rank: self.my_world_rank(),
+                        call,
+                    });
+                }
+                Some(FaultAction::Drop) => {
+                    // Silently discard: the receiver never sees the message.
+                    self.stats.send(std::mem::size_of::<T>() as u64);
+                    return Ok(());
+                }
+                Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                Some(FaultAction::Corrupt { seed, call }) => {
+                    let _ = fault::corrupt_payload(&mut value, seed, call);
+                }
+                Some(FaultAction::Truncate) => {
+                    let _ = fault::truncate_payload(&mut value);
+                }
+                None => {}
+            }
+        }
         self.send_ctx(dest, tag, self.context, value)?;
         self.stats.send(std::mem::size_of::<T>() as u64);
         Ok(())
@@ -180,7 +254,11 @@ impl Communicator {
     /// communicator, blocking until a matching message arrives.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> CommResult<T> {
         Self::check_tag(tag)?;
-        let (v, _) = self.recv_match::<T>(Some(src), Some(tag), self.context)?;
+        let act = self.recv_fault(Some(tag))?;
+        let (mut v, _) = self.recv_match::<T>(Some(src), Some(tag), self.context)?;
+        if let Some(FaultAction::Corrupt { seed, call }) = act {
+            let _ = fault::corrupt_payload(&mut v, seed, call);
+        }
         self.stats.recv(std::mem::size_of::<T>() as u64);
         Ok(v)
     }
@@ -195,9 +273,13 @@ impl Communicator {
     ) -> CommResult<(T, RecvStatus)> {
         let src = if src == ANY_SOURCE { None } else { Some(src as usize) };
         let tag = if tag == ANY_TAG { None } else { Some(tag) };
-        let out = self.recv_match::<T>(src, tag, self.context)?;
+        let act = self.recv_fault(tag)?;
+        let (mut v, status) = self.recv_match::<T>(src, tag, self.context)?;
+        if let Some(FaultAction::Corrupt { seed, call }) = act {
+            let _ = fault::corrupt_payload(&mut v, seed, call);
+        }
         self.stats.recv(std::mem::size_of::<T>() as u64);
-        Ok(out)
+        Ok((v, status))
     }
 
     /// Non-blocking probe: is a matching message already available?
@@ -343,6 +425,7 @@ impl Communicator {
     /// Synchronize all ranks (dissemination barrier).
     pub fn barrier(&self) -> CommResult<()> {
         self.stats.barrier();
+        self.collective_fault(FaultOp::Barrier, "barrier")?;
         crate::collectives::barrier(self)
     }
 
@@ -350,6 +433,12 @@ impl Communicator {
     /// all ranks.
     pub fn bcast<T: Send + Clone + 'static>(&self, root: usize, value: T) -> CommResult<T> {
         self.stats.bcast();
+        let mut value = value;
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Bcast, "bcast")?
+        {
+            let _ = fault::corrupt_payload(&mut value, seed, call);
+        }
         crate::collectives::bcast(self, root, value)
     }
 
@@ -361,6 +450,12 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.reduce();
+        let mut value = value;
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Reduce, "reduce")?
+        {
+            let _ = fault::corrupt_payload(&mut value, seed, call);
+        }
         crate::collectives::reduce(self, root, value, op)
     }
 
@@ -371,6 +466,16 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.allreduce();
+        let mut value = value;
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Allreduce, "allreduce")?
+        {
+            // Poison this rank's *contribution*, not the reduced result:
+            // the NaN then reaches every rank through the reduction, so
+            // all ranks observe the same corrupted value and guard
+            // verdicts stay rank-consistent.
+            let _ = fault::corrupt_payload(&mut value, seed, call);
+        }
         crate::collectives::allreduce(self, value, op)
     }
 
@@ -381,6 +486,13 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.allreduce();
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Allreduce, "allreduce")?
+        {
+            let mut poisoned = values.to_vec();
+            let _ = fault::corrupt_slice(&mut poisoned, seed, call);
+            return crate::collectives::allreduce_vec(self, &poisoned, op);
+        }
         crate::collectives::allreduce_vec(self, values, op)
     }
 
@@ -391,6 +503,12 @@ impl Communicator {
         value: T,
     ) -> CommResult<Option<Vec<T>>> {
         self.stats.gather();
+        let mut value = value;
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Gather, "gather")?
+        {
+            let _ = fault::corrupt_payload(&mut value, seed, call);
+        }
         crate::collectives::gather(self, root, value)
     }
 
@@ -402,12 +520,19 @@ impl Communicator {
         values: &[T],
     ) -> CommResult<Option<Vec<T>>> {
         self.stats.gather();
+        self.collective_fault(FaultOp::Gather, "gatherv")?;
         crate::collectives::gatherv(self, root, values)
     }
 
     /// Gather one value per rank onto **all** ranks.
     pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> CommResult<Vec<T>> {
         self.stats.allgather();
+        let mut value = value;
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Allgather, "allgather")?
+        {
+            let _ = fault::corrupt_payload(&mut value, seed, call);
+        }
         crate::collectives::allgather(self, value)
     }
 
@@ -415,6 +540,7 @@ impl Communicator {
     /// order.
     pub fn allgatherv<T: Send + Clone + 'static>(&self, values: &[T]) -> CommResult<Vec<T>> {
         self.stats.allgather();
+        self.collective_fault(FaultOp::Allgather, "allgatherv")?;
         crate::collectives::allgatherv(self, values)
     }
 
@@ -425,6 +551,7 @@ impl Communicator {
         chunks: Option<Vec<Vec<T>>>,
     ) -> CommResult<Vec<T>> {
         self.stats.scatter();
+        self.collective_fault(FaultOp::Scatter, "scatter")?;
         crate::collectives::scatter(self, root, chunks)
     }
 
@@ -435,6 +562,7 @@ impl Communicator {
         chunks: Vec<Vec<T>>,
     ) -> CommResult<Vec<Vec<T>>> {
         self.stats.alltoall();
+        self.collective_fault(FaultOp::Alltoall, "alltoall")?;
         crate::collectives::alltoall(self, chunks)
     }
 
@@ -445,6 +573,12 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.scan();
+        let mut value = value;
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Scan, "scan")?
+        {
+            let _ = fault::corrupt_payload(&mut value, seed, call);
+        }
         crate::collectives::scan(self, value, op)
     }
 
@@ -456,6 +590,12 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.scan();
+        let mut value = value;
+        if let Some(FaultAction::Corrupt { seed, call }) =
+            self.collective_fault(FaultOp::Scan, "exscan")?
+        {
+            let _ = fault::corrupt_payload(&mut value, seed, call);
+        }
         crate::collectives::exscan(self, value, op)
     }
 }

@@ -56,6 +56,33 @@ pub enum CommError {
         /// What it got.
         got: usize,
     },
+    /// A deterministic fault-injection rule fired on this operation.
+    /// Only produced while a [`crate::fault::FaultPlan`] is armed.
+    Injected {
+        /// Operation name (`"send"`, `"recv"`, `"allreduce"`, …).
+        op: &'static str,
+        /// World rank the fault fired on.
+        rank: usize,
+        /// The rule's matching-call count when it fired.
+        call: u64,
+    },
+}
+
+impl CommError {
+    /// Whether the failure is plausibly transient — retrying the whole
+    /// operation may succeed (injected faults, suspected deadlocks from a
+    /// peer that aborted, vanished peers) — as opposed to a structural
+    /// caller bug (bad rank, negative tag, type mismatch) that will fail
+    /// identically every time. Recovery layers use this to decide between
+    /// backoff-and-retry and moving on to a fallback.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CommError::Injected { .. }
+                | CommError::DeadlockSuspected { .. }
+                | CommError::PeerGone(_)
+        )
+    }
 }
 
 impl fmt::Display for CommError {
@@ -78,6 +105,9 @@ impl fmt::Display for CommError {
             }
             CommError::BadBuffer { expected, got } => {
                 write!(f, "buffer has length {got}, expected {expected}")
+            }
+            CommError::Injected { op, rank, call } => {
+                write!(f, "injected fault: {op} on rank {rank} at call {call}")
             }
         }
     }
@@ -109,5 +139,18 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(CommError::PeerGone(1), CommError::PeerGone(1));
         assert_ne!(CommError::PeerGone(1), CommError::PeerGone(2));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(CommError::Injected { op: "send", rank: 2, call: 3 }.is_transient());
+        assert!(CommError::PeerGone(1).is_transient());
+        assert!(CommError::DeadlockSuspected { rank: 0, src: None, tag: None }.is_transient());
+        assert!(!CommError::InvalidTag(-1).is_transient());
+        assert!(!CommError::RankOutOfRange { rank: 9, size: 4 }.is_transient());
+        assert!(!CommError::TypeMismatch { expected: "f64" }.is_transient());
+        let e = CommError::Injected { op: "allreduce", rank: 1, call: 5 };
+        assert!(e.to_string().contains("injected fault"));
+        assert!(e.to_string().contains("allreduce"));
     }
 }

@@ -1,0 +1,458 @@
+//! Deterministic fault injection for the message-passing runtime.
+//!
+//! A [`FaultPlan`] is a seeded, rank-addressable schedule of faults: "on
+//! world rank 2, make the 3rd `allreduce` corrupt its local contribution",
+//! or "drop the 1st halo send (tag 7001) on rank 0". Plans are armed
+//! process-wide — programmatically via [`arm`] / [`disarm`], or from the
+//! `RSPARSE_FAULTS` environment variable, which [`crate::Universe::run`]
+//! reads once per process.
+//!
+//! # Spec grammar
+//!
+//! `RSPARSE_FAULTS` (and [`FaultPlan::parse`]) accept semicolon-separated
+//! clauses. Each clause is either a standalone `seed=N` (sets the plan
+//! seed used to pick which element of a payload gets poisoned) or a rule
+//! of comma-separated `key=value` pairs:
+//!
+//! | key        | values                                                       | default |
+//! |------------|--------------------------------------------------------------|---------|
+//! | `op`       | `send` `recv` `barrier` `bcast` `reduce` `allreduce` `gather` `allgather` `scatter` `alltoall` `scan` | required |
+//! | `kind`     | `error` `drop` `delay` `corrupt` `truncate`                  | required |
+//! | `rank`     | world rank, or `*` for any rank                              | `*`     |
+//! | `call`     | 1-based count of *matching* calls at which the rule fires    | `1`     |
+//! | `tag`      | restrict a p2p rule to one message tag                       | any     |
+//! | `delay_ms` | sleep duration for `kind=delay`                              | `100`   |
+//!
+//! Example: `op=allreduce,rank=2,call=5,kind=corrupt;seed=42`.
+//!
+//! # Semantics
+//!
+//! * `error` — the operation returns [`crate::CommError::Injected`] instead of
+//!   executing (the message, if any, is not sent).
+//! * `drop` — a send silently discards its payload; the receiver never
+//!   sees the message (send-only).
+//! * `delay` — the operation sleeps `delay_ms` first, then proceeds.
+//! * `corrupt` — silent data corruption: one seeded element of an `f64`
+//!   payload (scalar, `Vec<f64>`, or `Arc<Vec<f64>>`) becomes NaN. On a
+//!   send the outgoing message is poisoned; on a receive the delivered
+//!   value; on a value-carrying collective the rank's *local
+//!   contribution*, so the NaN propagates to every rank through the
+//!   reduction — exactly the failure the solver guards must agree on.
+//! * `truncate` — a send's `Vec<f64>`/`Arc<Vec<f64>>` payload loses its
+//!   last element, so the receiver's length checks trip (send-only).
+//!
+//! Each rule fires **once** (a one-shot fuse): a fault that breaks solve
+//! attempt 1 does not re-fire on the fallback attempt. Rules count their
+//! own matching calls; with `rank=*` the count is shared across ranks and
+//! therefore scheduling-dependent — pin `rank=` for determinism.
+//!
+//! Every fired fault bumps [`probe::Counter::FaultsInjected`]. When no
+//! plan is armed the whole machinery costs one relaxed atomic load per
+//! communication call.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::Tag;
+
+/// Which communication operation a rule targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Point-to-point send.
+    Send,
+    /// Point-to-point receive (plain or wildcard).
+    Recv,
+    /// `barrier()`.
+    Barrier,
+    /// `bcast()`.
+    Bcast,
+    /// Rooted `reduce()`.
+    Reduce,
+    /// `allreduce()` / `allreduce_vec()`.
+    Allreduce,
+    /// `gather()` / `gatherv()`.
+    Gather,
+    /// `allgather()` / `allgatherv()`.
+    Allgather,
+    /// `scatter()`.
+    Scatter,
+    /// `alltoall()`.
+    Alltoall,
+    /// `scan()` / `exscan()`.
+    Scan,
+}
+
+impl FaultOp {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "send" => FaultOp::Send,
+            "recv" => FaultOp::Recv,
+            "barrier" => FaultOp::Barrier,
+            "bcast" => FaultOp::Bcast,
+            "reduce" => FaultOp::Reduce,
+            "allreduce" => FaultOp::Allreduce,
+            "gather" => FaultOp::Gather,
+            "allgather" => FaultOp::Allgather,
+            "scatter" => FaultOp::Scatter,
+            "alltoall" => FaultOp::Alltoall,
+            "scan" => FaultOp::Scan,
+            other => return Err(format!("unknown fault op '{other}'")),
+        })
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with [`crate::CommError::Injected`].
+    Error,
+    /// Silently discard a send's payload (send-only).
+    Drop,
+    /// Sleep for the given milliseconds, then proceed.
+    Delay(u64),
+    /// Poison one seeded `f64` element of the payload with NaN.
+    Corrupt,
+    /// Shorten a send's `Vec<f64>` payload by one element (send-only).
+    Truncate,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Operation the rule matches.
+    pub op: FaultOp,
+    /// World rank the rule matches (`None` = any rank).
+    pub rank: Option<usize>,
+    /// 1-based count of matching calls at which the rule fires.
+    pub call: u64,
+    /// Message tag filter for p2p rules (`None` = any tag).
+    pub tag: Option<Tag>,
+    /// The fault to apply.
+    pub kind: FaultKind,
+}
+
+/// A seeded schedule of faults; see the module docs for the spec grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The rules, matched in order; each fires at most once.
+    pub rules: Vec<FaultRule>,
+    /// Seed for the deterministic choice of which payload element a
+    /// `corrupt` rule poisons.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parse the `RSPARSE_FAULTS` spec grammar.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed '{seed}'"))?;
+                continue;
+            }
+            let mut op = None;
+            let mut kind_name: Option<&str> = None;
+            let mut rank = None;
+            let mut call = 1u64;
+            let mut tag = None;
+            let mut delay_ms = 100u64;
+            for pair in clause.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected key=value, got '{pair}'"))?;
+                let (k, v) = (k.trim(), v.trim());
+                match k {
+                    "op" => op = Some(FaultOp::parse(v)?),
+                    "kind" => kind_name = Some(v),
+                    "rank" => {
+                        rank = if v == "*" {
+                            None
+                        } else {
+                            Some(v.parse().map_err(|_| format!("bad rank '{v}'"))?)
+                        }
+                    }
+                    "call" => call = v.parse().map_err(|_| format!("bad call '{v}'"))?,
+                    "tag" => tag = Some(v.parse().map_err(|_| format!("bad tag '{v}'"))?),
+                    "delay_ms" => {
+                        delay_ms = v.parse().map_err(|_| format!("bad delay_ms '{v}'"))?
+                    }
+                    other => return Err(format!("unknown fault key '{other}'")),
+                }
+            }
+            let op = op.ok_or_else(|| format!("rule '{clause}' is missing op="))?;
+            let kind = match kind_name.ok_or_else(|| format!("rule '{clause}' is missing kind="))? {
+                "error" => FaultKind::Error,
+                "drop" => FaultKind::Drop,
+                "delay" => FaultKind::Delay(delay_ms),
+                "corrupt" => FaultKind::Corrupt,
+                "truncate" => FaultKind::Truncate,
+                other => return Err(format!("unknown fault kind '{other}'")),
+            };
+            if call == 0 {
+                return Err("call counts are 1-based; call=0 never fires".into());
+            }
+            if matches!(kind, FaultKind::Drop | FaultKind::Truncate) && op != FaultOp::Send {
+                return Err(format!("kind={kind:?} is only meaningful for op=send"));
+            }
+            plan.rules.push(FaultRule { op, rank, call, tag, kind });
+        }
+        Ok(plan)
+    }
+}
+
+/// Resolved action for a fired rule, handed to the communicator hooks.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FaultAction {
+    /// Return [`crate::CommError::Injected`].
+    Error {
+        /// Matching-call count at which the rule fired.
+        call: u64,
+    },
+    /// Discard the send.
+    Drop,
+    /// Sleep this many milliseconds, then proceed.
+    Delay(u64),
+    /// Poison the payload (seed/call pick the element).
+    Corrupt { seed: u64, call: u64 },
+    /// Shorten the payload by one element.
+    Truncate,
+}
+
+struct Armed {
+    plan: FaultPlan,
+    /// Per-rule matching-call counters.
+    hits: Vec<AtomicU64>,
+    /// Per-rule one-shot fuses.
+    fired: Vec<AtomicBool>,
+}
+
+static ARMED_FLAG: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<Arc<Armed>>> = Mutex::new(None);
+
+/// Is a fault plan currently armed? One relaxed atomic load — the entire
+/// cost of the fault machinery on the no-faults path.
+#[inline]
+pub fn armed() -> bool {
+    ARMED_FLAG.load(Ordering::Relaxed)
+}
+
+/// Arm `plan` process-wide. Replaces any previously armed plan; rule
+/// counters and fuses start fresh.
+pub fn arm(plan: FaultPlan) {
+    let n = plan.rules.len();
+    let armed = Arc::new(Armed {
+        plan,
+        hits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        fired: (0..n).map(|_| AtomicBool::new(false)).collect(),
+    });
+    *STATE.lock().unwrap() = Some(armed);
+    ARMED_FLAG.store(true, Ordering::Release);
+}
+
+/// Disarm fault injection; subsequent communication runs fault-free.
+pub fn disarm() {
+    ARMED_FLAG.store(false, Ordering::Release);
+    *STATE.lock().unwrap() = None;
+}
+
+/// Arm from the `RSPARSE_FAULTS` environment variable, at most once per
+/// process. Called by [`crate::Universe::run`]; a malformed spec is
+/// reported on stderr and ignored rather than poisoning every launch.
+pub(crate) fn arm_from_env_once() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if let Ok(spec) = std::env::var("RSPARSE_FAULTS") {
+            if spec.trim().is_empty() {
+                return;
+            }
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => arm(plan),
+                Err(e) => eprintln!("rcomm: ignoring malformed RSPARSE_FAULTS: {e}"),
+            }
+        }
+    });
+}
+
+/// Consult the armed plan for `(op, world_rank, tag)`. Advances matching
+/// rules' call counters and fires at most one rule.
+pub(crate) fn check(op: FaultOp, world_rank: usize, tag: Option<Tag>) -> Option<FaultAction> {
+    let armed = STATE.lock().unwrap().clone()?;
+    for (i, rule) in armed.plan.rules.iter().enumerate() {
+        if rule.op != op {
+            continue;
+        }
+        if let Some(r) = rule.rank {
+            if r != world_rank {
+                continue;
+            }
+        }
+        if let (Some(t), Some(seen)) = (rule.tag, tag) {
+            if t != seen {
+                continue;
+            }
+        } else if rule.tag.is_some() && tag.is_none() {
+            continue;
+        }
+        let n = armed.hits[i].fetch_add(1, Ordering::Relaxed) + 1;
+        if n != rule.call || armed.fired[i].swap(true, Ordering::Relaxed) {
+            continue;
+        }
+        probe::incr(probe::Counter::FaultsInjected);
+        // Mix the rule index into the seed so two corrupt rules poison
+        // independent elements.
+        let seed = splitmix64(armed.plan.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        return Some(match rule.kind {
+            FaultKind::Error => FaultAction::Error { call: n },
+            FaultKind::Drop => FaultAction::Drop,
+            FaultKind::Delay(ms) => FaultAction::Delay(ms),
+            FaultKind::Corrupt => FaultAction::Corrupt { seed, call: n },
+            FaultKind::Truncate => FaultAction::Truncate,
+        });
+    }
+    None
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn poison_slice(v: &mut [f64], seed: u64, call: u64) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    let idx = (splitmix64(seed ^ call) % v.len() as u64) as usize;
+    v[idx] = f64::NAN;
+    true
+}
+
+/// Poison one seeded element of an `f64`-bearing payload (scalar,
+/// `Vec<f64>`, or `Arc<Vec<f64>>`). Returns whether anything changed;
+/// payloads of other types pass through untouched.
+pub(crate) fn corrupt_payload<T: std::any::Any>(value: &mut T, seed: u64, call: u64) -> bool {
+    let any = value as &mut dyn std::any::Any;
+    if let Some(x) = any.downcast_mut::<f64>() {
+        *x = f64::NAN;
+        return true;
+    }
+    if let Some(v) = any.downcast_mut::<Vec<f64>>() {
+        return poison_slice(v, seed, call);
+    }
+    if let Some(a) = any.downcast_mut::<Arc<Vec<f64>>>() {
+        let inner: &mut Vec<f64> = Arc::make_mut(a);
+        return poison_slice(inner, seed, call);
+    }
+    false
+}
+
+/// Poison one seeded element of a typed slice (used by `allreduce_vec`'s
+/// local contribution). Only `f64` elements are corruptible.
+pub(crate) fn corrupt_slice<T: std::any::Any>(vals: &mut [T], seed: u64, call: u64) -> bool {
+    if vals.is_empty() {
+        return false;
+    }
+    let idx = (splitmix64(seed ^ call) % vals.len() as u64) as usize;
+    if let Some(x) = (&mut vals[idx] as &mut dyn std::any::Any).downcast_mut::<f64>() {
+        *x = f64::NAN;
+        return true;
+    }
+    false
+}
+
+/// Drop the last element of a `Vec<f64>`/`Arc<Vec<f64>>` payload. Returns
+/// whether anything changed.
+pub(crate) fn truncate_payload<T: std::any::Any>(value: &mut T) -> bool {
+    let any = value as &mut dyn std::any::Any;
+    if let Some(v) = any.downcast_mut::<Vec<f64>>() {
+        return v.pop().is_some();
+    }
+    if let Some(a) = any.downcast_mut::<Arc<Vec<f64>>>() {
+        return Arc::make_mut(a).pop().is_some();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips() {
+        let p = FaultPlan::parse(
+            "op=send,rank=2,call=3,tag=7001,kind=drop; op=allreduce,kind=corrupt; seed=42",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(
+            p.rules[0],
+            FaultRule {
+                op: FaultOp::Send,
+                rank: Some(2),
+                call: 3,
+                tag: Some(7001),
+                kind: FaultKind::Drop,
+            }
+        );
+        assert_eq!(p.rules[1].rank, None);
+        assert_eq!(p.rules[1].call, 1);
+        assert_eq!(p.rules[1].kind, FaultKind::Corrupt);
+    }
+
+    #[test]
+    fn grammar_rejects_nonsense() {
+        assert!(FaultPlan::parse("kind=error").is_err(), "missing op");
+        assert!(FaultPlan::parse("op=send").is_err(), "missing kind");
+        assert!(FaultPlan::parse("op=warp,kind=error").is_err());
+        assert!(FaultPlan::parse("op=send,kind=vaporize").is_err());
+        assert!(FaultPlan::parse("op=send,kind=error,call=0").is_err());
+        assert!(FaultPlan::parse("op=recv,kind=drop").is_err(), "drop is send-only");
+        assert!(FaultPlan::parse("op=allreduce,kind=truncate").is_err());
+        assert!(FaultPlan::parse("op=send,kind=error,rank=x").is_err());
+        assert!(FaultPlan::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_an_empty_plan() {
+        let p = FaultPlan::parse("").unwrap();
+        assert!(p.rules.is_empty());
+        let p = FaultPlan::parse(" ; ;seed=7; ").unwrap();
+        assert!(p.rules.is_empty());
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_typed() {
+        let mut v = vec![1.0f64; 8];
+        assert!(corrupt_payload(&mut v, 1, 1));
+        let mut w = vec![1.0f64; 8];
+        assert!(corrupt_payload(&mut w, 1, 1));
+        let nan_at = |s: &[f64]| s.iter().position(|x| x.is_nan());
+        assert_eq!(nan_at(&v), nan_at(&w), "same seed, same element");
+
+        let mut s = 3.5f64;
+        assert!(corrupt_payload(&mut s, 1, 1));
+        assert!(s.is_nan());
+
+        let mut a = Arc::new(vec![1.0f64; 4]);
+        assert!(corrupt_payload(&mut a, 9, 9));
+        assert!(a.iter().any(|x| x.is_nan()));
+
+        let mut other = 5i64;
+        assert!(!corrupt_payload(&mut other, 1, 1), "non-f64 payloads pass through");
+
+        let mut t = vec![1.0f64; 3];
+        assert!(truncate_payload(&mut t));
+        assert_eq!(t.len(), 2);
+        assert!(!truncate_payload(&mut 7u32));
+    }
+}

@@ -40,9 +40,11 @@ mod timer;
 mod universe;
 
 pub mod collectives;
+pub mod fault;
 
 pub use comm::{Communicator, RecvStatus, ANY_SOURCE, ANY_TAG};
 pub use error::{CommError, CommResult};
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use stats::CommStats;
 pub use reduce::{land, lor, max, maxloc, min, minloc, prod, sum};
 pub use timer::Stopwatch;

@@ -31,6 +31,9 @@ impl Universe {
         R: Send,
     {
         assert!(n > 0, "a universe needs at least one rank");
+        // Arm the process-wide fault plan from RSPARSE_FAULTS exactly
+        // once, before any rank communicates.
+        crate::fault::arm_from_env_once();
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..n).map(|_| unbounded()).unzip();
         let wiring = Arc::new(Wiring { senders });

@@ -80,6 +80,13 @@ impl RaztecAdapter {
                 reason: k.clone(),
             })?;
         }
+        if let Some(w) = state.options.get_first(&["stagnation_window", "az_stagnation_window"])
+        {
+            opts.stall_window = w.parse().map_err(|_| LisiError::BadParameter {
+                key: "stagnation_window".into(),
+                reason: w.clone(),
+            })?;
+        }
         if let Some(c) = state.options.get("conv") {
             opts.conv = match c.as_str() {
                 "r0" => AzConv::R0,
@@ -154,10 +161,11 @@ impl SparseSolverPort for RaztecAdapter {
                 AzWhy::Maxits => -1,
                 AzWhy::Breakdown => -2,
                 AzWhy::Ill => -3,
+                AzWhy::Stagnated => -4,
             };
         }
         report.solve_seconds = solve_t.stop();
-        report.write_into(status);
+        report.write_into(status)?;
         if report.converged {
             Ok(())
         } else {
@@ -217,20 +225,17 @@ mod tests {
 
     #[test]
     fn aztec_specific_keys_are_honoured() {
-        let st = {
-            let s = LisiState {
-                options: {
-                    let mut o = rkrylov::Options::new();
-                    o.set("solver", "bicgstab");
-                    o.set("preconditioner", "neumann");
-                    o.set_int("poly_ord", 5);
-                    o.set("conv", "rhs");
-                    o.set_int("restart", 17);
-                    o
-                },
-                ..LisiState::default()
-            };
-            s
+        let st = LisiState {
+            options: {
+                let mut o = rkrylov::Options::new();
+                o.set("solver", "bicgstab");
+                o.set("preconditioner", "neumann");
+                o.set_int("poly_ord", 5);
+                o.set("conv", "rhs");
+                o.set_int("restart", 17);
+                o
+            },
+            ..LisiState::default()
         };
         let opts = RaztecAdapter::aztec_options(&st).unwrap();
         assert_eq!(opts.solver, AzSolver::BiCgStab);

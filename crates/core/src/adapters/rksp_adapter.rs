@@ -157,10 +157,12 @@ impl SparseSolverPort for RkspAdapter {
                 rkrylov::ConvergedReason::MaxIterations => -1,
                 rkrylov::ConvergedReason::Breakdown => -2,
                 rkrylov::ConvergedReason::Diverged => -3,
+                rkrylov::ConvergedReason::Stagnated => -4,
+                rkrylov::ConvergedReason::TimedOut => -5,
             };
         }
         report.solve_seconds = solve_t.stop();
-        report.write_into(status);
+        report.write_into(status)?;
         if report.converged {
             Ok(())
         } else {
@@ -217,7 +219,7 @@ mod tests {
             (SolveReport::from_slice(&status), comm.allgatherv(&x).unwrap())
         });
         let (rep, full) = &out[0];
-        (rep.clone(), man.error_inf(full))
+        (*rep, man.error_inf(full))
     }
 
     #[test]

@@ -188,7 +188,7 @@ impl SparseSolverPort for RmgAdapter {
             }
         }
         report.solve_seconds = solve_t.stop();
-        report.write_into(status);
+        report.write_into(status)?;
         if report.converged {
             Ok(())
         } else {
@@ -240,7 +240,7 @@ mod tests {
             .iter()
             .zip(&x_true)
             .fold(0.0f64, |mx, (g, e)| mx.max((g - e).abs()));
-        (rep.clone(), err)
+        (*rep, err)
     }
 
     #[test]
@@ -308,7 +308,7 @@ mod tests {
             solver
                 .setup_matrix(a.values(), a.row_ptr(), a.col_idx(), crate::SparseStruct::Csr)
                 .unwrap();
-            solver.setup_rhs(&vec![1.0; 12], 1).unwrap();
+            solver.setup_rhs(&[1.0; 12], 1).unwrap();
             let mut x = vec![0.0; 12];
             let mut s = [0.0; STATUS_LEN];
             solver.solve(&mut x, &mut s).unwrap_err()

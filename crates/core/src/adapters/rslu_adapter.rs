@@ -123,8 +123,9 @@ impl SparseSolverPort for RsluAdapter {
             setup_seconds: setup_seconds + st.convert_seconds,
             solve_seconds,
             reason: 1,
+            ..SolveReport::default()
         };
-        report.write_into(status);
+        report.write_into(status)?;
         Ok(())
     }
 }
@@ -168,7 +169,7 @@ mod tests {
             (SolveReport::from_slice(&status), comm.allgatherv(&x).unwrap())
         });
         let (rep, full) = &out[0];
-        (rep.clone(), man.error_inf(full))
+        (*rep, man.error_inf(full))
     }
 
     #[test]

@@ -32,6 +32,7 @@
 pub mod adapters;
 pub mod components;
 pub mod error;
+pub mod resilient;
 pub mod state;
 pub mod status;
 pub mod traits;
@@ -42,6 +43,10 @@ pub use components::{
     MatrixFreeComponent, SolverComponent, MATRIX_FREE_PORT, SOLVER_PORT, SOLVER_PORT_TYPE,
 };
 pub use error::{LisiError, LisiResult};
+pub use resilient::{
+    AttemptSpec, BackendSwitch, FrameworkSwitch, ResilientSolver, ResilientSolverComponent,
+    RetryPolicy, StaticSwitch, BACKEND_PORT,
+};
 pub use status::{SolveReport, STATUS_LEN};
 pub use traits::{MatrixFreePort, SparseSolverPort};
 pub use types::{OperatorId, SparseStruct};

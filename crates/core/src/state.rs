@@ -234,7 +234,10 @@ impl LisiState {
     ) -> LisiResult<CsrMatrix> {
         let (_, local_rows, global_cols) = self.dist_params()?;
         let bs = self.block_size;
-        if local_rows % bs != 0 || global_cols % bs != 0 || start % bs != 0 {
+        if !local_rows.is_multiple_of(bs)
+            || !global_cols.is_multiple_of(bs)
+            || !start.is_multiple_of(bs)
+        {
             return Err(LisiError::InvalidInput(format!(
                 "VBR block size {bs} must divide start row {start}, local rows {local_rows} \
                  and global columns {global_cols}"
@@ -261,8 +264,8 @@ impl LisiState {
         for br in 0..nbr {
             let lo = sub_offset(rows[br], offset, "block pointer")?;
             let hi = sub_offset(rows[br + 1], offset, "block pointer")?;
-            for k in lo..hi {
-                let bc = sub_offset(columns[k], offset, "block column")?;
+            for (k, &col) in columns.iter().enumerate().take(hi).skip(lo) {
+                let bc = sub_offset(col, offset, "block column")?;
                 if (bc + 1) * bs > global_cols {
                     return Err(LisiError::InvalidInput(format!(
                         "block column {bc} exceeds the matrix width"
@@ -294,7 +297,7 @@ impl LisiState {
     ) -> LisiResult<CsrMatrix> {
         let (_, _, n) = self.dist_params()?;
         let k = self.block_size;
-        if k == 0 || columns.len() % k != 0 {
+        if k == 0 || !columns.len().is_multiple_of(k) {
             return Err(LisiError::InvalidInput(format!(
                 "FEM connectivity length {} is not a multiple of the element arity {k}",
                 columns.len()
@@ -658,9 +661,9 @@ mod tests {
     fn solve_buffer_validation() {
         let mut st = seeded_state(0, 4, 4);
         st.ingest_rhs(&[0.0; 4], 1).unwrap();
-        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 6]).is_ok());
-        assert!(st.check_solve_buffers(&[0.0; 3], &[0.0; 6]).is_err());
-        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 2]).is_err());
+        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 8]).is_ok());
+        assert!(st.check_solve_buffers(&[0.0; 3], &[0.0; 8]).is_err());
+        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 6]).is_err());
     }
 
     #[test]

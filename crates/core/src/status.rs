@@ -14,9 +14,17 @@
 //! | 3     | setup time in seconds (matrix conversion + factorization/preconditioner) |
 //! | 4     | solve time in seconds |
 //! | 5     | package-specific reason/diagnostic code |
+//! | 6     | solve attempts made (resilient driver; plain adapters write 1) |
+//! | 7     | recovery code (0 none needed, 1 retry, 2 backend swap, −1 exhausted) |
+//!
+//! The layout is append-only: indices 0–5 predate the resilience additions
+//! and keep their meaning forever, so status arrays written by older
+//! callers parse unchanged.
+
+use crate::error::{LisiError, LisiResult};
 
 /// Required minimum length of the status array.
-pub const STATUS_LEN: usize = 6;
+pub const STATUS_LEN: usize = 8;
 
 /// Index of the converged flag.
 pub const STATUS_CONVERGED: usize = 0;
@@ -30,10 +38,17 @@ pub const STATUS_SETUP_SECONDS: usize = 3;
 pub const STATUS_SOLVE_SECONDS: usize = 4;
 /// Index of the package-specific reason code.
 pub const STATUS_REASON: usize = 5;
+/// Index of the attempt count (how many backend solves the resilient
+/// driver ran; plain adapters always report 1).
+pub const STATUS_ATTEMPTS: usize = 6;
+/// Index of the recovery code: 0 = first try succeeded, 1 = recovered by
+/// retrying the same backend, 2 = recovered by swapping backends,
+/// −1 = all attempts exhausted.
+pub const STATUS_RECOVERY: usize = 7;
 
 /// A typed view of the solve outcome; adapters build one and serialize it
 /// into the caller's array.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveReport {
     /// Did the solver converge / complete?
     pub converged: bool,
@@ -47,13 +62,42 @@ pub struct SolveReport {
     pub solve_seconds: f64,
     /// Package-specific reason code.
     pub reason: i32,
+    /// Backend solve attempts (1 unless a resilient driver retried).
+    pub attempts: usize,
+    /// Recovery code (see [`STATUS_RECOVERY`]).
+    pub recovery: i32,
+}
+
+impl Default for SolveReport {
+    fn default() -> Self {
+        SolveReport {
+            converged: false,
+            iterations: 0,
+            residual: 0.0,
+            setup_seconds: 0.0,
+            solve_seconds: 0.0,
+            reason: 0,
+            attempts: 1,
+            recovery: 0,
+        }
+    }
 }
 
 impl SolveReport {
     /// Write into a caller-provided status array (≥ [`STATUS_LEN`]
     /// entries; extra entries are zeroed).
-    pub fn write_into(&self, status: &mut [f64]) {
-        debug_assert!(status.len() >= STATUS_LEN);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LisiError::InvalidInput`] when the array is too short —
+    /// the caller's buffer is never indexed out of bounds.
+    pub fn write_into(&self, status: &mut [f64]) -> LisiResult<()> {
+        if status.len() < STATUS_LEN {
+            return Err(LisiError::InvalidInput(format!(
+                "status array too short: need at least {STATUS_LEN} entries, got {}",
+                status.len()
+            )));
+        }
         status.iter_mut().for_each(|s| *s = 0.0);
         status[STATUS_CONVERGED] = if self.converged { 1.0 } else { 0.0 };
         status[STATUS_ITERATIONS] = self.iterations as f64;
@@ -61,9 +105,14 @@ impl SolveReport {
         status[STATUS_SETUP_SECONDS] = self.setup_seconds;
         status[STATUS_SOLVE_SECONDS] = self.solve_seconds;
         status[STATUS_REASON] = self.reason as f64;
+        status[STATUS_ATTEMPTS] = self.attempts as f64;
+        status[STATUS_RECOVERY] = self.recovery as f64;
+        Ok(())
     }
 
-    /// Parse a status array back (applications and tests).
+    /// Parse a status array back (applications and tests). Arrays written
+    /// before the attempts/recovery columns existed parse with
+    /// `attempts = 1, recovery = 0`.
     pub fn from_slice(status: &[f64]) -> SolveReport {
         SolveReport {
             converged: status.first().copied().unwrap_or(0.0) != 0.0,
@@ -72,6 +121,8 @@ impl SolveReport {
             setup_seconds: status.get(STATUS_SETUP_SECONDS).copied().unwrap_or(0.0),
             solve_seconds: status.get(STATUS_SOLVE_SECONDS).copied().unwrap_or(0.0),
             reason: status.get(STATUS_REASON).copied().unwrap_or(0.0) as i32,
+            attempts: status.get(STATUS_ATTEMPTS).copied().unwrap_or(1.0) as usize,
+            recovery: status.get(STATUS_RECOVERY).copied().unwrap_or(0.0) as i32,
         }
     }
 }
@@ -89,11 +140,15 @@ mod tests {
             setup_seconds: 0.25,
             solve_seconds: 1.75,
             reason: 7,
+            attempts: 3,
+            recovery: 2,
         };
         let mut arr = [9.0; STATUS_LEN + 2];
-        rep.write_into(&mut arr);
+        rep.write_into(&mut arr).unwrap();
         assert_eq!(arr[STATUS_CONVERGED], 1.0);
         assert_eq!(arr[STATUS_ITERATIONS], 42.0);
+        assert_eq!(arr[STATUS_ATTEMPTS], 3.0);
+        assert_eq!(arr[STATUS_RECOVERY], 2.0);
         assert_eq!(arr[STATUS_LEN], 0.0, "extra entries are zeroed");
         let back = SolveReport::from_slice(&arr);
         assert_eq!(back, rep);
@@ -103,8 +158,27 @@ mod tests {
     fn nonconvergence_is_zero_flag() {
         let rep = SolveReport { converged: false, ..Default::default() };
         let mut arr = [0.0; STATUS_LEN];
-        rep.write_into(&mut arr);
+        rep.write_into(&mut arr).unwrap();
         assert_eq!(arr[STATUS_CONVERGED], 0.0);
         assert!(!SolveReport::from_slice(&arr).converged);
+    }
+
+    #[test]
+    fn short_array_is_a_typed_error_not_a_panic() {
+        let rep = SolveReport::default();
+        let mut short = [0.0; STATUS_LEN - 1];
+        let err = rep.write_into(&mut short).unwrap_err();
+        assert!(matches!(err, LisiError::InvalidInput(_)));
+        assert!(err.to_string().contains("status array too short"));
+    }
+
+    #[test]
+    fn legacy_six_entry_arrays_parse_with_defaults() {
+        // A pre-resilience status array (indices 0–5 only).
+        let legacy = [1.0, 10.0, 1e-9, 0.1, 0.2, 1.0];
+        let rep = SolveReport::from_slice(&legacy);
+        assert!(rep.converged);
+        assert_eq!(rep.attempts, 1);
+        assert_eq!(rep.recovery, 0);
     }
 }

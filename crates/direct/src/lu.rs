@@ -75,8 +75,7 @@ impl LuFactorization {
             mark: vec![false; n],
         };
 
-        for j in 0..n {
-            let old_col = sym.col_perm[j];
+        for (j, &old_col) in sym.col_perm.iter().enumerate() {
             let (arows, avals) = acsc.col(old_col);
 
             // --- Symbolic step: reach of the column pattern through the

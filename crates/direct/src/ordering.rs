@@ -106,8 +106,8 @@ pub fn min_degree(a: &CsrMatrix) -> Vec<usize> {
     // Lazy heap: (degree, vertex); entries go stale when a vertex's
     // degree changes — validated against `adj` on pop.
     let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::with_capacity(2 * n);
-    for v in 0..n {
-        heap.push(Reverse((adj[v].len(), v)));
+    for (v, nb) in adj.iter().enumerate() {
+        heap.push(Reverse((nb.len(), v)));
     }
     while order.len() < n {
         let Reverse((deg, v)) = heap.pop().expect("one live entry per vertex remains");

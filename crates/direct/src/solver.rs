@@ -41,12 +41,12 @@ impl Default for RsluOptions {
 fn equilibrate(a: &CsrMatrix) -> RsluResult<(CsrMatrix, Vec<f64>, Vec<f64>)> {
     let n = a.rows();
     let mut r = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, ri) in r.iter_mut().enumerate() {
         let m = a.row(i).1.iter().fold(0.0f64, |mx, v| mx.max(v.abs()));
         if m == 0.0 {
             return Err(RsluError::Singular { column: i });
         }
-        r[i] = 1.0 / m;
+        *ri = 1.0 / m;
     }
     let row_scaled = rsparse::ops::diag_scale_rows(&r, a)?;
     let mut c = vec![0.0f64; n];

@@ -64,8 +64,7 @@ fn column_etree(a: &CsrMatrix, col_perm: &[usize]) -> Vec<usize> {
     let mut ancestor = vec![usize::MAX; n];
     let mut prev_col = vec![usize::MAX; n];
     let at = a.transpose(); // rows of Aᵀ give column access to A
-    for new_col in 0..n {
-        let old_col = col_perm[new_col];
+    for (new_col, &old_col) in col_perm.iter().enumerate() {
         let (rows_of_col, _) = at.row(old_col);
         for &r in rows_of_col {
             // Traverse from the row's registered column up to the root,

@@ -14,8 +14,16 @@ pub enum ConvergedReason {
     MaxIterations,
     /// The method hit a breakdown condition (zero inner product etc.).
     Breakdown,
-    /// Residual exceeded the divergence tolerance `dtol · ‖b‖`.
+    /// Residual exceeded the divergence tolerance `dtol · ‖b‖` or became
+    /// non-finite.
     Diverged,
+    /// No new best residual for `stagnation_window` consecutive
+    /// iterations (see [`crate::KspConfig::stagnation_window`]).
+    Stagnated,
+    /// The wall-clock budget ran out (see
+    /// [`crate::KspConfig::max_seconds`]). The verdict is agreed through
+    /// the per-iteration reductions, so every rank stops identically.
+    TimedOut,
 }
 
 impl ConvergedReason {
@@ -36,6 +44,8 @@ impl fmt::Display for ConvergedReason {
             ConvergedReason::MaxIterations => "diverged: iteration limit",
             ConvergedReason::Breakdown => "diverged: breakdown",
             ConvergedReason::Diverged => "diverged: residual blow-up",
+            ConvergedReason::Stagnated => "diverged: stagnation",
+            ConvergedReason::TimedOut => "diverged: wall-clock budget exceeded",
         };
         f.write_str(s)
     }
@@ -120,6 +130,8 @@ mod tests {
         assert!(!ConvergedReason::MaxIterations.converged());
         assert!(!ConvergedReason::Breakdown.converged());
         assert!(!ConvergedReason::Diverged.converged());
+        assert!(!ConvergedReason::Stagnated.converged());
+        assert!(!ConvergedReason::TimedOut.converged());
     }
 
     #[test]

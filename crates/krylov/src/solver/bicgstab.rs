@@ -55,7 +55,7 @@ pub(crate) fn solve(
         let alpha = rho / rhv;
         // s = r − α·v  (reuse r as s).
         r.axpy(-alpha, &v)?;
-        let snorm = r.norm2(comm)?;
+        let snorm = mon.guarded_norm2(&r)?;
         if let Some(reason) = mon.check(iterations, snorm) {
             // Half-step convergence: x += α·p̂.
             x.axpy(alpha, &p_hat)?;
@@ -77,7 +77,7 @@ pub(crate) fn solve(
         x.axpy(alpha, &p_hat)?;
         x.axpy(omega, &s_hat)?;
         r.axpy(-omega, &t)?;
-        rnorm = r.norm2(comm)?;
+        rnorm = mon.guarded_norm2(&r)?;
         if let Some(reason) = mon.check(iterations, rnorm) {
             break reason;
         }

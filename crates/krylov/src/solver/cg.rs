@@ -59,18 +59,23 @@ pub(crate) fn solve(
             // tree, so each component is bit-identical to its standalone
             // reduction and the convergence history is unchanged.
             pc.apply(comm, &r, &mut z)?;
+            // The wall-clock guard flag rides the same collective as a
+            // third element, so the timeout verdict is rank-agreed for
+            // free.
             let local = [
                 rsparse::dense::dot(r.local(), r.local()),
                 rsparse::dense::dot(r.local(), z.local()),
+                mon.local_guard(),
             ];
             let fused = comm.allreduce_vec(&local, rcomm::sum)?;
             rnorm = fused[0].sqrt();
             rz_new = fused[1];
+            mon.absorb_guard(fused[2]);
             if let Some(reason) = mon.check(iterations, rnorm) {
                 break reason;
             }
         } else {
-            rnorm = r.norm2(comm)?;
+            rnorm = mon.guarded_norm2(&r)?;
             if let Some(reason) = mon.check(iterations, rnorm) {
                 break reason;
             }

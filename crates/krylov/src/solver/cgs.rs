@@ -68,7 +68,7 @@ pub(crate) fn solve(
         x.axpy(alpha, &uhat)?;
         op.apply(comm, &uhat, &mut tmp)?;
         r.axpy(-alpha, &tmp)?;
-        rnorm = r.norm2(comm)?;
+        rnorm = mon.guarded_norm2(&r)?;
         if let Some(reason) = mon.check(iterations, rnorm) {
             break reason;
         }

@@ -112,7 +112,7 @@ pub(crate) fn solve(
         op.apply(comm, x, &mut ax)?;
         r.local_mut().copy_from_slice(b.local());
         r.axpy(-1.0, &ax)?;
-        rnorm = r.norm2(comm)?;
+        rnorm = mon.guarded_norm2(&r)?;
         if let Some(reason) = mon.check(iterations, rnorm) {
             break reason;
         }

@@ -123,7 +123,7 @@ pub(crate) fn solve(
                     w.axpy(-hij, vi)?;
                 }
             }
-            let hnext = w.norm2(comm)?;
+            let hnext = mon.guarded_norm2(&w)?;
             hcol[j + 1] = hnext;
             // Apply accumulated rotations to the new column.
             for i in 0..j {
@@ -188,7 +188,7 @@ pub(crate) fn solve(
         r.local_mut().copy_from_slice(b.local());
         op.apply(comm, x, &mut w)?;
         r.axpy(-1.0, &w)?;
-        rnorm = r.norm2(comm)?;
+        rnorm = mon.guarded_norm2(&r)?;
         if let Some(reason) = mon.check(iterations, rnorm) {
             break 'outer reason;
         }

@@ -108,6 +108,16 @@ pub struct KspConfig {
     /// Cuts the latency-bound collective count per iteration; disable to
     /// get the textbook one-reduction-per-dot schedule.
     pub fused_reductions: bool,
+    /// Wall-clock budget in seconds (`None` = unlimited). Each rank's
+    /// local deadline flag is folded into the per-iteration residual
+    /// reduction, so the `TimedOut` verdict is agreed rank-wide without
+    /// any extra collective.
+    pub max_seconds: Option<f64>,
+    /// Stagnation window: stop with `Stagnated` after this many
+    /// consecutive iterations without a new best residual norm
+    /// (0 = disabled). The test is purely residual-derived and residuals
+    /// are rank-agreed, so the verdict is identical on every rank.
+    pub stagnation_window: usize,
 }
 
 impl Default for KspConfig {
@@ -124,6 +134,8 @@ impl Default for KspConfig {
             cheby_bounds: None,
             keep_history: true,
             fused_reductions: true,
+            max_seconds: None,
+            stagnation_window: 0,
         }
     }
 }
@@ -139,6 +151,12 @@ impl KspConfig {
         }
         if self.maxits == 0 {
             return Err(KspError::BadConfig("maxits must be at least 1".into()));
+        }
+        if let Some(s) = self.max_seconds {
+            // NaN must be rejected too, hence not `s <= 0.0`.
+            if s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(KspError::BadConfig("max_seconds must be positive".into()));
+            }
         }
         Ok(())
     }
@@ -199,6 +217,17 @@ impl KspConfig {
             cfg.richardson_scale =
                 v.parse().map_err(|_| KspError::BadConfig(format!("bad scale '{v}'")))?;
         }
+        if let Some(v) = opts.get_first(&["ksp_max_seconds", "max_seconds"]) {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| KspError::BadConfig(format!("bad max_seconds '{v}'")))?;
+            cfg.max_seconds = Some(secs);
+        }
+        if let Some(v) = opts.get_first(&["ksp_stagnation_window", "stagnation_window"]) {
+            cfg.stagnation_window = v
+                .parse()
+                .map_err(|_| KspError::BadConfig(format!("bad stagnation_window '{v}'")))?;
+        }
         if let Some(v) = opts.get_first(&["ksp_fused_reductions", "fused_reductions"]) {
             cfg.fused_reductions = match v.to_ascii_lowercase().as_str() {
                 "1" | "true" | "yes" | "on" => true,
@@ -234,6 +263,18 @@ pub(crate) struct Monitor<'a, 'b> {
     /// Highest iteration number seen, so methods that check twice per
     /// iteration (BiCGStab's half-step) count each iteration once.
     last_counted: usize,
+    /// Local wall-clock deadline (`None` = no budget).
+    deadline: Option<std::time::Instant>,
+    /// Rank-agreed timeout verdict, set only by [`Self::absorb_guard`]
+    /// from a reduced flag — never from the local clock directly, so all
+    /// ranks stop on the same iteration.
+    timed_out: bool,
+    /// Stagnation window (0 = disabled).
+    stagnation_window: usize,
+    /// Best residual norm seen so far.
+    best_rnorm: f64,
+    /// Consecutive iterations without a new best residual.
+    stalled: usize,
 }
 
 impl<'a, 'b> Monitor<'a, 'b> {
@@ -265,7 +306,46 @@ impl<'a, 'b> Monitor<'a, 'b> {
             cb,
             allreduce0: comm.allreduce_count(),
             last_counted: 0,
+            deadline: cfg
+                .max_seconds
+                .map(|s| std::time::Instant::now() + std::time::Duration::from_secs_f64(s)),
+            timed_out: false,
+            stagnation_window: cfg.stagnation_window,
+            best_rnorm: r0,
+            stalled: 0,
         }
+    }
+
+    /// Local guard flag: 1.0 when this rank's wall-clock budget is
+    /// exhausted, else 0.0. Fold the flag into an existing sum-reduction
+    /// (piggybacked on the residual norm) and feed the reduced value back
+    /// through [`Self::absorb_guard`] — that keeps the timeout verdict
+    /// rank-agreed without any extra collective.
+    pub(crate) fn local_guard(&self) -> f64 {
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => 1.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Absorb the reduced (summed) guard flag: any rank over budget trips
+    /// the timeout on every rank.
+    pub(crate) fn absorb_guard(&mut self, reduced_flag: f64) {
+        if reduced_flag > 0.0 {
+            self.timed_out = true;
+        }
+    }
+
+    /// Residual norm with the wall-clock guard piggybacked: computes
+    /// `‖v‖₂` via one fused `allreduce_vec` carrying `[‖v‖²_local,
+    /// guard_flag]` — the same collective count as a plain `norm2`, and
+    /// bit-identical per component (elementwise reduction over the same
+    /// rank-ordered tree).
+    pub(crate) fn guarded_norm2(&mut self, v: &DistVector) -> KspOutcome<f64> {
+        let local = [rsparse::dense::dot(v.local(), v.local()), self.local_guard()];
+        let red = self.comm.allreduce_vec(&local, rcomm::sum)?;
+        self.absorb_guard(red[1]);
+        Ok(red[0].sqrt())
     }
 
     /// Record a residual norm; `Some(reason)` means stop.
@@ -274,6 +354,17 @@ impl<'a, 'b> Monitor<'a, 'b> {
             if iteration > self.last_counted {
                 self.last_counted = iteration;
                 probe::incr(probe::Counter::KspIterations);
+                if self.stagnation_window > 0 {
+                    // Progress = a strictly better (finite) residual. The
+                    // test uses only the rank-agreed rnorm, so every rank
+                    // reaches the same stall count.
+                    if rnorm.is_finite() && rnorm < self.best_rnorm * (1.0 - 1e-12) {
+                        self.best_rnorm = rnorm;
+                        self.stalled = 0;
+                    } else {
+                        self.stalled += 1;
+                    }
+                }
             }
             if self.keep_history {
                 self.history.push(rnorm);
@@ -289,8 +380,23 @@ impl<'a, 'b> Monitor<'a, 'b> {
         if rnorm <= self.rtol_target {
             return Some(ConvergedReason::RelativeTolerance);
         }
-        if !rnorm.is_finite() || rnorm > self.dtol_target {
+        if !rnorm.is_finite() {
+            // NaN/Inf screen on the reduced residual: corruption anywhere
+            // (halo payloads, local products) propagates through the sum
+            // reduction, so this trips identically on every rank.
+            probe::incr(probe::Counter::GuardTrips);
             return Some(ConvergedReason::Diverged);
+        }
+        if rnorm > self.dtol_target {
+            return Some(ConvergedReason::Diverged);
+        }
+        if self.timed_out {
+            probe::incr(probe::Counter::GuardTrips);
+            return Some(ConvergedReason::TimedOut);
+        }
+        if self.stagnation_window > 0 && self.stalled >= self.stagnation_window {
+            probe::incr(probe::Counter::GuardTrips);
+            return Some(ConvergedReason::Stagnated);
         }
         if iteration >= self.maxits {
             return Some(ConvergedReason::MaxIterations);
@@ -672,4 +778,91 @@ mod tests {
         bad.set("ksp_type", "unobtainium");
         assert!(Ksp::from_options(&bad).is_err());
     }
+
+    #[test]
+    fn from_options_parses_guard_keys() {
+        let mut o = Options::new();
+        o.set("ksp_max_seconds", "2.5");
+        o.set("ksp_stagnation_window", "12");
+        let ksp = Ksp::from_options(&o).unwrap();
+        assert_eq!(ksp.config().max_seconds, Some(2.5));
+        assert_eq!(ksp.config().stagnation_window, 12);
+
+        let mut bad = Options::new();
+        bad.set("ksp_max_seconds", "-1");
+        assert!(Ksp::from_options(&bad).is_err());
+    }
+
+    #[test]
+    fn stagnation_is_reported_rank_consistently() {
+        // Unpreconditioned CG on a stiff problem with a 1-iteration stall
+        // window: the residual is not strictly monotone, so the stall
+        // trips long before maxits — and identically on every rank.
+        let a = generate::laplacian_2d(10);
+        let n = 100;
+        let b = vec![1.0; n];
+        for ranks in [1usize, 3] {
+            let out = Universe::run(ranks, |comm| {
+                let part = BlockRowPartition::even(n, comm.size());
+                let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+                let op = MatOperator::new(da);
+                let db = DistVector::from_global(part.clone(), comm.rank(), &b).unwrap();
+                let mut dx = DistVector::zeros(part, comm.rank());
+                let ksp = Ksp::new(KspConfig {
+                    ksp_type: KspType::Cg,
+                    pc_type: PcType::None,
+                    rtol: 1e-30,
+                    atol: 1e-300,
+                    maxits: 100_000,
+                    stagnation_window: 1,
+                    ..KspConfig::default()
+                })
+                .unwrap();
+                ksp.solve(comm, &op, &db, &mut dx).unwrap()
+            });
+            for r in &out {
+                assert_eq!(r.reason, out[0].reason, "ranks disagree");
+                assert_eq!(r.iterations, out[0].iterations, "ranks disagree");
+            }
+            assert_eq!(out[0].reason, ConvergedReason::Stagnated);
+            assert!(out[0].iterations < 100_000);
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_times_out_rank_consistently() {
+        // An impossible tolerance with a tiny time budget: every rank must
+        // stop with TimedOut on the same iteration (the verdict rides the
+        // fused reductions).
+        let a = generate::laplacian_2d(10);
+        let n = 100;
+        let b = vec![1.0; n];
+        let out = Universe::run(3, |comm| {
+            let part = BlockRowPartition::even(n, comm.size());
+            let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+            let op = MatOperator::new(da);
+            let db = DistVector::from_global(part.clone(), comm.rank(), &b).unwrap();
+            let mut dx = DistVector::zeros(part, comm.rank());
+            let ksp = Ksp::new(KspConfig {
+                // Richardson with a negligible step makes essentially no
+                // progress per iteration, so only the clock can stop it.
+                ksp_type: KspType::Richardson,
+                pc_type: PcType::None,
+                richardson_scale: 1e-18,
+                rtol: 1e-12,
+                dtol: 1e300,
+                maxits: 100_000_000,
+                max_seconds: Some(0.05),
+                ..KspConfig::default()
+            })
+            .unwrap();
+            ksp.solve(comm, &op, &db, &mut dx).unwrap()
+        });
+        for r in &out {
+            assert_eq!(r.reason, out[0].reason, "ranks disagree");
+            assert_eq!(r.iterations, out[0].iterations, "ranks disagree");
+        }
+        assert_eq!(out[0].reason, ConvergedReason::TimedOut);
+    }
+
 }

@@ -83,7 +83,7 @@ pub(crate) fn solve(
             for (di, yi) in d.local_mut().iter_mut().zip(y.local()) {
                 *di = yi + coeff * *di;
             }
-            theta = w.norm2(comm)? / tau;
+            theta = mon.guarded_norm2(&w)? / tau;
             let c = 1.0 / (1.0 + theta * theta).sqrt();
             tau *= theta * c;
             eta = c * c * alpha;

@@ -15,13 +15,17 @@ pub enum CycleType {
     W,
 }
 
+/// A pluggable coarse-solve callback `(a, b) -> x`.
+pub type CoarseCallback =
+    Box<dyn Fn(&CsrMatrix, &[f64]) -> Result<Vec<f64>, String> + Send + Sync>;
+
 /// The coarsest-grid solver. Pluggable so that a *different package* can
 /// serve the coarse problem — the recursion scenario of paper §5.2e.
 pub enum CoarseSolver {
     /// Dense LU on the coarsest operator (default).
     DenseLu,
     /// A user callback `(a, b) -> x`; any failure aborts the cycle.
-    Callback(Box<dyn Fn(&CsrMatrix, &[f64]) -> Result<Vec<f64>, String> + Send + Sync>),
+    Callback(CoarseCallback),
 }
 
 impl std::fmt::Debug for CoarseSolver {

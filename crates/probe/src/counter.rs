@@ -63,10 +63,22 @@ pub enum Counter {
     PortCalls,
     /// `Services::get_port` lookups.
     PortFetches,
+    /// Faults fired by an armed `rcomm` fault plan.
+    FaultsInjected,
+    /// Non-finite values observed in received halo payloads.
+    HaloNonFinite,
+    /// Solver guard verdicts (non-finite residual, stagnation, or
+    /// wall-clock budget) that stopped an iteration.
+    GuardTrips,
+    /// Solve attempts started by the resilient solver (first tries and
+    /// retries alike).
+    ResilientAttempts,
+    /// Solves that succeeded only after a retry or a backend swap.
+    ResilientRecoveries,
 }
 
 /// Number of counter variants (recorder slot-array length).
-pub(crate) const COUNTER_COUNT: usize = 23;
+pub(crate) const COUNTER_COUNT: usize = 28;
 
 impl Counter {
     /// All variants, in declaration order (matching slot indices).
@@ -94,6 +106,11 @@ impl Counter {
         Counter::TriangularSolves,
         Counter::PortCalls,
         Counter::PortFetches,
+        Counter::FaultsInjected,
+        Counter::HaloNonFinite,
+        Counter::GuardTrips,
+        Counter::ResilientAttempts,
+        Counter::ResilientRecoveries,
     ];
 
     /// Stable snake_case name used by the JSON and summary sinks.
@@ -122,6 +139,11 @@ impl Counter {
             Counter::TriangularSolves => "triangular_solves",
             Counter::PortCalls => "port_calls",
             Counter::PortFetches => "port_fetches",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::HaloNonFinite => "halo_non_finite",
+            Counter::GuardTrips => "guard_trips",
+            Counter::ResilientAttempts => "resilient_attempts",
+            Counter::ResilientRecoveries => "resilient_recoveries",
         }
     }
 

@@ -72,6 +72,17 @@ macro_rules! span {
     };
 }
 
+/// Emit one pre-formatted JSON line to stderr when the probe mode is
+/// [`ProbeMode::Json`]. Layers that stream structured events as they
+/// happen (e.g. the resilient solver's per-attempt records) use this so
+/// `RSPARSE_PROBE=json` shows the event stream alongside the rank
+/// reports; in every other mode the call is a single mode check.
+pub fn emit_jsonl(line: &str) {
+    if mode() == ProbeMode::Json {
+        eprintln!("{line}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -680,6 +680,14 @@ impl DistCsrMatrix {
                     got: vals.len(),
                 });
             }
+            // Numerical-failure screen: a non-finite halo value is counted
+            // here (cheap scan of a small boundary payload) and then
+            // *allowed to propagate* — the NaN reaches every rank through
+            // the next residual reduction, so the solve stops with a
+            // rank-agreed verdict instead of a local unilateral abort.
+            if vals.iter().any(|v| !v.is_finite()) {
+                probe::incr(probe::Counter::HaloNonFinite);
+            }
             ws.ext[n_local + offset..n_local + offset + count].copy_from_slice(&vals);
             // Drop our clone promptly so the sender's staging buffer frees
             // up for its next matvec.

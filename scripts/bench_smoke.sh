@@ -13,6 +13,16 @@
 # reference. A miss prints a WARN but does not fail the script (shared
 # machines are noisy).
 #
+# Fault-injection guards (two distinct budgets):
+#   * no-faults (<1%): the fresh disarmed throughput of this run is
+#     compared against the stored BENCH_spmv.json baseline — the disarmed
+#     hook is one relaxed atomic load per call and must stay invisible.
+#   * armed-but-inert (<5%, diagnostic): the `fault_guard` bin measures
+#     disarmed vs armed-with-a-never-matching-plan in alternating pairs
+#     over the SpMV burst and a fused-reduction CG solve; the armed path
+#     (mutex + rule scan per call) is only paid while testing faults.
+# Both land in BENCH_fault_overhead.json; misses WARN, never fail.
+#
 # Usage: scripts/bench_smoke.sh [pre|post]   (default: post)
 #
 # BENCH_spmv.json accumulates one entry per label, so running once before a
@@ -35,6 +45,9 @@ CRITERION_SHIM_OUT="$OUT_DIR" \
 echo "== probe overhead guard (paired) =="
 cargo run -q -p lisi-bench --release --bin probe_guard > "$OUT_DIR/probe_guard.json"
 
+echo "== fault-machinery overhead guard (paired) =="
+cargo run -q -p lisi-bench --release --bin fault_guard > "$OUT_DIR/fault_guard.json"
+
 python3 - "$LABEL" "$OUT_DIR" <<'EOF'
 import json, os, sys
 
@@ -54,6 +67,10 @@ data = {}
 if os.path.exists(bench_file):
     with open(bench_file) as f:
         data = json.load(f)
+# The previously stored entry under this label is the no-faults baseline
+# below: it was recorded before the current change, so fresh-vs-stored
+# measures whatever the change added to the disarmed path.
+prev_entry = data.get(label)
 data[label] = entry
 with open(bench_file, "w") as f:
     json.dump(data, f, indent=2)
@@ -103,4 +120,62 @@ print(f"probe overhead (enabled vs disabled): {overhead_pct:+.2f}% "
 print(f"cross-process noise floor (disabled vs plain): "
       f"{guard['noise_floor_pct']:+.2f}%")
 print("recorded BENCH_probe_overhead.json")
+
+# Fault-injection guards. (1) No-faults budget: the disarmed fault hook
+# is one relaxed atomic load per communication call, so this run's fresh
+# disarmed throughput must sit within 1% of the entry previously stored
+# under the same label (recorded before the current change). A
+# cross-process comparison, so a miss WARNs rather than fails.
+# (2) Armed-but-inert budget: the paired fault_guard measurement bounds
+# the armed path's mutex + rule-scan cost over both workloads at <5% —
+# only paid while a fault plan is loaded for testing.
+with open(os.path.join(out_dir, "fault_guard.json")) as f:
+    fg = json.load(f)
+
+NO_FAULTS_TARGET_PCT = 1.0
+ARMED_TARGET_PCT = 5.0
+baseline_label = f"stored '{label}'"
+no_faults = {}
+for variant in ("serial", "dist4"):
+    base = (prev_entry or {}).get(variant, {}).get("elements_per_sec")
+    now = entry[variant]["elements_per_sec"]
+    if not (base and now):
+        continue
+    slowdown_pct = 100.0 * (base / now - 1.0)
+    no_faults[variant] = {
+        "baseline_label": baseline_label,
+        "baseline_elements_per_sec": base,
+        "current_elements_per_sec": now,
+        "slowdown_pct": slowdown_pct,
+        "pass": slowdown_pct < NO_FAULTS_TARGET_PCT,
+    }
+
+fault_rec = {
+    "no_faults": {"target_pct": NO_FAULTS_TARGET_PCT, **no_faults},
+    "armed_inert": {"target_pct": ARMED_TARGET_PCT, "trials": fg["trials"]},
+}
+for wl in ("spmv", "fused_cg"):
+    w = fg[wl]
+    fault_rec["armed_inert"][wl] = {
+        **w,
+        "pass": w["overhead_pct"] < ARMED_TARGET_PCT,
+    }
+with open("BENCH_fault_overhead.json", "w") as f:
+    json.dump(fault_rec, f, indent=2)
+    f.write("\n")
+
+if not no_faults:
+    print(f"no-faults baseline: no previous '{label}' entry to compare "
+          f"against (recorded one for next time)")
+for variant, rec in no_faults.items():
+    verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+    print(f"no-faults {variant} vs {baseline_label} baseline: "
+          f"{rec['slowdown_pct']:+.2f}% (target < {NO_FAULTS_TARGET_PCT}%) "
+          f"-> {verdict}")
+for wl in ("spmv", "fused_cg"):
+    rec = fault_rec["armed_inert"][wl]
+    verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+    print(f"armed-inert {wl}: {rec['overhead_pct']:+.2f}% "
+          f"(target < {ARMED_TARGET_PCT}%) -> {verdict}")
+print("recorded BENCH_fault_overhead.json")
 EOF

@@ -8,15 +8,16 @@ cd "$(dirname "$0")/.."
 echo "== build (all targets) =="
 cargo build --workspace --all-targets
 
-echo "== clippy (probe + sparse + krylov) =="
-cargo clippy -p lisi-probe -p lisi-sparse -p lisi-krylov --all-targets -- -D warnings
+echo "== clippy (probe + sparse + krylov + comm + core) =="
+cargo clippy -p lisi-probe -p lisi-sparse -p lisi-krylov -p lisi-comm -p lisi-core \
+  --all-targets -- -D warnings
 
 echo "== tests =="
 RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace
 
 echo "== examples =="
 for e in quickstart solver_switching matrix_free multigrid_recursion \
-         usage_scenarios formats_tour external_matrix; do
+         usage_scenarios formats_tour external_matrix resilience; do
   echo "-- $e"
   cargo run --release --example "$e" >/dev/null
 done
