@@ -185,7 +185,7 @@ mod tests {
         let out = Universe::run(2, |comm| {
             let m = CrsMatrix::from_global(comm, &a).unwrap();
             let pc = JacobiPc::new(&m).unwrap();
-            let r = Vector::from_global(m.row_map().clone(), &vec![4.0; 6]).unwrap();
+            let r = Vector::from_global(m.row_map().clone(), &[4.0; 6]).unwrap();
             let mut z = Vector::new(m.row_map().clone());
             pc.apply(comm, &r, &mut z).unwrap();
             z.gather_all(comm).unwrap()

@@ -55,6 +55,7 @@ fn main() {
             probe::write_chrome_trace("probe_trace.json").expect("write probe_trace.json");
             eprintln!("chrome trace written to probe_trace.json (load in chrome://tracing)");
         }
+        probe::ProbeMode::Flight => print!("{}", probe::render_flight()),
         _ => {}
     }
 }

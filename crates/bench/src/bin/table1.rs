@@ -45,6 +45,9 @@ fn main() {
         probe::write_chrome_trace("probe_trace.json").expect("write probe_trace.json");
         eprintln!("chrome trace written to probe_trace.json (load in chrome://tracing)");
     }
+    if mode == probe::ProbeMode::Flight {
+        print!("{}", probe::render_flight());
+    }
     println!();
     println!("paper reference (PETSc on 8 cluster nodes):");
     println!("| 12300  | 0.086   | 0.070     | +0.016/18.61     | 36    |");

@@ -152,6 +152,44 @@ impl Communicator {
         self.members[self.rank]
     }
 
+    /// Byte/message accounting plus a flight-recorder event for one
+    /// posted p2p send. The matrix row must reconcile exactly against
+    /// `SendsPosted`/`BytesSent`, so every path that bumps those stats —
+    /// including the fault-injected `Drop` early return — goes through
+    /// here. An out-of-range `dest` (caller bug surfaced elsewhere) is
+    /// attributed to the self-loop cell to keep the totals exact.
+    fn note_send(&self, dest: usize, tag: Tag, bytes: u64) {
+        self.stats.send(bytes);
+        let peer = self.world_rank(dest).unwrap_or_else(|_| self.my_world_rank());
+        probe::peer_send(peer, bytes);
+        probe::flight::record(probe::flight::FlightKind::Comm {
+            op: "send",
+            peer: peer as i64,
+            bytes,
+            tag: tag as i64,
+        });
+    }
+
+    /// Accounting + flight event for one completed p2p receive; `src` is
+    /// the sender's local rank from the matched envelope.
+    fn note_recv(&self, src: usize, tag: Tag, bytes: u64) {
+        self.stats.recv(bytes);
+        let peer = self.world_rank(src).unwrap_or_else(|_| self.my_world_rank());
+        probe::peer_recv(peer, bytes);
+        probe::flight::record(probe::flight::FlightKind::Comm {
+            op: "recv",
+            peer: peer as i64,
+            bytes,
+            tag: tag as i64,
+        });
+    }
+
+    /// Flight-recorder event for a collective (no peer, no tag).
+    #[inline]
+    fn note_collective(&self, op: &'static str) {
+        probe::flight::record(probe::flight::FlightKind::Comm { op, peer: -1, bytes: 0, tag: -1 });
+    }
+
     /// Fault gate for receive paths. Error/delay are handled here; a
     /// `Corrupt` action is returned so the caller can poison the payload
     /// *after* it arrives.
@@ -213,7 +251,7 @@ impl Communicator {
                 }
                 Some(FaultAction::Drop) => {
                     // Silently discard: the receiver never sees the message.
-                    self.stats.send(std::mem::size_of::<T>() as u64);
+                    self.note_send(dest, tag, std::mem::size_of::<T>() as u64);
                     return Ok(());
                 }
                 Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
@@ -227,7 +265,7 @@ impl Communicator {
             }
         }
         self.send_ctx(dest, tag, self.context, value)?;
-        self.stats.send(std::mem::size_of::<T>() as u64);
+        self.note_send(dest, tag, std::mem::size_of::<T>() as u64);
         Ok(())
     }
 
@@ -259,7 +297,7 @@ impl Communicator {
         if let Some(FaultAction::Corrupt { seed, call }) = act {
             let _ = fault::corrupt_payload(&mut v, seed, call);
         }
-        self.stats.recv(std::mem::size_of::<T>() as u64);
+        self.note_recv(src, tag, std::mem::size_of::<T>() as u64);
         Ok(v)
     }
 
@@ -278,7 +316,7 @@ impl Communicator {
         if let Some(FaultAction::Corrupt { seed, call }) = act {
             let _ = fault::corrupt_payload(&mut v, seed, call);
         }
-        self.stats.recv(std::mem::size_of::<T>() as u64);
+        self.note_recv(status.source, status.tag, std::mem::size_of::<T>() as u64);
         Ok((v, status))
     }
 
@@ -425,6 +463,7 @@ impl Communicator {
     /// Synchronize all ranks (dissemination barrier).
     pub fn barrier(&self) -> CommResult<()> {
         self.stats.barrier();
+        self.note_collective("barrier");
         self.collective_fault(FaultOp::Barrier, "barrier")?;
         crate::collectives::barrier(self)
     }
@@ -433,6 +472,7 @@ impl Communicator {
     /// all ranks.
     pub fn bcast<T: Send + Clone + 'static>(&self, root: usize, value: T) -> CommResult<T> {
         self.stats.bcast();
+        self.note_collective("bcast");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Bcast, "bcast")?
@@ -450,6 +490,7 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.reduce();
+        self.note_collective("reduce");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Reduce, "reduce")?
@@ -466,6 +507,10 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.allreduce();
+        self.note_collective("allreduce");
+        // Reduction time is wait-attributed: under the probe it shows up
+        // as the "allreduce" span (time blocked riding the reduction).
+        let _wait = probe::span!("allreduce");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Allreduce, "allreduce")?
@@ -486,6 +531,8 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.allreduce();
+        self.note_collective("allreduce");
+        let _wait = probe::span!("allreduce");
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Allreduce, "allreduce")?
         {
@@ -503,6 +550,7 @@ impl Communicator {
         value: T,
     ) -> CommResult<Option<Vec<T>>> {
         self.stats.gather();
+        self.note_collective("gather");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Gather, "gather")?
@@ -520,6 +568,7 @@ impl Communicator {
         values: &[T],
     ) -> CommResult<Option<Vec<T>>> {
         self.stats.gather();
+        self.note_collective("gatherv");
         self.collective_fault(FaultOp::Gather, "gatherv")?;
         crate::collectives::gatherv(self, root, values)
     }
@@ -527,6 +576,7 @@ impl Communicator {
     /// Gather one value per rank onto **all** ranks.
     pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> CommResult<Vec<T>> {
         self.stats.allgather();
+        self.note_collective("allgather");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Allgather, "allgather")?
@@ -540,6 +590,7 @@ impl Communicator {
     /// order.
     pub fn allgatherv<T: Send + Clone + 'static>(&self, values: &[T]) -> CommResult<Vec<T>> {
         self.stats.allgather();
+        self.note_collective("allgatherv");
         self.collective_fault(FaultOp::Allgather, "allgatherv")?;
         crate::collectives::allgatherv(self, values)
     }
@@ -551,6 +602,7 @@ impl Communicator {
         chunks: Option<Vec<Vec<T>>>,
     ) -> CommResult<Vec<T>> {
         self.stats.scatter();
+        self.note_collective("scatter");
         self.collective_fault(FaultOp::Scatter, "scatter")?;
         crate::collectives::scatter(self, root, chunks)
     }
@@ -562,6 +614,7 @@ impl Communicator {
         chunks: Vec<Vec<T>>,
     ) -> CommResult<Vec<Vec<T>>> {
         self.stats.alltoall();
+        self.note_collective("alltoall");
         self.collective_fault(FaultOp::Alltoall, "alltoall")?;
         crate::collectives::alltoall(self, chunks)
     }
@@ -573,6 +626,7 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.scan();
+        self.note_collective("scan");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Scan, "scan")?
@@ -590,6 +644,7 @@ impl Communicator {
         F: Fn(&T, &T) -> T,
     {
         self.stats.scan();
+        self.note_collective("exscan");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Scan, "exscan")?

@@ -83,6 +83,23 @@ pub enum FaultOp {
 }
 
 impl FaultOp {
+    /// The spec-grammar spelling of this op.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::Send => "send",
+            FaultOp::Recv => "recv",
+            FaultOp::Barrier => "barrier",
+            FaultOp::Bcast => "bcast",
+            FaultOp::Reduce => "reduce",
+            FaultOp::Allreduce => "allreduce",
+            FaultOp::Gather => "gather",
+            FaultOp::Allgather => "allgather",
+            FaultOp::Scatter => "scatter",
+            FaultOp::Alltoall => "alltoall",
+            FaultOp::Scan => "scan",
+        }
+    }
+
     fn parse(s: &str) -> Result<Self, String> {
         Ok(match s {
             "send" => FaultOp::Send,
@@ -116,6 +133,19 @@ pub enum FaultKind {
     Truncate,
 }
 
+impl FaultKind {
+    /// The spec-grammar spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Error => "error",
+            FaultKind::Drop => "drop",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Truncate => "truncate",
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultRule {
@@ -141,7 +171,36 @@ pub struct FaultPlan {
     pub seed: u64,
 }
 
+impl FaultRule {
+    /// Render the rule back into the spec grammar (one clause), so a
+    /// postmortem can quote exactly what `scripts/fault_matrix.sh` armed.
+    pub fn spec(&self) -> String {
+        let mut out = format!("op={},kind={}", self.op.name(), self.kind.name());
+        if let FaultKind::Delay(ms) = self.kind {
+            out.push_str(&format!(",delay_ms={ms}"));
+        }
+        if let Some(r) = self.rank {
+            out.push_str(&format!(",rank={r}"));
+        }
+        out.push_str(&format!(",call={}", self.call));
+        if let Some(t) = self.tag {
+            out.push_str(&format!(",tag={t}"));
+        }
+        out
+    }
+}
+
 impl FaultPlan {
+    /// Render the plan back into the spec grammar (clauses joined with
+    /// `;`, seed last).
+    pub fn spec(&self) -> String {
+        let mut clauses: Vec<String> = self.rules.iter().map(FaultRule::spec).collect();
+        if self.seed != 0 {
+            clauses.push(format!("seed={}", self.seed));
+        }
+        clauses.join(";")
+    }
+
     /// Parse the `RSPARSE_FAULTS` spec grammar.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
@@ -262,6 +321,28 @@ pub fn disarm() {
     *STATE.lock().unwrap() = None;
 }
 
+/// The currently armed plan, if any (a clone; arming is unaffected).
+/// Postmortem writers use this to record what was scheduled.
+pub fn active_plan() -> Option<FaultPlan> {
+    STATE.lock().unwrap().as_ref().map(|a| a.plan.clone())
+}
+
+/// Indices (into the armed plan's `rules`) of rules whose one-shot fuse
+/// has burned — i.e. faults that actually fired. Empty when no plan is
+/// armed.
+pub fn fired_rule_ids() -> Vec<usize> {
+    match STATE.lock().unwrap().as_ref() {
+        Some(a) => a
+            .fired
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
 /// Arm from the `RSPARSE_FAULTS` environment variable, at most once per
 /// process. Called by [`crate::Universe::run`]; a malformed spec is
 /// reported on stderr and ignored rather than poisoning every launch.
@@ -305,6 +386,11 @@ pub(crate) fn check(op: FaultOp, world_rank: usize, tag: Option<Tag>) -> Option<
             continue;
         }
         probe::incr(probe::Counter::FaultsInjected);
+        probe::flight::record(probe::flight::FlightKind::Fault {
+            rule: i as u32,
+            op: rule.op.name(),
+            kind: rule.kind.name(),
+        });
         // Mix the rule index into the seed so two corrupt rules poison
         // independent elements.
         let seed = splitmix64(armed.plan.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -419,6 +505,38 @@ mod tests {
         assert!(FaultPlan::parse("op=allreduce,kind=truncate").is_err());
         assert!(FaultPlan::parse("op=send,kind=error,rank=x").is_err());
         assert!(FaultPlan::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn spec_rendering_round_trips_through_the_parser() {
+        for spec in [
+            "op=allreduce,rank=2,call=2,kind=corrupt;seed=11",
+            "op=send,rank=1,tag=7001,call=1,kind=truncate",
+            "op=recv,rank=2,tag=7001,call=1,kind=delay,delay_ms=50",
+            "op=send,rank=2,call=3,tag=7001,kind=drop;op=allreduce,kind=corrupt;seed=42",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let rendered = plan.spec();
+            let reparsed = FaultPlan::parse(&rendered).unwrap();
+            assert_eq!(plan, reparsed, "spec '{spec}' -> '{rendered}' did not round-trip");
+        }
+    }
+
+    #[test]
+    fn fired_rules_are_reported_by_id() {
+        // Process-global state: use a plan no other test arms, and
+        // restore disarmed state at the end.
+        let plan =
+            FaultPlan::parse("op=scan,rank=77,kind=error;op=barrier,rank=78,kind=error").unwrap();
+        arm(plan.clone());
+        assert_eq!(active_plan().as_ref(), Some(&plan));
+        assert!(fired_rule_ids().is_empty());
+        // Fire only the second rule.
+        assert!(check(FaultOp::Barrier, 78, None).is_some());
+        assert_eq!(fired_rule_ids(), vec![1]);
+        disarm();
+        assert!(active_plan().is_none());
+        assert!(fired_rule_ids().is_empty());
     }
 
     #[test]

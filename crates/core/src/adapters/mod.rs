@@ -109,7 +109,7 @@ macro_rules! lisi_common_methods {
                     crate::error::LisiError::BadParameter {
                         key: "probe".into(),
                         reason: format!(
-                            "unknown probe mode '{value}' (expected off|summary|json|chrome)"
+                            "unknown probe mode '{value}' (expected off|summary|json|chrome|flight)"
                         ),
                     }
                 })?;

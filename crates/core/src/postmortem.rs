@@ -1,0 +1,277 @@
+//! Failure postmortems: the flight recorder's black-box dump.
+//!
+//! When a resilient solve ends badly — every retry exhausted — or ends
+//! well only after a recovery, each rank snapshots its flight-recorder
+//! tail (see `probe::flight`), its residual history and its non-zero
+//! counters into a JSON fragment; the fragments are gathered onto rank 0
+//! over the driver's own communicator and written as **one** structured
+//! `postmortem.json` for the whole cohort. The document records what the
+//! cohort was doing in its final moments: the trigger, the active fault
+//! plan and which rules actually fired, the recovery path the driver
+//! walked, and the last-N timestamped events of every rank.
+//!
+//! Gather protocol: the fragments travel over the *original* driver
+//! communicator (never a per-attempt `dup()` — under rank-divergent
+//! failures the dup counters themselves diverge, and a context-mismatched
+//! collective would hang). The driver runs no other collectives on that
+//! communicator, so the gather is context-clean whenever the cohort
+//! reaches the postmortem in lockstep. If ranks diverge instead (one
+//! exhausts while its peers recover), the deadlock watchdog converts the
+//! lonely gather into an error within `RCOMM_DEADLOCK_TIMEOUT_SECS`, and
+//! the writing rank falls back to a process-local registry snapshot
+//! ([`probe::flight::tails_by_rank`]) — ranks are threads of one
+//! process, so the fallback still captures every rank's tail.
+//!
+//! The path defaults to `postmortem.json` in the working directory;
+//! `RSPARSE_POSTMORTEM=off|0|none|false` disables the dump entirely and
+//! any other non-empty value overrides the path.
+
+use std::path::PathBuf;
+
+use probe::flight;
+use rcomm::Communicator;
+
+use crate::status::SolveReport;
+
+/// Schema tag stamped into every postmortem document.
+pub const SCHEMA: &str = "lisi-postmortem-v1";
+
+/// Default output path (relative to the working directory).
+pub const DEFAULT_PATH: &str = "postmortem.json";
+
+/// Resolve the postmortem destination from `RSPARSE_POSTMORTEM`:
+/// `None` when dumps are disabled, otherwise the target path.
+pub fn path() -> Option<PathBuf> {
+    match std::env::var("RSPARSE_POSTMORTEM") {
+        Ok(v) => {
+            let v = v.trim().to_string();
+            if v.is_empty() {
+                return Some(PathBuf::from(DEFAULT_PATH));
+            }
+            match v.to_ascii_lowercase().as_str() {
+                "off" | "0" | "none" | "false" => None,
+                _ => Some(PathBuf::from(v)),
+            }
+        }
+        Err(_) => Some(PathBuf::from(DEFAULT_PATH)),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number for an `f64` (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn report_json(report: &SolveReport) -> String {
+    format!(
+        "{{\"converged\":{},\"iterations\":{},\"residual\":{},\"setup_seconds\":{},\
+         \"solve_seconds\":{},\"reason\":{},\"attempts\":{},\"recovery\":{}}}",
+        report.converged,
+        report.iterations,
+        json_f64(report.residual),
+        json_f64(report.setup_seconds),
+        json_f64(report.solve_seconds),
+        report.reason,
+        report.attempts,
+        report.recovery,
+    )
+}
+
+fn counters_json(report: &probe::RankReport) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for c in probe::Counter::ALL {
+        let v = report.counter(c);
+        if v == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{v}", c.name()));
+    }
+    out.push('}');
+    out
+}
+
+fn residuals_json(history: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in history.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_f64(*r));
+    }
+    out.push(']');
+    out
+}
+
+/// One rank's contribution: its tail, residual history and counters.
+fn rank_fragment(rank: usize) -> String {
+    let (tail, total) = flight::local_tail();
+    format!(
+        "{{\"rank\":{rank},\"events_recorded\":{total},\"counters\":{},\
+         \"residual_history\":{},\"events\":{}}}",
+        counters_json(&probe::local_report()),
+        residuals_json(&flight::local_residual_history()),
+        flight::tail_json(&tail),
+    )
+}
+
+/// Fallback fragments from the process-wide recorder registry, used when
+/// the cohort gather cannot complete (rank-divergent termination).
+fn registry_fragments() -> Vec<String> {
+    flight::tails_by_rank()
+        .into_iter()
+        .map(|(rank, tail)| {
+            let rank =
+                rank.map(|r| r.to_string()).unwrap_or_else(|| "null".into());
+            format!(
+                "{{\"rank\":{rank},\"events_recorded\":{},\"counters\":{{}},\
+                 \"residual_history\":[],\"events\":{}}}",
+                tail.len(),
+                flight::tail_json(&tail),
+            )
+        })
+        .collect()
+}
+
+fn assemble(
+    trigger: &str,
+    ranks: usize,
+    policy_spec: &str,
+    recovery_path: &[String],
+    report: &SolveReport,
+    gathered: &str,
+    fragments: &[String],
+) -> String {
+    let fault_plan = rcomm::fault::active_plan()
+        .map(|p| format!("\"{}\"", json_escape(&p.spec())))
+        .unwrap_or_else(|| "null".into());
+    let fired: Vec<String> =
+        rcomm::fault::fired_rule_ids().iter().map(|i| i.to_string()).collect();
+    let path: Vec<String> = recovery_path
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"trigger\": \"{}\",\n  \"ranks\": {ranks},\n  \
+         \"gathered\": \"{gathered}\",\n  \"policy\": \"{}\",\n  \"recovery_path\": [{}],\n  \
+         \"fault_plan\": {fault_plan},\n  \"fault_rules_fired\": [{}],\n  \"report\": {},\n  \
+         \"rank_tails\": [\n    {}\n  ]\n}}\n",
+        json_escape(trigger),
+        json_escape(policy_spec),
+        path.join(", "),
+        fired.join(", "),
+        report_json(report),
+        fragments.join(",\n    "),
+    )
+}
+
+/// Gather every rank's flight-recorder tail and write the cohort's
+/// postmortem document.
+///
+/// Call this from every rank that reached the trigger; rank 0 (or, on a
+/// failed gather, whichever rank fell back to the registry snapshot)
+/// writes the file. Returns the path written by *this* rank, `None` when
+/// this rank was a non-root contributor or dumps are disabled. I/O and
+/// gather failures degrade — the postmortem is diagnostics, it must
+/// never turn a structured solve verdict into a crash.
+pub fn write_cohort(
+    comm: &Communicator,
+    trigger: &str,
+    report: &SolveReport,
+    policy_spec: &str,
+    recovery_path: &[String],
+) -> Option<PathBuf> {
+    let dest = path()?;
+    let ranks = comm.size();
+    let doc = match comm.gather(0, rank_fragment(comm.rank())) {
+        Ok(Some(fragments)) => {
+            assemble(trigger, ranks, policy_spec, recovery_path, report, "cohort", &fragments)
+        }
+        Ok(None) => return None, // non-root: rank 0 writes
+        Err(_) => {
+            // Divergent cohort: the gather could not complete. Snapshot
+            // the registry instead — same process, every tail is local.
+            let fragments = registry_fragments();
+            assemble(trigger, ranks, policy_spec, recovery_path, report, "registry", &fragments)
+        }
+    };
+    match std::fs::write(&dest, doc) {
+        Ok(()) => {
+            probe::emit_jsonl(&format!(
+                "{{\"event\":\"postmortem\",\"trigger\":\"{}\",\"path\":\"{}\"}}",
+                json_escape(trigger),
+                json_escape(&dest.display().to_string()),
+            ));
+            Some(dest)
+        }
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_quotes_and_control_bytes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+        let rep = SolveReport { residual: f64::NAN, ..SolveReport::default() };
+        assert!(report_json(&rep).contains("\"residual\":null"));
+    }
+
+    #[test]
+    fn assembled_document_is_balanced_json_with_the_schema_tag() {
+        let rep = SolveReport { converged: false, attempts: 3, recovery: -1, ..Default::default() };
+        let doc = assemble(
+            "exhausted",
+            2,
+            "cg:solver=cg -> lu",
+            &["cg#1: swap: boom".into(), "lu#2: exhausted: boom".into()],
+            &rep,
+            "cohort",
+            &["{\"rank\":0}".into(), "{\"rank\":1}".into()],
+        );
+        assert!(doc.contains("\"schema\": \"lisi-postmortem-v1\""));
+        assert!(doc.contains("\"trigger\": \"exhausted\""));
+        assert!(doc.contains("\"rank\":1"));
+        let depth = doc.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "braces/brackets balance");
+    }
+}

@@ -88,7 +88,28 @@ impl Default for RetryPolicy {
     }
 }
 
+impl AttemptSpec {
+    /// Render this attempt back in the `retry_policy` grammar
+    /// (`backend[:key=value,…]`).
+    pub fn spec(&self) -> String {
+        if self.overrides.is_empty() {
+            return self.backend.clone();
+        }
+        let opts: Vec<String> =
+            self.overrides.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{}:{}", self.backend, opts.join(","))
+    }
+}
+
 impl RetryPolicy {
+    /// Render the attempt chain back in the `retry_policy` grammar —
+    /// stamped into postmortem documents so a failure dump names the
+    /// exact chain that was walked.
+    pub fn spec(&self) -> String {
+        let parts: Vec<String> = self.attempts.iter().map(AttemptSpec::spec).collect();
+        parts.join(" -> ")
+    }
+
     /// Parse the chain grammar used by the `"retry_policy"` option:
     ///
     /// ```text
@@ -359,6 +380,17 @@ impl ResilientSolver {
             outcome.replace('"', "'"),
         ));
     }
+
+    /// Stamp an attempt phase transition into the flight recorder, so a
+    /// postmortem's event tail shows the recovery path interleaved with
+    /// the comm/iteration events that caused it.
+    fn flight_attempt(slot: usize, attempt: usize, phase: &'static str) {
+        probe::flight::record(probe::flight::FlightKind::Attempt {
+            slot: slot as u32,
+            attempt: attempt as u32,
+            phase,
+        });
+    }
 }
 
 impl SparseSolverPort for ResilientSolver {
@@ -384,6 +416,9 @@ impl SparseSolverPort for ResilientSolver {
         let guess: Vec<f64> = solution.to_vec();
         let mut attempts_made = 0usize;
         let mut last_err: Option<LisiError> = None;
+        // Human-readable trail of every attempt's fate, stamped into the
+        // postmortem document as `recovery_path`.
+        let mut recovery_path: Vec<String> = Vec::new();
 
         for (slot, spec) in policy.attempts.iter().enumerate() {
             let mut retries = 0usize;
@@ -391,10 +426,13 @@ impl SparseSolverPort for ResilientSolver {
                 attempts_made += 1;
                 probe::incr(probe::Counter::ResilientAttempts);
                 let _span = probe::span!("resilient_attempt");
+                Self::flight_attempt(slot, attempts_made, "start");
                 solution.copy_from_slice(&guess);
                 match Self::attempt_once(&st, switch.as_ref(), spec, solution) {
                     Ok(mut report) => {
                         Self::emit_attempt_event(spec, slot, attempts_made, "ok");
+                        Self::flight_attempt(slot, attempts_made, "ok");
+                        recovery_path.push(format!("{}#{attempts_made}: ok", spec.backend));
                         report.attempts = attempts_made;
                         report.recovery = match (attempts_made, slot) {
                             (1, _) => 0,
@@ -405,13 +443,35 @@ impl SparseSolverPort for ResilientSolver {
                             probe::incr(probe::Counter::ResilientRecoveries);
                         }
                         report.write_into(status)?;
+                        if report.recovery != 0 {
+                            // The solve survived only through recovery:
+                            // leave the black-box record of how.
+                            crate::postmortem::write_cohort(
+                                st.comm()?,
+                                "recovered",
+                                &report,
+                                &policy.spec(),
+                                &recovery_path,
+                            );
+                        }
                         return Ok(());
                     }
                     Err(e) => {
                         Self::emit_attempt_event(spec, slot, attempts_made, &e.to_string());
                         let transient = Self::is_transient(&e);
+                        let retrying = transient && retries < policy.max_transient_retries;
+                        let phase = if retrying {
+                            "retry"
+                        } else if slot + 1 < policy.attempts.len() {
+                            "swap"
+                        } else {
+                            "exhausted"
+                        };
+                        Self::flight_attempt(slot, attempts_made, phase);
+                        recovery_path
+                            .push(format!("{}#{attempts_made}: {phase}: {e}", spec.backend));
                         last_err = Some(e);
-                        if transient && retries < policy.max_transient_retries {
+                        if retrying {
                             retries += 1;
                             std::thread::sleep(Duration::from_millis(
                                 policy.backoff_base_ms.saturating_mul(1 << retries.min(6)),
@@ -432,6 +492,13 @@ impl SparseSolverPort for ResilientSolver {
             ..SolveReport::default()
         };
         report.write_into(status)?;
+        crate::postmortem::write_cohort(
+            st.comm()?,
+            "exhausted",
+            &report,
+            &policy.spec(),
+            &recovery_path,
+        );
         let last = last_err.map(|e| e.to_string()).unwrap_or_else(|| "unknown".into());
         Err(LisiError::Package(format!(
             "resilient solve exhausted {attempts_made} attempt(s) over {} backend spec(s); \

@@ -477,7 +477,7 @@ mod tests {
         // equilibrated path must produce an (at least) equally accurate
         // answer through its R/C scaling algebra.
         let base = generate::random_diag_dominant(25, 3, 40);
-        let scales: Vec<f64> = (0..25).map(|i| 10f64.powi((i % 13) as i32 - 6)).collect();
+        let scales: Vec<f64> = (0..25).map(|i| 10f64.powi((i % 13) - 6)).collect();
         let a = rsparse::ops::diag_scale_rows(&scales, &base).unwrap();
         let x_true = generate::random_vector(25, 41);
         let b = a.matvec(&x_true).unwrap();

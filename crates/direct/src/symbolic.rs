@@ -146,7 +146,7 @@ mod tests {
     fn postorder_visits_children_before_parents() {
         let a = generate::laplacian_2d(4);
         let sym = Symbolic::analyze(&a, Ordering::MinDegree).unwrap();
-        let mut position = vec![0usize; 16];
+        let mut position = [0usize; 16];
         for (i, &v) in sym.postorder.iter().enumerate() {
             position[v] = i;
         }

@@ -34,6 +34,20 @@ impl ConvergedReason {
             ConvergedReason::RelativeTolerance | ConvergedReason::AbsoluteTolerance
         )
     }
+
+    /// Stable short name, used by the flight recorder's verdict events
+    /// and postmortem JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvergedReason::RelativeTolerance => "rtol",
+            ConvergedReason::AbsoluteTolerance => "atol",
+            ConvergedReason::MaxIterations => "max_iterations",
+            ConvergedReason::Breakdown => "breakdown",
+            ConvergedReason::Diverged => "diverged",
+            ConvergedReason::Stagnated => "stagnated",
+            ConvergedReason::TimedOut => "timed_out",
+        }
+    }
 }
 
 impl fmt::Display for ConvergedReason {

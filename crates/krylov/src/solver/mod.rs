@@ -354,6 +354,12 @@ impl<'a, 'b> Monitor<'a, 'b> {
             if iteration > self.last_counted {
                 self.last_counted = iteration;
                 probe::incr(probe::Counter::KspIterations);
+                // Black box: the per-iteration residual trail is what a
+                // postmortem replays when the attempt never converges.
+                probe::flight::record(probe::flight::FlightKind::Iter {
+                    iteration: iteration as u64,
+                    residual: rnorm,
+                });
                 if self.stagnation_window > 0 {
                     // Progress = a strictly better (finite) residual. The
                     // test uses only the rank-agreed rnorm, so every rank
@@ -418,6 +424,12 @@ impl<'a, 'b> Monitor<'a, 'b> {
             final_residual: rfinal,
             history: std::mem::take(&mut self.history),
         };
+        // Every solve path funnels through finish, so this is the single
+        // verdict-transition event the flight recorder sees.
+        probe::flight::record(probe::flight::FlightKind::Verdict {
+            verdict: reason.name(),
+            iteration: iterations as u64,
+        });
         if let Some(m) = self.cb.as_deref_mut() {
             m.on_finish(iterations, rfinal, result.converged());
         }

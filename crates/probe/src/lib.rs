@@ -27,8 +27,12 @@
 //! # Runtime control
 //!
 //! The global mode comes from the `RSPARSE_PROBE` environment variable
-//! (`off`, `summary`, `json`, `chrome`; default off) or programmatically
-//! via [`set_mode`]. The LISI port also accepts `set("probe", "<mode>")`.
+//! (`off`, `summary`, `json`, `chrome`, `flight`; default off) or
+//! programmatically via [`set_mode`]. The LISI port also accepts
+//! `set("probe", "<mode>")`. Independently of the mode, the [`flight`]
+//! recorder — a bounded per-thread ring of recent comm/solver/fault
+//! events — is always on unless `RSPARSE_FLIGHT=off`; it is the black
+//! box the postmortem writer drains when a solve fails.
 //! When the probe is off, a span costs one relaxed atomic load and no
 //! allocation — verified by the `probe_overhead` bench guard — while
 //! counters keep counting (they are the near-zero-cost part by design).
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod counter;
+pub mod flight;
 mod monitor;
 mod recorder;
 mod sink;
@@ -51,12 +56,29 @@ mod span;
 
 pub use counter::{add, get, incr, Counter};
 pub use monitor::{JsonlMonitor, ResidualHistory, SolveMonitor};
-pub use recorder::{enabled, mode, mode_from_env, reset, set_mode, set_rank, ProbeMode};
+pub use recorder::{enabled, mode, mode_from_env, reset, set_mode, set_rank, PeerStat, ProbeMode};
 pub use sink::{
-    aggregate, chrome_trace_json, local_report, render_breakdown, render_jsonl, render_summary,
-    write_chrome_trace, RankReport, SpanSummary,
+    aggregate, chrome_trace_json, comm_matrix, local_report, render_breakdown, render_comm_matrix,
+    render_flight, render_imbalance, render_jsonl, render_summary, render_wait_attribution,
+    write_chrome_trace, CommMatrix, RankReport, SpanSummary,
 };
 pub use span::{timed, SectionTimer, SpanGuard};
+
+/// Account one posted p2p send to `peer` (a world rank) on this thread.
+/// Always-on like the counters: the rank×rank communication matrix is
+/// built from these and must reconcile exactly against
+/// `SendsPosted`/`BytesSent`.
+#[inline]
+pub fn peer_send(peer: usize, bytes: u64) {
+    recorder::with_local(|r| r.peer_send(peer, bytes));
+}
+
+/// Account one completed p2p receive from `peer` (a world rank) on this
+/// thread; mirrors `RecvsCompleted`/`BytesReceived`.
+#[inline]
+pub fn peer_recv(peer: usize, bytes: u64) {
+    recorder::with_local(|r| r.peer_recv(peer, bytes));
+}
 
 /// Open a scoped span: records wall-clock time under `$name` (a `&'static
 /// str`) from here to the end of the enclosing scope, attributing the
@@ -106,8 +128,16 @@ mod tests {
         assert_eq!(ProbeMode::parse("jsonl"), Some(ProbeMode::Json));
         assert_eq!(ProbeMode::parse("chrome"), Some(ProbeMode::Chrome));
         assert_eq!(ProbeMode::parse("trace"), Some(ProbeMode::Chrome));
+        assert_eq!(ProbeMode::parse("flight"), Some(ProbeMode::Flight));
+        assert_eq!(ProbeMode::parse("blackbox"), Some(ProbeMode::Flight));
         assert_eq!(ProbeMode::parse("bogus"), None);
-        for m in [ProbeMode::Off, ProbeMode::Summary, ProbeMode::Json, ProbeMode::Chrome] {
+        for m in [
+            ProbeMode::Off,
+            ProbeMode::Summary,
+            ProbeMode::Json,
+            ProbeMode::Chrome,
+            ProbeMode::Flight,
+        ] {
             assert_eq!(ProbeMode::parse(m.name()), Some(m));
         }
     }
@@ -212,6 +242,84 @@ mod tests {
             assert_eq!(r.rank, Some(i));
             assert_eq!(r.counter(Counter::Allreduces), 2 * (i + 1) as u64);
             assert_eq!(r.span("work").unwrap().calls, 2);
+        }
+        reset();
+    }
+
+    #[test]
+    fn comm_matrix_and_imbalance_render_from_peer_accounting() {
+        let _g = locked();
+        reset();
+        set_mode(ProbeMode::Summary);
+        let handles: Vec<_> = (0..3usize)
+            .map(|rank| {
+                std::thread::spawn(move || {
+                    set_rank(rank);
+                    // Ring pattern: each rank sends 2 msgs of 8 bytes to
+                    // the next rank and receives 2 from the previous.
+                    let next = (rank + 1) % 3;
+                    let prev = (rank + 2) % 3;
+                    peer_send(next, 8);
+                    peer_send(next, 8);
+                    peer_recv(prev, 8);
+                    peer_recv(prev, 8);
+                    add(Counter::SendsPosted, 2);
+                    add(Counter::BytesSent, 16);
+                    let _s = span!("work");
+                    std::thread::sleep(std::time::Duration::from_millis(1 + rank as u64));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_mode(ProbeMode::Off);
+        let reports = aggregate();
+        let m = comm_matrix(&reports);
+        assert_eq!(m.ranks, vec![0, 1, 2]);
+        for (i, row) in m.msgs.iter().enumerate() {
+            assert_eq!(row.iter().sum::<u64>(), 2, "row {i} total");
+            assert_eq!(m.bytes[i].iter().sum::<u64>(), 16);
+            // Column totals match the receive side of the ring.
+            let col: u64 = m.msgs.iter().map(|r| r[i]).sum();
+            assert_eq!(col, 2, "col {i} total");
+        }
+        let rendered = render_comm_matrix(&reports);
+        assert!(rendered.contains("comm matrix"));
+        assert!(rendered.contains("2/16"));
+        let imb = render_imbalance(&reports);
+        assert!(imb.contains("cross-rank span imbalance"));
+        assert!(imb.contains("work"));
+        assert!(imb.contains("max/mean"));
+        // The summary embeds both sections.
+        let summary = render_summary(&reports);
+        assert!(summary.contains("comm matrix"));
+        assert!(summary.contains("span imbalance"));
+        reset();
+    }
+
+    #[test]
+    fn breakdown_appends_imbalance_rows_for_multirank_reports() {
+        let _g = locked();
+        reset();
+        set_mode(ProbeMode::Summary);
+        let handles: Vec<_> = (0..2usize)
+            .map(|rank| {
+                std::thread::spawn(move || {
+                    set_rank(rank);
+                    let t = SectionTimer::start("cca_solve");
+                    std::thread::sleep(std::time::Duration::from_millis(1 + 2 * rank as u64));
+                    t.stop();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_mode(ProbeMode::Off);
+        let table = render_breakdown(&aggregate());
+        for label in ["min", "mean", "max", "imbalance"] {
+            assert!(table.contains(label), "missing {label} row:\n{table}");
         }
         reset();
     }

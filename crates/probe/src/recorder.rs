@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::counter::{Counter, COUNTER_COUNT};
+use crate::flight::{FlightRecord, FlightRing};
 
 // ---------------------------------------------------------------------------
 // Probe mode
@@ -27,6 +28,8 @@ pub enum ProbeMode {
     Json = 2,
     /// Spans on and every span also records a chrome://tracing event.
     Chrome = 3,
+    /// Spans on; binaries dump the flight-recorder event tails per rank.
+    Flight = 4,
 }
 
 impl ProbeMode {
@@ -38,6 +41,7 @@ impl ProbeMode {
             "summary" | "table" | "1" | "on" | "true" => Some(ProbeMode::Summary),
             "json" | "jsonl" => Some(ProbeMode::Json),
             "chrome" | "trace" => Some(ProbeMode::Chrome),
+            "flight" | "blackbox" => Some(ProbeMode::Flight),
             _ => None,
         }
     }
@@ -49,6 +53,7 @@ impl ProbeMode {
             ProbeMode::Summary => "summary",
             ProbeMode::Json => "json",
             ProbeMode::Chrome => "chrome",
+            ProbeMode::Flight => "flight",
         }
     }
 
@@ -57,6 +62,7 @@ impl ProbeMode {
             1 => ProbeMode::Summary,
             2 => ProbeMode::Json,
             3 => ProbeMode::Chrome,
+            4 => ProbeMode::Flight,
             _ => ProbeMode::Off,
         }
     }
@@ -153,29 +159,58 @@ pub(crate) struct TraceEvent {
     pub ts_us: u64,
     pub dur_us: u64,
     pub rank: Option<usize>,
+    /// Process-unique recording-thread id (chrome `tid` lane).
+    pub thread: u64,
+}
+
+/// Messages and bytes exchanged with one peer (world rank), mirroring the
+/// byte/message counters exactly so the rank×rank communication matrix
+/// row/column totals reconcile against them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PeerStat {
+    /// Messages counted (one per `send`/`recv` completion).
+    pub msgs: u64,
+    /// Bytes counted (element size, as the byte counters count).
+    pub bytes: u64,
 }
 
 const RANK_UNSET: usize = usize::MAX;
+
+/// Monotonic id handed to each recorder so chrome traces can give every
+/// thread its own `tid` lane (999 is reserved for unranked `pid`s).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Per-thread metric store. Shared with the global registry via `Arc` so
 /// [`crate::aggregate`] can read it after the thread exits.
 pub(crate) struct Recorder {
     rank: AtomicUsize,
+    /// Stable chrome-trace `tid` for this recording thread.
+    thread: u64,
     counters: [AtomicU64; COUNTER_COUNT],
     pub(crate) spans: Mutex<BTreeMap<&'static str, SpanStat>>,
     pub(crate) events: Mutex<Vec<TraceEvent>>,
     /// Chrome events dropped after the global budget was exhausted.
     pub(crate) dropped_events: AtomicU64,
+    /// Flight-recorder ring (always-on black box; see [`crate::flight`]).
+    flight: Mutex<FlightRing>,
+    /// Per-peer send accounting (world rank → messages/bytes).
+    pub(crate) peer_sends: Mutex<BTreeMap<usize, PeerStat>>,
+    /// Per-peer receive accounting (world rank → messages/bytes).
+    pub(crate) peer_recvs: Mutex<BTreeMap<usize, PeerStat>>,
 }
 
 impl Recorder {
     fn new() -> Recorder {
         Recorder {
             rank: AtomicUsize::new(RANK_UNSET),
+            thread: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             spans: Mutex::new(BTreeMap::new()),
             events: Mutex::new(Vec::new()),
             dropped_events: AtomicU64::new(0),
+            flight: Mutex::new(FlightRing::default()),
+            peer_sends: Mutex::new(BTreeMap::new()),
+            peer_recvs: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -206,10 +241,35 @@ impl Recorder {
     pub(crate) fn record_event(&self, name: &'static str, ts_us: u64, dur_us: u64) {
         if claim_event_slot() {
             let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
-            events.push(TraceEvent { name, ts_us, dur_us, rank: self.rank() });
+            events.push(TraceEvent { name, ts_us, dur_us, rank: self.rank(), thread: self.thread });
         } else {
             self.dropped_events.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    pub(crate) fn flight_push(&self, rec: FlightRecord) {
+        self.flight.lock().unwrap_or_else(|e| e.into_inner()).push(rec);
+    }
+
+    /// Chronological snapshot of the flight ring plus the total number of
+    /// records ever pushed.
+    pub(crate) fn flight_tail(&self) -> (Vec<FlightRecord>, u64) {
+        let ring = self.flight.lock().unwrap_or_else(|e| e.into_inner());
+        (ring.tail(), ring.total())
+    }
+
+    pub(crate) fn peer_send(&self, peer: usize, bytes: u64) {
+        let mut map = self.peer_sends.lock().unwrap_or_else(|e| e.into_inner());
+        let stat = map.entry(peer).or_default();
+        stat.msgs += 1;
+        stat.bytes += bytes;
+    }
+
+    pub(crate) fn peer_recv(&self, peer: usize, bytes: u64) {
+        let mut map = self.peer_recvs.lock().unwrap_or_else(|e| e.into_inner());
+        let stat = map.entry(peer).or_default();
+        stat.msgs += 1;
+        stat.bytes += bytes;
     }
 
     fn clear(&self) {
@@ -220,6 +280,9 @@ impl Recorder {
         self.spans.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.dropped_events.store(0, Ordering::Relaxed);
+        self.flight.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.peer_sends.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.peer_recvs.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use crate::counter::{Counter, COUNTER_COUNT};
-use crate::recorder::{self, Recorder};
+use crate::recorder::{self, PeerStat, Recorder};
 
 /// Aggregated statistics for one span name (see [`RankReport::spans`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +33,12 @@ pub struct RankReport {
     counters: [u64; COUNTER_COUNT],
     /// Spans sorted by descending total time.
     pub spans: Vec<SpanSummary>,
+    /// Per-peer send accounting (world rank → messages/bytes), mirroring
+    /// `SendsPosted`/`BytesSent` exactly.
+    pub peer_sends: BTreeMap<usize, PeerStat>,
+    /// Per-peer receive accounting (world rank → messages/bytes),
+    /// mirroring `RecvsCompleted`/`BytesReceived` exactly.
+    pub peer_recvs: BTreeMap<usize, PeerStat>,
 }
 
 impl RankReport {
@@ -60,8 +66,14 @@ impl RankReport {
         self.spans.is_empty() && self.counters.iter().all(|&c| c == 0)
     }
 
-    fn from_parts(rank: Option<usize>, counters: [u64; COUNTER_COUNT], spans: Vec<SpanSummary>) -> RankReport {
-        let mut report = RankReport { rank, counters, spans };
+    fn from_parts(
+        rank: Option<usize>,
+        counters: [u64; COUNTER_COUNT],
+        spans: Vec<SpanSummary>,
+        peer_sends: BTreeMap<usize, PeerStat>,
+        peer_recvs: BTreeMap<usize, PeerStat>,
+    ) -> RankReport {
+        let mut report = RankReport { rank, counters, spans, peer_sends, peer_recvs };
         report
             .spans
             .sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(b.name)));
@@ -76,6 +88,8 @@ fn ns_to_s(ns: u64) -> f64 {
 fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> RankReport {
     let mut counters = [0u64; COUNTER_COUNT];
     let mut spans: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+    let mut peer_sends: BTreeMap<usize, PeerStat> = BTreeMap::new();
+    let mut peer_recvs: BTreeMap<usize, PeerStat> = BTreeMap::new();
     for r in recorders {
         for c in Counter::ALL {
             counters[c as usize] += r.counter(c);
@@ -87,6 +101,15 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
             slot.1 += stat.total_ns;
             slot.2 += stat.child_ns;
         }
+        drop(locked);
+        for (map, src) in [(&mut peer_sends, &r.peer_sends), (&mut peer_recvs, &r.peer_recvs)] {
+            let locked = src.lock().unwrap_or_else(|e| e.into_inner());
+            for (&peer, stat) in locked.iter() {
+                let slot = map.entry(peer).or_default();
+                slot.msgs += stat.msgs;
+                slot.bytes += stat.bytes;
+            }
+        }
     }
     let spans = spans
         .into_iter()
@@ -97,7 +120,7 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
             self_s: ns_to_s(total_ns.saturating_sub(child_ns)),
         })
         .collect();
-    RankReport::from_parts(rank, counters, spans)
+    RankReport::from_parts(rank, counters, spans, peer_sends, peer_recvs)
 }
 
 /// Snapshot the current thread's recorder only. This is what tests use
@@ -178,12 +201,225 @@ pub fn render_summary(reports: &[RankReport]) -> String {
             }
         }
     }
+    out.push_str(&render_imbalance(reports));
+    out.push_str(&render_wait_attribution(reports));
+    out.push_str(&render_comm_matrix(reports));
+    out
+}
+
+/// Ranked reports only, in rank order (the cross-rank analytics ignore
+/// untagged threads).
+fn ranked(reports: &[RankReport]) -> Vec<&RankReport> {
+    reports.iter().filter(|r| r.rank.is_some()).collect()
+}
+
+/// (min, mean, max, max/mean) over a non-empty slice.
+fn spread(values: &[f64]) -> (f64, f64, f64, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let imb = if mean > 0.0 { max / mean } else { 1.0 };
+    (min, mean, max, imb)
+}
+
+/// Cross-rank per-span imbalance table: min/mean/max total seconds across
+/// ranks plus the imbalance ratio max/mean (1.00 = perfectly balanced).
+/// Empty unless at least two ranked reports carry spans.
+pub fn render_imbalance(reports: &[RankReport]) -> String {
+    let ranked = ranked(reports);
+    if ranked.len() < 2 {
+        return String::new();
+    }
+    let mut names: Vec<&'static str> = Vec::new();
+    for rep in &ranked {
+        for s in &rep.spans {
+            if !names.contains(&s.name) {
+                names.push(s.name);
+            }
+        }
+    }
+    if names.is_empty() {
+        return String::new();
+    }
+    // Order by descending mean total so the heaviest spans lead.
+    let mut rows: Vec<(&'static str, f64, f64, f64, f64)> = names
+        .into_iter()
+        .map(|name| {
+            let totals: Vec<f64> = ranked
+                .iter()
+                .map(|rep| rep.span(name).map(|s| s.total_s).unwrap_or(0.0))
+                .collect();
+            let (min, mean, max, imb) = spread(&totals);
+            (name, min, mean, max, imb)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(b.0)));
+    let mut out = String::new();
+    let _ = writeln!(out, "== cross-rank span imbalance ({} ranks) ==", ranked.len());
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>12} {:>12} {:>12} {:>8}",
+        "span", "min (s)", "mean (s)", "max (s)", "max/mean"
+    );
+    for (name, min, mean, max, imb) in rows {
+        let _ = writeln!(out, "  {name:<22} {min:>12.6} {mean:>12.6} {max:>12.6} {imb:>8.2}");
+    }
+    out
+}
+
+/// Spans that are time spent *blocked* on a peer rather than computing:
+/// draining halo receives and riding reductions.
+const WAIT_SPANS: [&str; 3] = ["halo_drain", "halo_post", "allreduce"];
+
+/// Spans that are local sparse compute.
+const COMPUTE_SPANS: [&str; 2] = ["spmv_interior", "spmv_boundary"];
+
+/// Wait-time attribution per rank: seconds blocked in the halo exchange
+/// and in reductions versus seconds spent in local SpMV compute, plus the
+/// blocked fraction. Empty when no rank recorded any of those spans.
+pub fn render_wait_attribution(reports: &[RankReport]) -> String {
+    let ranked = ranked(reports);
+    let total_of = |rep: &RankReport, names: &[&str]| -> f64 {
+        names.iter().filter_map(|n| rep.span(n)).map(|s| s.total_s).sum()
+    };
+    let rows: Vec<(String, f64, f64, f64)> = ranked
+        .iter()
+        .map(|rep| {
+            let halo = total_of(rep, &WAIT_SPANS[..2]);
+            let reduce = total_of(rep, &WAIT_SPANS[2..]);
+            let compute = total_of(rep, &COMPUTE_SPANS);
+            (rank_label(rep.rank), halo, reduce, compute)
+        })
+        .filter(|(_, h, r, c)| *h > 0.0 || *r > 0.0 || *c > 0.0)
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== wait attribution ==");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>14} {:>14} {:>14} {:>10}",
+        "rank", "halo wait (s)", "reduce (s)", "compute (s)", "blocked"
+    );
+    for (label, halo, reduce, compute) in rows {
+        let wait = halo + reduce;
+        let denom = wait + compute;
+        let frac = if denom > 0.0 { wait / denom } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>14.6} {:>14.6} {:>14.6} {:>9.1}%",
+            label,
+            halo,
+            reduce,
+            compute,
+            frac * 100.0
+        );
+    }
+    out
+}
+
+/// The rank×rank communication matrix built from the per-peer send
+/// accounting: `msgs[r][q]`/`bytes[r][q]` is what world rank `ranks[r]`
+/// sent to world rank `ranks[q]`. Row totals equal each sender's
+/// `SendsPosted`/`BytesSent` counters; column totals equal each
+/// receiver's `RecvsCompleted`/`BytesReceived` (for completed traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommMatrix {
+    /// World ranks indexing the rows/columns, ascending.
+    pub ranks: Vec<usize>,
+    /// Messages sent, row = sender, column = receiver.
+    pub msgs: Vec<Vec<u64>>,
+    /// Bytes sent, row = sender, column = receiver.
+    pub bytes: Vec<Vec<u64>>,
+}
+
+/// Build the [`CommMatrix`] from aggregated reports (sender-side
+/// accounting). Peers that appear only as destinations still get a
+/// column.
+pub fn comm_matrix(reports: &[RankReport]) -> CommMatrix {
+    let mut ranks: Vec<usize> = Vec::new();
+    for rep in reports {
+        if let Some(r) = rep.rank {
+            if !ranks.contains(&r) {
+                ranks.push(r);
+            }
+        }
+        for &peer in rep.peer_sends.keys().chain(rep.peer_recvs.keys()) {
+            if !ranks.contains(&peer) {
+                ranks.push(peer);
+            }
+        }
+    }
+    ranks.sort_unstable();
+    let n = ranks.len();
+    let idx = |r: usize| ranks.iter().position(|&x| x == r);
+    let mut msgs = vec![vec![0u64; n]; n];
+    let mut bytes = vec![vec![0u64; n]; n];
+    for rep in reports {
+        let Some(row) = rep.rank.and_then(idx) else { continue };
+        for (&peer, stat) in &rep.peer_sends {
+            if let Some(col) = idx(peer) {
+                msgs[row][col] += stat.msgs;
+                bytes[row][col] += stat.bytes;
+            }
+        }
+    }
+    CommMatrix { ranks, msgs, bytes }
+}
+
+/// Render the rank×rank communication matrix (`messages/bytes` cells,
+/// rows = sender, columns = receiver). Empty when no p2p traffic was
+/// recorded.
+pub fn render_comm_matrix(reports: &[RankReport]) -> String {
+    let m = comm_matrix(reports);
+    if m.ranks.is_empty() || m.msgs.iter().flatten().all(|&v| v == 0) {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== comm matrix (messages/bytes, row sends to column) ==");
+    let _ = write!(out, "  {:<8}", "from\\to");
+    for &q in &m.ranks {
+        let _ = write!(out, " {:>14}", format!("r{q}"));
+    }
+    out.push('\n');
+    for (i, &r) in m.ranks.iter().enumerate() {
+        let _ = write!(out, "  {:<8}", format!("r{r}"));
+        for j in 0..m.ranks.len() {
+            let cell = if m.msgs[i][j] == 0 {
+                ".".to_string()
+            } else {
+                format!("{}/{}", m.msgs[i][j], m.bytes[i][j])
+            };
+            let _ = write!(out, " {cell:>14}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the flight-recorder tails of every rank as JSON lines, one
+/// `{"rank":..,"events":[...]}` object per rank. This is what the
+/// drivers print under `RSPARSE_PROBE=flight`.
+pub fn render_flight() -> String {
+    let mut out = String::new();
+    for (rank, tail) in crate::flight::tails_by_rank() {
+        match rank {
+            Some(r) => {
+                let _ = write!(out, "{{\"rank\":{r},");
+            }
+            None => out.push_str("{\"rank\":null,"),
+        }
+        let _ = writeln!(out, "\"events\":{}}}", crate::flight::tail_json(&tail));
+    }
     out
 }
 
 /// Render the Table-1-style breakdown: one row per rank with native and
 /// CCA setup/solve seconds plus the port-crossing overhead (self time of
-/// all `port:*` spans) measured by the framework itself.
+/// all `port:*` spans) measured by the framework itself. With two or
+/// more ranked rows, min/mean/max/imbalance summary rows follow (the
+/// imbalance row is each column's max/mean ratio; 1.00 = balanced).
 pub fn render_breakdown(reports: &[RankReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -194,17 +430,54 @@ pub fn render_breakdown(reports: &[RankReport]) -> String {
     let span_total = |rep: &RankReport, name: &str| -> f64 {
         rep.span(name).map(|s| s.total_s).unwrap_or(0.0)
     };
-    for rep in reports {
-        let _ = writeln!(
-            out,
-            "{:<10} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>10}",
-            rank_label(rep.rank),
+    let columns = |rep: &RankReport| -> [f64; 5] {
+        [
             span_total(rep, "native_setup"),
             span_total(rep, "native_solve"),
             span_total(rep, "cca_setup"),
             span_total(rep, "cca_solve"),
             rep.port_self_seconds(),
+        ]
+    };
+    for rep in reports {
+        let c = columns(rep);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>10}",
+            rank_label(rep.rank),
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            c[4],
             rep.counter(Counter::PortCalls),
+        );
+    }
+    let ranked = ranked(reports);
+    if ranked.len() >= 2 {
+        let per_column: Vec<[f64; 5]> = ranked.iter().map(|rep| columns(rep)).collect();
+        let stat = |pick: fn(&(f64, f64, f64, f64)) -> f64| -> [f64; 5] {
+            std::array::from_fn(|j| {
+                let vals: Vec<f64> = per_column.iter().map(|row| row[j]).collect();
+                pick(&spread(&vals))
+            })
+        };
+        for (label, row) in [
+            ("min", stat(|s| s.0)),
+            ("mean", stat(|s| s.1)),
+            ("max", stat(|s| s.2)),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>14.6} {:>10}",
+                label, row[0], row[1], row[2], row[3], row[4], ""
+            );
+        }
+        let imb = stat(|s| s.3);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>10}",
+            "imbalance", imb[0], imb[1], imb[2], imb[3], imb[4], ""
         );
     }
     out
@@ -268,13 +541,17 @@ pub fn render_jsonl(reports: &[RankReport]) -> String {
     out
 }
 
-/// Serialize every recorded chrome event into a chrome://tracing
-/// (`trace_event` format) JSON document. Load the result via
+/// Serialize every recorded chrome event into one merged chrome://tracing
+/// (`trace_event` format) JSON document for the whole cohort: `pid` is
+/// the SPMD rank (999 for untagged threads), `tid` is the recording
+/// thread, so repeated launches and multi-threaded ranks each keep their
+/// own lane instead of overwriting one another. Load the result via
 /// `chrome://tracing` or <https://ui.perfetto.dev>.
 pub fn chrome_trace_json() -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     let mut dropped: u64 = 0;
+    let mut pids: Vec<u64> = Vec::new();
     for r in recorder::all_recorders() {
         dropped += r.dropped_events.load(std::sync::atomic::Ordering::Relaxed);
         let events = r.events.lock().unwrap_or_else(|e| e.into_inner());
@@ -283,16 +560,29 @@ pub fn chrome_trace_json() -> String {
                 out.push(',');
             }
             first = false;
-            let tid = e.rank.map(|r| r as u64).unwrap_or(999);
+            let pid = e.rank.map(|r| r as u64).unwrap_or(999);
+            if !pids.contains(&pid) {
+                pids.push(pid);
+            }
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"cat\":\"probe\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                "{{\"name\":\"{}\",\"cat\":\"probe\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
                 escape_json(e.name),
                 e.ts_us,
                 e.dur_us,
-                tid
+                pid,
+                e.thread
             );
         }
+    }
+    // Name each rank's process lane in the viewer.
+    pids.sort_unstable();
+    for pid in pids {
+        let label = if pid == 999 { "unranked".to_string() } else { format!("rank {pid}") };
+        let _ = write!(
+            out,
+            ",{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{label}\"}}}}"
+        );
     }
     let _ = write!(
         out,

@@ -121,6 +121,13 @@ fn main() {
         n = N_SIDE
     );
 
+    // Default the probe to the summary sink so the cross-rank analytics
+    // at the end always have spans to chew on; RSPARSE_PROBE overrides.
+    if cca_lisi::probe::mode() == cca_lisi::probe::ProbeMode::Off {
+        cca_lisi::probe::set_mode(cca_lisi::probe::ProbeMode::Summary);
+    }
+    cca_lisi::probe::reset();
+
     // Honor an operator-supplied RSPARSE_FAULTS plan; otherwise arm the
     // canonical demo fault (rank 2 poisons CG's ‖r₀‖ reduction).
     let custom_plan = std::env::var("RSPARSE_FAULTS").ok().filter(|s| !s.trim().is_empty());
@@ -163,4 +170,13 @@ fn main() {
     }
     assert!(clean.iter().all(|(r, _, _)| r.converged && r.attempts == 1 && r.recovery == 0));
     println!("\nrecovered: the swap is CCA re-wiring, not solver-specific code.");
+
+    // Cross-rank analytics (cumulative over both runs): which spans skew
+    // across ranks, how much time each rank spent blocked, and who sent
+    // what to whom.
+    let reports = cca_lisi::probe::aggregate();
+    println!();
+    print!("{}", cca_lisi::probe::render_imbalance(&reports));
+    print!("{}", cca_lisi::probe::render_wait_attribution(&reports));
+    print!("{}", cca_lisi::probe::render_comm_matrix(&reports));
 }

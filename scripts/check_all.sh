@@ -8,9 +8,10 @@ cd "$(dirname "$0")/.."
 echo "== build (all targets) =="
 cargo build --workspace --all-targets
 
-echo "== clippy (probe + sparse + krylov + comm + core) =="
-cargo clippy -p lisi-probe -p lisi-sparse -p lisi-krylov -p lisi-comm -p lisi-core \
-  --all-targets -- -D warnings
+echo "== clippy (every non-shim package) =="
+cargo clippy -p lisi-probe -p lisi-comm -p lisi-sparse -p lisi-mesh -p lisi-krylov \
+  -p lisi-aztec -p lisi-direct -p lisi-multigrid -p lisi-cca -p lisi-core \
+  -p lisi-bench -p cca-lisi --all-targets -- -D warnings
 
 echo "== tests =="
 RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace

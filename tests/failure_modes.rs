@@ -8,7 +8,9 @@ use cca_lisi::lisi::{
     STATUS_LEN,
 };
 
-fn adapters() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn SparseSolverPort> + Sync>)> {
+type MakePort = Box<dyn Fn() -> Box<dyn SparseSolverPort> + Sync>;
+
+fn adapters() -> Vec<(&'static str, MakePort)> {
     vec![
         ("rksp", Box::new(|| Box::new(RkspAdapter::new()))),
         ("raztec", Box::new(|| Box::new(RaztecAdapter::new()))),

@@ -47,14 +47,15 @@ fn pipeline(
         assert_eq!(rep.converged, out[0].0.converged);
     }
     let (rep, full) = &out[0];
-    (rep.clone(), man.error_inf(full))
+    (*rep, man.error_inf(full))
 }
 
 #[test]
 fn every_package_solves_the_paper_problem_at_every_rank_count() {
     let man = cca_lisi::mesh::manufactured::paper_manufactured(12);
     type MK = Box<dyn Fn() -> Box<dyn SparseSolverPort> + Sync>;
-    let packages: Vec<(&str, MK, Vec<(&str, &str)>)> = vec![
+    type Package = (&'static str, MK, Vec<(&'static str, &'static str)>);
+    let packages: Vec<Package> = vec![
         (
             "rksp",
             Box::new(|| Box::new(RkspAdapter::new())),
