@@ -16,8 +16,15 @@ fn spmv(c: &mut Criterion) {
             let mut y = vec![0.0; a.rows()];
             b.iter(|| a.matvec_into(&x, &mut y));
         });
-        group.bench_with_input(BenchmarkId::new("rayon", m), &m, |b, _| {
-            b.iter(|| a.matvec_par(&x).unwrap());
+        group.bench_with_input(BenchmarkId::new("threaded", m), &m, |b, _| {
+            // Allocation-free threaded SpMV at the host's parallelism
+            // (restored afterwards so later benches stay serial).
+            let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+            let prev = rsparse::threads::active();
+            rsparse::threads::set_threads(cores);
+            let mut y = vec![0.0; a.rows()];
+            b.iter(|| a.matvec_par_into(&x, &mut y));
+            rsparse::threads::set_threads(prev);
         });
         group.bench_with_input(BenchmarkId::new("dist4", m), &m, |b, _| {
             b.iter(|| {

@@ -1,0 +1,111 @@
+//! Paired serial-vs-scheduled triangular-solve guard.
+//!
+//! Times ILU(0) preconditioner applies on the paper's 200×200
+//! convection–diffusion problem (n = 40 000) two ways — serial sweeps
+//! (threads = 1) and level-scheduled sweeps at `TRSV_GUARD_THREADS`
+//! (default 4) — in *alternating* pairs with the order swapped every
+//! trial, and reports the median per-pair speedup. The same pairing
+//! trick `probe_guard` uses cancels load drift on a shared machine.
+//!
+//! The speedup target only means something when the host can actually
+//! run the threads: the JSON records `host_cores` and a
+//! `sufficient_cores` flag so `scripts/bench_smoke.sh` can gate the
+//! ≥2× check on hardware that has ≥ `threads` cores instead of
+//! "failing" on a single-core container where a parallel sweep cannot
+//! beat a serial one.
+//!
+//! Also verifies (and reports) that the scheduled result is
+//! bit-identical to the serial one — the determinism contract the
+//! threading layer promises.
+//!
+//! Output: one JSON object on stdout.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rkrylov::Ilu0;
+use rsparse::LevelSchedule;
+
+/// One timed window: `APPLIES` preconditioner applications.
+const APPLIES: usize = 10;
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn main() {
+    let trials: usize = std::env::var("TRSV_GUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let threads: usize = std::env::var("TRSV_GUARD_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let m: usize = std::env::var("TRSV_GUARD_M")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    let (a, _rhs) = rmesh::paper_problem(m).assemble_global();
+    let n = a.rows();
+    let ilu = Ilu0::new(&a).expect("ILU(0) factors the mesh problem");
+    let r = rsparse::generate::random_vector(n, 11);
+
+    // Determinism check first: scheduled and serial applies must agree
+    // bit-for-bit.
+    let mut z_serial = vec![0.0; n];
+    let mut z_sched = vec![0.0; n];
+    ilu.solve_local_with(&r, &mut z_serial, 1);
+    ilu.solve_local_with(&r, &mut z_sched, threads);
+    let bit_identical = z_serial
+        .iter()
+        .zip(&z_sched)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    let fwd_levels = LevelSchedule::lower(ilu.factor()).levels();
+    let bwd_levels = LevelSchedule::upper(ilu.factor()).levels();
+
+    // Warm the pool and the caches.
+    for _ in 0..3 {
+        ilu.solve_local_with(&r, &mut z_sched, threads);
+    }
+
+    let window = |t: usize, z: &mut [f64]| {
+        let t0 = Instant::now();
+        for _ in 0..APPLIES {
+            ilu.solve_local_with(&r, z, t);
+        }
+        t0.elapsed().as_secs_f64() / APPLIES as f64
+    };
+
+    let mut serial_s = Vec::with_capacity(trials);
+    let mut sched_s = Vec::with_capacity(trials);
+    let mut speedups = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let order = if trial % 2 == 0 { [1, threads] } else { [threads, 1] };
+        let mut pair = [0.0f64; 2]; // [serial, scheduled]
+        for t in order {
+            pair[usize::from(t != 1)] = window(t, &mut z_sched);
+        }
+        serial_s.push(pair[0]);
+        sched_s.push(pair[1]);
+        speedups.push(pair[0] / pair[1]);
+    }
+    black_box(&z_sched);
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let sufficient_cores = host_cores >= threads;
+    println!(
+        "{{\"workload\":\"ilu0 apply m={m} n={n}\",\"trials\":{trials},\
+\"threads\":{threads},\"host_cores\":{host_cores},\
+\"sufficient_cores\":{sufficient_cores},\
+\"levels_fwd\":{fwd_levels},\"levels_bwd\":{bwd_levels},\
+\"serial_median_ns\":{:.1},\"scheduled_median_ns\":{:.1},\
+\"speedup\":{:.4},\"bit_identical\":{bit_identical}}}",
+        median(&mut serial_s) * 1e9,
+        median(&mut sched_s) * 1e9,
+        median(&mut speedups),
+    );
+}

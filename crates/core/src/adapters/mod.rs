@@ -116,11 +116,35 @@ macro_rules! lisi_common_methods {
                 probe::set_mode(mode);
                 return Ok(());
             }
+            // Reserved key: "threads" sets the rank-local thread count
+            // used by the threaded kernels (SpMV chunks, level-scheduled
+            // triangular solves, blocked reductions). Same rationale as
+            // "probe": a process-wide knob every adapter understands
+            // without widening the SIDL surface.
+            if key == "threads" {
+                let n: usize = value.parse().map_err(|_| {
+                    crate::error::LisiError::BadParameter {
+                        key: "threads".into(),
+                        reason: format!("expected a positive thread count, got '{value}'"),
+                    }
+                })?;
+                if n == 0 {
+                    return Err(crate::error::LisiError::BadParameter {
+                        key: "threads".into(),
+                        reason: "thread count must be ≥ 1".into(),
+                    });
+                }
+                rsparse::threads::set_threads(n);
+                return Ok(());
+            }
             self.state.lock().options.set(key, value);
             Ok(())
         }
 
         fn set_int(&self, key: &str, value: i64) -> crate::error::LisiResult<()> {
+            if key == "threads" {
+                return self.set(key, &value.to_string());
+            }
             self.state.lock().options.set_int(key, value);
             Ok(())
         }

@@ -384,6 +384,38 @@ mod tests {
     }
 
     #[test]
+    fn threads_option_sets_rank_local_pool_and_rejects_garbage() {
+        let saved = rsparse::threads::active();
+        let out = Universe::run(1, |comm| {
+            let mut fw = Framework::with_registry(cca::sidl::SidlRegistry::lisi());
+            let app = fw.instantiate("app", Box::new(App)).unwrap();
+            let rksp = fw.instantiate("rksp", Box::new(SolverComponent::rksp())).unwrap();
+            fw.connect(&app, "solver", &rksp, SOLVER_PORT).unwrap();
+            let port = fetch_solver(&fw, &rksp, &app);
+            port.initialize(comm.dup().unwrap()).unwrap();
+
+            // The reserved "threads" key installs the rank-local thread
+            // count used by the threaded kernels; set_int routes there
+            // too, and bad values are parameter errors.
+            port.set("threads", "3").unwrap();
+            assert_eq!(rsparse::threads::active(), 3);
+            port.set_int("threads", 2).unwrap();
+            assert_eq!(rsparse::threads::active(), 2);
+            for bad in ["0", "-1", "many"] {
+                let err = port.set("threads", bad).unwrap_err();
+                assert!(
+                    matches!(err, crate::LisiError::BadParameter { .. }),
+                    "'{bad}' must be rejected"
+                );
+            }
+            // Rejected values leave the setting untouched.
+            rsparse::threads::active()
+        });
+        assert_eq!(out[0], 2);
+        rsparse::threads::set_threads(saved);
+    }
+
+    #[test]
     fn dropping_the_framework_releases_the_component() {
         // Regression: the provides-port shim used to hold a strong
         // Services handle, creating a reference cycle that leaked every

@@ -9,8 +9,10 @@
 //! survivors are kept in each of the L and U parts.
 
 use rcomm::Communicator;
+use rsparse::threads::SharedMutSlice;
 use rsparse::{CsrMatrix, DistVector, SparseError};
 
+use crate::pc::sched::{self, SweepSchedules};
 use crate::pc::Preconditioner;
 use crate::result::{KspError, KspOutcome};
 
@@ -24,6 +26,8 @@ pub struct Ilut {
     u: CsrMatrix,
     /// Diagonal entries of U, extracted for the backward solve.
     u_diag: Vec<f64>,
+    /// Level schedules for both sweeps, built once at factorization.
+    sched: SweepSchedules,
 }
 
 impl Ilut {
@@ -159,7 +163,8 @@ impl Ilut {
             .map_err(KspError::Sparse)?;
         let u = CsrMatrix::from_parts(n, n, u_ptr, u_cols, u_vals)
             .map_err(KspError::Sparse)?;
-        Ok(Ilut { l, u, u_diag })
+        let sched = SweepSchedules::for_split(&l, &u);
+        Ok(Ilut { l, u, u_diag, sched })
     }
 
     /// Stored entries in both factors (fill diagnostic).
@@ -167,9 +172,45 @@ impl Ilut {
         self.l.nnz() + self.u.nnz()
     }
 
-    /// Solve (L·U)·z = r on local slices.
+    /// Solve (L·U)·z = r on local slices, using the configured rank-local
+    /// thread count.
     pub fn solve_local(&self, r: &[f64], z: &mut [f64]) {
+        self.solve_local_with(r, z, sched::active_threads());
+    }
+
+    /// Solve (L·U)·z = r with an explicit thread count; level-scheduled
+    /// when worthwhile, serial otherwise, bit-identical either way.
+    pub fn solve_local_with(&self, r: &[f64], z: &mut [f64], threads: usize) {
         let n = self.u_diag.len();
+        let t = self.sched.plan(threads);
+        if t > 1 {
+            let _s = probe::span!("sptrsv_scheduled");
+            let zs = SharedMutSlice::new(z);
+            // Forward: unit-lower L (all stored columns are < i).
+            let used_f = self.sched.fwd.run(t, |i| {
+                let (cols, vals) = self.l.row(i);
+                let mut acc = r[i];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    // SAFETY: c < i ⇒ written in an earlier level.
+                    acc -= v * unsafe { zs.get(c) };
+                }
+                unsafe { zs.set(i, acc) };
+            });
+            // Backward: U, skipping the stored diagonal.
+            let used_b = self.sched.bwd.run(t, |i| {
+                let (cols, vals) = self.u.row(i);
+                let mut acc = unsafe { zs.get(i) };
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if c > i {
+                        // SAFETY: c > i ⇒ earlier backward level.
+                        acc -= v * unsafe { zs.get(c) };
+                    }
+                }
+                unsafe { zs.set(i, acc / self.u_diag[i]) };
+            });
+            self.sched.record(used_f, used_b);
+            return;
+        }
         // Forward: unit-lower L.
         for i in 0..n {
             let (cols, vals) = self.l.row(i);

@@ -9,6 +9,7 @@
 mod ilu;
 mod ilut;
 mod jacobi;
+mod sched;
 mod sor;
 
 pub use ilu::{Ic0, Ilu0};

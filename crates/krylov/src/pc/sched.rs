@@ -1,0 +1,71 @@
+//! Shared level-schedule plumbing for the triangular-sweep
+//! preconditioners (ILU(0), ILUT, SSOR).
+//!
+//! Each preconditioner builds a [`SweepSchedules`] pair once at setup —
+//! forward-sweep levels from the lower-triangular pattern, backward-sweep
+//! levels from the upper — and consults it on every apply. The pair owns
+//! the serial-fallback decision and the probe accounting so the three
+//! call sites stay identical.
+
+use rsparse::schedule::LevelSchedule;
+use rsparse::threads;
+use rsparse::CsrMatrix;
+
+/// Cached forward/backward level schedules for one factored block.
+#[derive(Debug, Clone)]
+pub(crate) struct SweepSchedules {
+    /// Forward (lower-triangle) schedule.
+    pub fwd: LevelSchedule,
+    /// Backward (upper-triangle) schedule.
+    pub bwd: LevelSchedule,
+}
+
+impl SweepSchedules {
+    /// Analyze a matrix holding both sweeps' patterns: a combined LU
+    /// factor, or the original matrix for SSOR sweeps.
+    pub fn for_combined(mat: &CsrMatrix) -> Self {
+        SweepSchedules { fwd: LevelSchedule::lower(mat), bwd: LevelSchedule::upper(mat) }
+    }
+
+    /// Analyze separately stored factors (ILUT keeps L and U apart).
+    pub fn for_split(l: &CsrMatrix, u: &CsrMatrix) -> Self {
+        SweepSchedules { fwd: LevelSchedule::lower(l), bwd: LevelSchedule::upper(u) }
+    }
+
+    /// Decide the thread count for one apply: the configured count when
+    /// both sweeps clear the worthwhile heuristic, else 1 (the caller
+    /// takes its serial path). Records the fallback counter whenever
+    /// threads were configured but the schedule is too shallow.
+    pub fn plan(&self, threads: usize) -> usize {
+        if threads > 1
+            && self.fwd.parallel_worthwhile(threads)
+            && self.bwd.parallel_worthwhile(threads)
+        {
+            threads
+        } else {
+            if threads > 1 {
+                probe::incr(probe::Counter::SptrsvSerialFallbacks);
+            }
+            1
+        }
+    }
+
+    /// Account for one scheduled apply: `used_*` are the thread counts
+    /// [`LevelSchedule::run`] reports for each sweep (1 means the pool was
+    /// busy and that sweep degraded to serial — bits unchanged).
+    pub fn record(&self, used_fwd: usize, used_bwd: usize) {
+        use probe::Counter as C;
+        probe::incr(C::SptrsvScheduledSolves);
+        probe::add(C::SptrsvLevels, (self.fwd.levels() + self.bwd.levels()) as u64);
+        probe::add(C::ThreadsActive, used_fwd.max(used_bwd) as u64);
+        if used_fwd == 1 && used_bwd == 1 {
+            probe::incr(C::SptrsvSerialFallbacks);
+        }
+    }
+}
+
+/// The thread count preconditioner applies should use right now.
+#[inline]
+pub(crate) fn active_threads() -> usize {
+    threads::active()
+}

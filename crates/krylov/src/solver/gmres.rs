@@ -108,7 +108,7 @@ pub(crate) fn solve(
                 // the basis subtraction itself is unchanged.)
                 dots_local.clear();
                 for vi in basis_v.iter().take(j + 1) {
-                    dots_local.push(rsparse::dense::dot(w.local(), vi.local()));
+                    dots_local.push(rsparse::dense::pdot(w.local(), vi.local()));
                 }
                 let dots = comm.allreduce_vec(&dots_local, rcomm::sum)?;
                 for (i, (vi, &hij)) in basis_v.iter().take(j + 1).zip(&dots).enumerate() {

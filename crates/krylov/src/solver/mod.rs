@@ -342,7 +342,7 @@ impl<'a, 'b> Monitor<'a, 'b> {
     /// bit-identical per component (elementwise reduction over the same
     /// rank-ordered tree).
     pub(crate) fn guarded_norm2(&mut self, v: &DistVector) -> KspOutcome<f64> {
-        let local = [rsparse::dense::dot(v.local(), v.local()), self.local_guard()];
+        let local = [rsparse::dense::pdot(v.local(), v.local()), self.local_guard()];
         let red = self.comm.allreduce_vec(&local, rcomm::sum)?;
         self.absorb_guard(red[1]);
         Ok(red[0].sqrt())

@@ -4,6 +4,8 @@
 //! real data parallelism via `std::thread::scope` chunking for large
 //! inputs and a sequential fast path for small ones.
 
+pub mod pool;
+
 /// Parallelism threshold: below this many elements the scheduling overhead
 /// of spawning scoped threads dwarfs the work, so we stay sequential.
 const PAR_THRESHOLD: usize = 4096;

@@ -2,12 +2,27 @@
 //! this workspace uses internally, and the `CSR` member of LISI's
 //! `SparseStruct` enum.
 
-use rayon::prelude::*;
-
 use crate::coo::CooMatrix;
 use crate::csc::CscMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{SparseError, SparseResult};
+use crate::threads::{self, SharedMutSlice};
+
+/// Minimum row count before `matvec_par_into` dispatches to the pool:
+/// below this the per-dispatch synchronization dwarfs the row work.
+const PAR_SPMV_MIN_ROWS: usize = 2048;
+
+/// One row's dot product against a (renumbered) input vector — the single
+/// inner loop every SpMV variant in this crate shares (serial, threaded,
+/// and the distributed interior/boundary scatter kernels).
+#[inline(always)]
+pub(crate) fn row_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&c, &v) in cols.iter().zip(vals) {
+        acc += v * x[c];
+    }
+    acc
+}
 
 /// A sparse matrix in CSR form with the usual invariants: `row_ptr` has
 /// `rows + 1` monotone entries, `col_idx`/`values` have `nnz` entries, and
@@ -186,23 +201,53 @@ impl CsrMatrix {
         Ok(y)
     }
 
+    /// y[k] = A.row(r0 + k) · x for the contiguous row range
+    /// `r0..r0 + y.len()` — the one chunk kernel behind `matvec_into` and
+    /// `matvec_par_into` (threads get disjoint output chunks).
+    #[inline]
+    pub(crate) fn spmv_chunk(&self, r0: usize, x: &[f64], y: &mut [f64]) {
+        for (k, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r0 + k);
+            *yi = row_dot(cols, vals, x);
+        }
+    }
+
     /// y = A·x into a caller-provided buffer (no allocation; hot path).
     #[inline]
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.cols);
         debug_assert_eq!(y.len(), self.rows);
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c];
-            }
-            *yi = acc;
+        self.spmv_chunk(0, x, y);
+    }
+
+    /// y = A·x over the rank-local thread pool, into a caller-provided
+    /// buffer — allocation-free on every call. Rows are split into one
+    /// contiguous chunk per thread ([`crate::threads::active`] of them),
+    /// each writing its own output range, so the result is bit-identical
+    /// to [`Self::matvec_into`] at any thread count. Short matrices (and a
+    /// busy pool) run serially.
+    pub fn matvec_par_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        let threads = threads::active();
+        if threads > 1 && self.rows >= PAR_SPMV_MIN_ROWS {
+            let ys = SharedMutSlice::new(y);
+            threads::for_each_chunk(self.rows, threads, |s, e| {
+                // SAFETY: `for_each_chunk` hands out disjoint ranges; we
+                // reborrow each as an exclusive chunk.
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut(ys.as_ptr().add(s), e - s)
+                };
+                self.spmv_chunk(s, x, chunk);
+            });
+        } else {
+            self.spmv_chunk(0, x, y);
         }
     }
 
-    /// y = A·x using rayon over row blocks — the shared-memory kernel used
-    /// when no rank-level parallelism is active.
+    /// y = A·x over the rank-local thread pool (allocating wrapper around
+    /// [`Self::matvec_par_into`] — call that directly on repeat
+    /// applications to avoid the per-call output allocation).
     pub fn matvec_par(&self, x: &[f64]) -> SparseResult<Vec<f64>> {
         if x.len() != self.cols {
             return Err(SparseError::LengthMismatch {
@@ -212,14 +257,7 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let (cols, vals) = self.row(i);
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c];
-            }
-            *yi = acc;
-        });
+        self.matvec_par_into(x, &mut y);
         Ok(y)
     }
 

@@ -3,6 +3,18 @@
 //! the coarsest-grid solver in multigrid.
 
 use crate::error::{SparseError, SparseResult};
+use crate::threads::{self, SharedMutSlice};
+
+/// Fixed reduction-block length for [`pdot`]. Partial sums are formed per
+/// block and combined in block order, so the result depends only on this
+/// constant — never on the thread count. Vectors at or under one block
+/// reduce with the plain serial [`dot`], bit-identical to the historical
+/// serial kernel.
+pub const DOT_BLOCK: usize = 65_536;
+
+/// Elementwise kernels shorter than this run serially even when threads
+/// are configured: the pool dispatch costs more than the memory pass.
+const PAR_ELEMWISE_MIN: usize = 32_768;
 
 /// Dot product ⟨x, y⟩.
 ///
@@ -29,21 +41,101 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     s
 }
 
-/// y ← a·x + y.
+/// Deterministic (optionally threaded) dot product ⟨x, y⟩ — the reduction
+/// kernel feeding the fused solver collectives.
+///
+/// Partial sums are computed over fixed [`DOT_BLOCK`]-element blocks and
+/// combined in block order on the calling thread, so the result is
+/// bit-identical for every `RSPARSE_THREADS` value. A single-block input
+/// degenerates to exactly [`dot`], matching the pre-threading serial
+/// histories for every local length ≤ `DOT_BLOCK`.
+pub fn pdot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n <= DOT_BLOCK {
+        return dot(x, y);
+    }
+    let n_blocks = n.div_ceil(DOT_BLOCK);
+    let mut partials = vec![0.0f64; n_blocks];
+    let threads = threads::active().min(n_blocks);
+    let block_of = |b: usize| {
+        let lo = b * DOT_BLOCK;
+        let hi = (lo + DOT_BLOCK).min(n);
+        dot(&x[lo..hi], &y[lo..hi])
+    };
+    let filled = if threads > 1 {
+        let out = SharedMutSlice::new(&mut partials);
+        rayon::pool::try_broadcast(threads, |tid| {
+            let mut b = tid;
+            while b < n_blocks {
+                // SAFETY: block `b` is owned by exactly one tid
+                // (round-robin assignment).
+                unsafe { out.set(b, block_of(b)) };
+                b += threads;
+            }
+        })
+    } else {
+        false
+    };
+    if !filled {
+        for (b, p) in partials.iter_mut().enumerate() {
+            *p = block_of(b);
+        }
+    }
+    // Fixed-order combination: block 0 first, always on this thread.
+    partials.iter().sum()
+}
+
+/// y ← a·x + y. Threaded over contiguous chunks for long vectors; each
+/// element's arithmetic is unchanged, so results are bit-identical at any
+/// thread count.
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
+    let threads = par_threads(y.len());
+    if threads > 1 {
+        let ys = SharedMutSlice::new(y);
+        threads::for_each_chunk(ys.len(), threads, |s, e| {
+            for (i, xi) in (s..e).zip(&x[s..e]) {
+                // SAFETY: chunks are disjoint.
+                unsafe { ys.set(i, ys.get(i) + a * xi) };
+            }
+        });
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
     }
 }
 
-/// y ← x + b·y (the "xpby" update GMRES and BiCG variants use).
+/// y ← x + b·y (the "xpby" update GMRES and BiCG variants use). Threaded
+/// like [`axpy`], with bit-identical results at any thread count.
 #[inline]
 pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + b * *yi;
+    let threads = par_threads(y.len());
+    if threads > 1 {
+        let ys = SharedMutSlice::new(y);
+        threads::for_each_chunk(ys.len(), threads, |s, e| {
+            for (i, xi) in (s..e).zip(&x[s..e]) {
+                // SAFETY: chunks are disjoint.
+                unsafe { ys.set(i, xi + b * ys.get(i)) };
+            }
+        });
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi + b * *yi;
+        }
+    }
+}
+
+/// Threads to use for an elementwise kernel of length `n`.
+#[inline]
+fn par_threads(n: usize) -> usize {
+    if n >= PAR_ELEMWISE_MIN {
+        threads::active()
+    } else {
+        1
     }
 }
 
@@ -244,6 +336,28 @@ mod tests {
         assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
         assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
         assert_eq!(norm1(&[-7.0, 2.0]), 9.0);
+    }
+
+    #[test]
+    fn pdot_matches_dot_below_one_block_and_is_thread_invariant() {
+        // Below one block pdot IS the serial dot, bit for bit.
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..1000).map(|i| (i as f64).cos()).collect();
+        assert_eq!(pdot(&x, &y), dot(&x, &y));
+        // Above one block: blocked combination, identical at every thread
+        // count.
+        let n = DOT_BLOCK + 1234;
+        let x: Vec<f64> = (0..n).map(|i| ((i % 97) as f64) * 0.25 - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 31) as f64) * 0.5 - 1.0).collect();
+        let reference = pdot(&x, &y);
+        let prev = crate::threads::active();
+        for t in [1usize, 2, 4, 8] {
+            crate::threads::set_threads(t);
+            assert_eq!(pdot(&x, &y), reference, "threads = {t}");
+        }
+        crate::threads::set_threads(prev);
+        // And the blocked result is numerically (not bitwise) the dot.
+        assert!((reference - dot(&x, &y)).abs() < 1e-9 * dot(&x, &x).abs().sqrt());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::csr::CsrMatrix;
 use crate::dense;
 use crate::error::{SparseError, SparseResult};
 use crate::partition::BlockRowPartition;
+use crate::threads::{self, SharedMutSlice};
 
 /// Reserved user-level tag for halo traffic.
 const TAG_HALO: rcomm::Tag = 7001;
@@ -128,7 +129,7 @@ impl DistVector {
                 "dot operands have different partitions".into(),
             ));
         }
-        let local = dense::dot(&self.local, &other.local);
+        let local = dense::pdot(&self.local, &other.local);
         Ok(comm.allreduce(local, rcomm::sum)?)
     }
 
@@ -281,17 +282,31 @@ impl MatvecWorkspace {
     }
 }
 
+/// Minimum scatter-row count before `spmv_rows` dispatches to the thread
+/// pool; below this the synchronization outweighs the row work.
+const PAR_SCATTER_MIN_ROWS: usize = 2048;
+
 /// y[rows[i]] = mat.row(i) · x — the scatter kernel both halves of the
-/// split matvec share.
+/// split matvec share. Threaded over contiguous chunks of the row list
+/// when the rank-local thread count and the row count warrant it; each
+/// target index appears at most once in `rows`, so chunks write disjoint
+/// elements of `y` and the result is bit-identical at any thread count.
 #[inline]
 fn spmv_rows(mat: &CsrMatrix, rows: &[usize], x: &[f64], y: &mut [f64]) {
-    for (i, &r) in rows.iter().enumerate() {
-        let (cols, vals) = mat.row(i);
-        let mut acc = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            acc += v * x[c];
+    let scatter = |lo: usize, hi: usize, ys: &SharedMutSlice| {
+        for (i, &r) in rows[lo..hi].iter().enumerate() {
+            let (cols, vals) = mat.row(lo + i);
+            // SAFETY: `rows` holds unique local indices, and chunks of it
+            // are disjoint, so y[r] has exactly one writer.
+            unsafe { ys.set(r, crate::csr::row_dot(cols, vals, x)) };
         }
-        y[r] = acc;
+    };
+    let ys = SharedMutSlice::new(y);
+    let threads = threads::active();
+    if threads > 1 && rows.len() >= PAR_SCATTER_MIN_ROWS {
+        threads::for_each_chunk(rows.len(), threads, |s, e| scatter(s, e, &ys));
+    } else {
+        scatter(0, rows.len(), &ys);
     }
 }
 

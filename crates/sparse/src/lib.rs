@@ -11,9 +11,14 @@
 //!   validated construction and conversions between all of them;
 //! * dense kernels ([`dense`]) used by every solver: dot products, axpy,
 //!   norms, and a small dense LU for reference solutions;
-//! * sparse kernels: serial and rayon-parallel SpMV, transpose,
+//! * sparse kernels: serial and thread-parallel SpMV, transpose,
 //!   sparse×sparse products (needed for Galerkin coarse grids), matrix
 //!   addition and scaling;
+//! * rank-local threading ([`threads`]) and level-set analysis for
+//!   sparse triangular solves ([`schedule`]): a cached [`LevelSchedule`]
+//!   runs independent rows of each dependency level in parallel over the
+//!   shim worker pool, bit-identical to the serial sweep at any
+//!   `RSPARSE_THREADS` value;
 //! * MatrixMarket I/O ([`io`]);
 //! * the distributed layer ([`partition`], [`dist`]): block-row partitioned
 //!   matrices and vectors over an [`rcomm`] communicator, with an
@@ -37,6 +42,8 @@ pub mod io;
 pub mod msr;
 pub mod ops;
 pub mod partition;
+pub mod schedule;
+pub mod threads;
 pub mod vbr;
 
 pub use coo::CooMatrix;
@@ -48,4 +55,5 @@ pub use error::{SparseError, SparseResult};
 pub use fem::FemAssembly;
 pub use msr::MsrMatrix;
 pub use partition::BlockRowPartition;
+pub use schedule::LevelSchedule;
 pub use vbr::VbrMatrix;

@@ -1,0 +1,433 @@
+//! Level-set analysis and level-scheduled execution for sparse triangular
+//! solves.
+//!
+//! A triangular solve `L·z = r` (or `U·z = r`) is sequential row-by-row,
+//! but row `i` only depends on the rows its off-diagonal columns point at.
+//! Grouping rows by the length of their longest dependency chain — their
+//! **level** — yields a schedule in which all rows of one level are
+//! mutually independent and may run in parallel; levels execute in order
+//! with a barrier between them.
+//!
+//! The analysis walks the pattern once (`O(nnz)`), is done at
+//! preconditioner setup, and the resulting [`LevelSchedule`] is cached
+//! alongside the factor and reused on every apply. Execution is
+//! bit-deterministic for any thread count: each row performs the identical
+//! arithmetic (same entry order as the serial sweep) and writes only its
+//! own output element, so only completion order varies.
+
+use crate::csr::CsrMatrix;
+use crate::threads::SharedMutSlice;
+
+/// Minimum rows for a schedule to be worth executing in parallel at all.
+const MIN_PAR_ROWS: usize = 4096;
+
+/// Required average level width per extra thread: narrower schedules spend
+/// more on barriers than they gain from fan-out.
+const MIN_AVG_WIDTH_PER_THREAD: usize = 8;
+
+/// Which triangle the schedule was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Forward sweep: dependencies are columns `< i`.
+    Lower,
+    /// Backward sweep: dependencies are columns `> i`.
+    Upper,
+}
+
+/// A cached level schedule: rows grouped by dependency depth.
+///
+/// `rows[level_ptr[l]..level_ptr[l + 1]]` are the rows of level `l`, in
+/// ascending row order. For [`Triangle::Lower`] levels run first-to-last
+/// in forward row order; for [`Triangle::Upper`] the levels were computed
+/// from the reversed recurrence, so running them first-to-last performs
+/// the backward sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSchedule {
+    triangle: Triangle,
+    n: usize,
+    level_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    max_width: usize,
+}
+
+impl LevelSchedule {
+    /// Build a schedule from per-row dependency levels (`level[i]` ≥ 1).
+    fn from_levels(triangle: Triangle, levels: Vec<usize>, n_levels: usize) -> Self {
+        let n = levels.len();
+        let mut counts = vec![0usize; n_levels + 1];
+        for &l in &levels {
+            counts[l] += 1;
+        }
+        let mut level_ptr = vec![0usize; n_levels + 1];
+        for l in 1..=n_levels {
+            level_ptr[l] = level_ptr[l - 1] + counts[l];
+        }
+        let mut next = level_ptr.clone();
+        let mut rows = vec![0usize; n];
+        // Ascending row iteration ⇒ rows within a level stay ascending.
+        for (i, &l) in levels.iter().enumerate() {
+            rows[next[l - 1]] = i;
+            next[l - 1] += 1;
+        }
+        let max_width =
+            level_ptr.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let sched = LevelSchedule { triangle, n, level_ptr, rows, max_width };
+        sched.record_histogram();
+        sched
+    }
+
+    /// Level analysis of the strict lower triangle of `mat`'s pattern:
+    /// entries with column ≥ row are ignored, so the same matrix works
+    /// whether it stores a pure strict-lower factor, a lower factor with
+    /// diagonal, or a combined LU on one pattern.
+    pub fn lower(mat: &CsrMatrix) -> Self {
+        let n = mat.rows();
+        let mut levels = vec![0usize; n];
+        let mut n_levels = 0usize;
+        for i in 0..n {
+            let (cols, _) = mat.row(i);
+            let mut depth = 0usize;
+            for &c in cols {
+                if c >= i {
+                    break; // columns sorted ascending
+                }
+                depth = depth.max(levels[c]);
+            }
+            levels[i] = depth + 1;
+            n_levels = n_levels.max(levels[i]);
+        }
+        Self::from_levels(Triangle::Lower, levels, n_levels)
+    }
+
+    /// Level analysis of the strict upper triangle of `mat`'s pattern
+    /// (entries with column ≤ row ignored), for the backward sweep.
+    pub fn upper(mat: &CsrMatrix) -> Self {
+        let n = mat.rows();
+        let mut levels = vec![0usize; n];
+        let mut n_levels = 0usize;
+        for i in (0..n).rev() {
+            let (cols, _) = mat.row(i);
+            let mut depth = 0usize;
+            for &c in cols {
+                if c > i {
+                    depth = depth.max(levels[c]);
+                }
+            }
+            levels[i] = depth + 1;
+            n_levels = n_levels.max(levels[i]);
+        }
+        Self::from_levels(Triangle::Upper, levels, n_levels)
+    }
+
+    /// Which triangle this schedule describes.
+    pub fn triangle(&self) -> Triangle {
+        self.triangle
+    }
+
+    /// Number of rows covered.
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels (the critical-path length of the solve).
+    pub fn levels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// Widest level (peak exploitable parallelism).
+    pub fn max_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Histogram of level widths over fixed log-ish buckets
+    /// `[1, 2–7, 8–31, 32–127, ≥128]` — the shape Table-1-style breakdowns
+    /// report to explain where threading can and cannot help.
+    pub fn width_histogram(&self) -> [usize; 5] {
+        let mut hist = [0usize; 5];
+        for w in self.level_ptr.windows(2) {
+            hist[Self::width_bucket(w[1] - w[0])] += 1;
+        }
+        hist
+    }
+
+    fn width_bucket(width: usize) -> usize {
+        match width {
+            0..=1 => 0,
+            2..=7 => 1,
+            8..=31 => 2,
+            32..=127 => 3,
+            _ => 4,
+        }
+    }
+
+    /// Record the per-level width histogram into the probe counters (done
+    /// once, at schedule construction — never on the apply hot path).
+    fn record_histogram(&self) {
+        use probe::Counter as C;
+        const BUCKETS: [probe::Counter; 5] = [
+            C::SptrsvLevelWidth1,
+            C::SptrsvLevelWidth2to7,
+            C::SptrsvLevelWidth8to31,
+            C::SptrsvLevelWidth32to127,
+            C::SptrsvLevelWidth128Plus,
+        ];
+        for (bucket, &count) in BUCKETS.iter().zip(self.width_histogram().iter()) {
+            if count > 0 {
+                probe::add(*bucket, count as u64);
+            }
+        }
+    }
+
+    /// The serial-fallback heuristic: is fan-out across `threads` expected
+    /// to beat the serial sweep? Requires enough total rows to amortize
+    /// the dispatch and enough average level width to amortize the
+    /// per-level barrier. A 1-D chain (one row per level) always says no;
+    /// the 200×200 five-point mesh (≈100 rows/level) says yes for the
+    /// thread counts a node can offer.
+    pub fn parallel_worthwhile(&self, threads: usize) -> bool {
+        threads > 1
+            && self.n >= MIN_PAR_ROWS
+            && self.n / self.levels().max(1) >= MIN_AVG_WIDTH_PER_THREAD * threads
+    }
+
+    /// Execute `f(row)` for every row, honoring level order. With
+    /// `threads > 1` the rows of each level are split into contiguous
+    /// chunks across the pool with a spin barrier between levels; serially
+    /// (or when the pool is busy) rows run in schedule order. Either way
+    /// each row's arithmetic is identical, so results are bit-equal.
+    ///
+    /// Returns the number of threads that actually executed (1 if the
+    /// parallel path was unavailable).
+    pub fn run<F>(&self, threads: usize, f: F) -> usize
+    where
+        F: Fn(usize) + Sync,
+    {
+        if threads > 1 {
+            let barrier = rayon::pool::SpinBarrier::new(threads);
+            let n_levels = self.levels();
+            let ran = rayon::pool::try_broadcast(threads, |tid| {
+                for l in 0..n_levels {
+                    let lo = self.level_ptr[l];
+                    let hi = self.level_ptr[l + 1];
+                    let width = hi - lo;
+                    let chunk = width.div_ceil(threads);
+                    let start = (lo + tid * chunk).min(hi);
+                    let end = (start + chunk).min(hi);
+                    for &row in &self.rows[start..end] {
+                        f(row);
+                    }
+                    if l + 1 < n_levels {
+                        barrier.wait();
+                    }
+                }
+            });
+            if ran {
+                return threads;
+            }
+        }
+        for &row in &self.rows {
+            f(row);
+        }
+        1
+    }
+}
+
+/// Scheduled sparse triangular solve `L·x = b` on a lower-triangular CSR
+/// matrix (diagonal stored last per row unless `unit_diag`). Exposed for
+/// tests, benches and custom factors; the preconditioners drive
+/// [`LevelSchedule::run`] directly with their own row kernels.
+///
+/// Row arithmetic matches the serial forward sweep entry-for-entry, so the
+/// result is bit-identical at every thread count. Returns the number of
+/// threads actually used (1 when the schedule fell back to serial).
+pub fn sptrsv_lower_scheduled(
+    mat: &CsrMatrix,
+    sched: &LevelSchedule,
+    unit_diag: bool,
+    b: &[f64],
+    x: &mut [f64],
+    threads: usize,
+) -> usize {
+    debug_assert_eq!(sched.triangle(), Triangle::Lower);
+    debug_assert_eq!(b.len(), mat.rows());
+    debug_assert_eq!(x.len(), mat.rows());
+    let xs = SharedMutSlice::new(x);
+    sched.run(threads, |i| {
+        let (cols, vals) = mat.row(i);
+        let mut acc = b[i];
+        let mut diag = 1.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c < i {
+                // SAFETY: row c is in an earlier level, fully written
+                // before this level's barrier released us.
+                acc -= v * unsafe { xs.get(c) };
+            } else if c == i {
+                diag = v;
+            }
+        }
+        let xi = if unit_diag { acc } else { acc / diag };
+        // SAFETY: each row is executed exactly once; x[i] is ours alone.
+        unsafe { xs.set(i, xi) };
+    })
+}
+
+/// Scheduled sparse triangular solve `U·x = b` on an upper-triangular CSR
+/// matrix (diagonal stored first per row unless `unit_diag`); the backward
+/// counterpart of [`sptrsv_lower_scheduled`]. Returns the number of threads
+/// actually used.
+pub fn sptrsv_upper_scheduled(
+    mat: &CsrMatrix,
+    sched: &LevelSchedule,
+    unit_diag: bool,
+    b: &[f64],
+    x: &mut [f64],
+    threads: usize,
+) -> usize {
+    debug_assert_eq!(sched.triangle(), Triangle::Upper);
+    debug_assert_eq!(b.len(), mat.rows());
+    debug_assert_eq!(x.len(), mat.rows());
+    let xs = SharedMutSlice::new(x);
+    sched.run(threads, |i| {
+        let (cols, vals) = mat.row(i);
+        let mut acc = b[i];
+        let mut diag = 1.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c > i {
+                // SAFETY: row c sits in an earlier (deeper) level.
+                acc -= v * unsafe { xs.get(c) };
+            } else if c == i {
+                diag = v;
+            }
+        }
+        let xi = if unit_diag { acc } else { acc / diag };
+        // SAFETY: x[i] is written only by row i's executor.
+        unsafe { xs.set(i, xi) };
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn serial_lower(mat: &CsrMatrix, unit_diag: bool, b: &[f64]) -> Vec<f64> {
+        let n = mat.rows();
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let (cols, vals) = mat.row(i);
+            let mut acc = b[i];
+            let mut diag = 1.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c < i {
+                    acc -= v * x[c];
+                } else if c == i {
+                    diag = v;
+                }
+            }
+            x[i] = if unit_diag { acc } else { acc / diag };
+        }
+        x
+    }
+
+    fn lower_laplacian_factor() -> CsrMatrix {
+        // Lower triangle (with diagonal) of a 2-D Laplacian: a realistic
+        // multi-level pattern.
+        let a = generate::laplacian_2d(9);
+        let mut coo = crate::coo::CooMatrix::new(a.rows(), a.cols());
+        for (r, c, v) in a.iter() {
+            if c <= r {
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn lower_levels_respect_dependencies() {
+        let l = lower_laplacian_factor();
+        let sched = LevelSchedule::lower(&l);
+        // Every dependency must live in a strictly earlier level.
+        let mut level_of = vec![0usize; l.rows()];
+        for lvl in 0..sched.levels() {
+            for &r in &sched.rows[sched.level_ptr[lvl]..sched.level_ptr[lvl + 1]] {
+                level_of[r] = lvl;
+            }
+        }
+        for i in 0..l.rows() {
+            for &c in l.row(i).0 {
+                if c < i {
+                    assert!(level_of[c] < level_of[i], "row {i} dep {c}");
+                }
+            }
+        }
+        // All rows scheduled exactly once.
+        let mut seen = sched.rows.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..l.rows()).collect::<Vec<_>>());
+        assert_eq!(sched.width_histogram().iter().sum::<usize>(), sched.levels());
+    }
+
+    #[test]
+    fn scheduled_lower_solve_is_bit_identical_to_serial() {
+        let l = lower_laplacian_factor();
+        let sched = LevelSchedule::lower(&l);
+        let b = generate::random_vector(l.rows(), 11);
+        let expect = serial_lower(&l, false, &b);
+        for threads in [1usize, 2, 4] {
+            let mut x = vec![0.0; l.rows()];
+            sptrsv_lower_scheduled(&l, &sched, false, &b, &mut x, threads);
+            assert_eq!(x, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn upper_solve_matches_transpose_reference() {
+        let l = lower_laplacian_factor();
+        let u = l.transpose();
+        let sched = LevelSchedule::upper(&u);
+        let b = generate::random_vector(u.rows(), 3);
+        // Reference: solve Lᵀx = b via the serial backward recurrence.
+        let n = u.rows();
+        let mut expect = vec![0.0; n];
+        for i in (0..n).rev() {
+            let (cols, vals) = u.row(i);
+            let mut acc = b[i];
+            let mut diag = 1.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c > i {
+                    acc -= v * expect[c];
+                } else if c == i {
+                    diag = v;
+                }
+            }
+            expect[i] = acc / diag;
+        }
+        for threads in [1usize, 3] {
+            let mut x = vec![0.0; n];
+            sptrsv_upper_scheduled(&u, &sched, false, &b, &mut x, threads);
+            assert_eq!(x, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chain_pattern_is_never_worthwhile() {
+        // 1-D Laplacian lower triangle: one row per level.
+        let a = generate::laplacian_1d(5000);
+        let mut coo = crate::coo::CooMatrix::new(a.rows(), a.cols());
+        for (r, c, v) in a.iter() {
+            if c <= r {
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        let l = coo.to_csr();
+        let sched = LevelSchedule::lower(&l);
+        assert_eq!(sched.levels(), 5000);
+        assert!(!sched.parallel_worthwhile(4));
+        // Diagonal-only pattern: a single level, fully parallel.
+        let d = CsrMatrix::identity(5000);
+        let sd = LevelSchedule::lower(&d);
+        assert_eq!(sd.levels(), 1);
+        assert_eq!(sd.max_width(), 5000);
+        assert!(sd.parallel_worthwhile(4));
+    }
+}

@@ -51,6 +51,9 @@ cargo run -q -p lisi-bench --release --bin fault_guard > "$OUT_DIR/fault_guard.j
 echo "== flight-recorder overhead guard (paired) =="
 cargo run -q -p lisi-bench --release --bin flight_guard > "$OUT_DIR/flight_guard.json"
 
+echo "== triangular-solve speedup guard (paired) =="
+cargo run -q -p lisi-bench --release --bin trsv_guard > "$OUT_DIR/trsv_guard.json"
+
 python3 - "$LABEL" "$OUT_DIR" <<'EOF'
 import json, os, sys
 
@@ -168,8 +171,19 @@ with open("BENCH_fault_overhead.json", "w") as f:
     f.write("\n")
 
 if not no_faults:
-    print(f"no-faults baseline: no previous '{label}' entry to compare "
-          f"against (recorded one for next time)")
+    # A missing stored baseline means the no-faults regression gate
+    # silently never ran — fail loudly so CI can't rot, unless the caller
+    # explicitly acknowledges a first run.
+    if os.environ.get("BENCH_ALLOW_MISSING_BASELINE") == "1":
+        print(f"no-faults baseline: no previous '{label}' entry to compare "
+              f"against (recorded one for next time; allowed by "
+              f"BENCH_ALLOW_MISSING_BASELINE=1)")
+    else:
+        print(f"ERROR: no stored '{label}' baseline in {bench_file}; the "
+              f"no-faults overhead gate cannot run. Re-run with "
+              f"BENCH_ALLOW_MISSING_BASELINE=1 to record a first baseline.",
+              file=sys.stderr)
+        sys.exit(1)
 for variant, rec in no_faults.items():
     verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
     print(f"no-faults {variant} vs {baseline_label} baseline: "
@@ -204,4 +218,43 @@ verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
 print(f"flight recorder on-vs-off (fused_cg): {rec['overhead_pct']:+.2f}% "
       f"(target < {FLIGHT_TARGET_PCT}%) -> {verdict}")
 print("recorded BENCH_flight_overhead.json")
+
+# Triangular-solve guard: level-scheduled ILU(0) apply vs the serial
+# sweeps on the paper's 200×200 problem, paired and order-alternated.
+# Two verdicts with different strictness:
+#   * bit_identical: the scheduled result must equal the serial one
+#     bit-for-bit on ANY host — a miss is a correctness bug, hard fail.
+#   * speedup (target ≥ 2× at 4 threads): only meaningful when the host
+#     actually has ≥ 4 cores; on smaller hosts it is recorded but the
+#     verdict is SKIP (a parallel sweep cannot beat serial on one core).
+with open(os.path.join(out_dir, "trsv_guard.json")) as f:
+    tg = json.load(f)
+
+TRSV_TARGET_SPEEDUP = 2.0
+trsv_rec = {
+    **tg,
+    "target_speedup": TRSV_TARGET_SPEEDUP,
+    "pass": bool(tg["bit_identical"]
+                 and (not tg["sufficient_cores"]
+                      or tg["speedup"] >= TRSV_TARGET_SPEEDUP)),
+}
+with open("BENCH_trsv.json", "w") as f:
+    json.dump(trsv_rec, f, indent=2)
+    f.write("\n")
+
+if not tg["bit_identical"]:
+    print("ERROR: scheduled triangular solve is NOT bit-identical to the "
+          "serial sweep — determinism contract broken.", file=sys.stderr)
+    sys.exit(1)
+if tg["sufficient_cores"]:
+    verdict = ("PASS" if tg["speedup"] >= TRSV_TARGET_SPEEDUP
+               else "WARN (below target; noisy machine or a regression)")
+    print(f"trsv scheduled vs serial at {tg['threads']} threads: "
+          f"{tg['speedup']:.2f}x (target >= {TRSV_TARGET_SPEEDUP}x) "
+          f"-> {verdict}")
+else:
+    print(f"trsv speedup check SKIPPED: host has {tg['host_cores']} core(s) "
+          f"< {tg['threads']} threads (bit-identity verified; "
+          f"measured {tg['speedup']:.4f}x)")
+print("recorded BENCH_trsv.json")
 EOF

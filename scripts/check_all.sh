@@ -13,7 +13,15 @@ cargo clippy -p lisi-probe -p lisi-comm -p lisi-sparse -p lisi-mesh -p lisi-kryl
   -p lisi-aztec -p lisi-direct -p lisi-multigrid -p lisi-cca -p lisi-core \
   -p lisi-bench -p cca-lisi --all-targets -- -D warnings
 
-echo "== tests =="
+echo "== tests (RSPARSE_THREADS=1) =="
+RSPARSE_THREADS=1 \
+RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace
+
+echo "== tests (RSPARSE_THREADS=4) =="
+# Same suite with the rank-local thread pool engaged: exercises the
+# level-scheduled sweeps, chunked SpMV and blocked reductions, whose
+# results must be bit-identical to the serial run.
+RSPARSE_THREADS=4 \
 RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace
 
 echo "== examples =="
