@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rcomm::Universe;
-use rsparse::{generate, BlockRowPartition, DistCsrMatrix, DistVector, MsrMatrix};
+use rsparse::{
+    generate, BcsrMatrix, BlockRowPartition, DistCsrMatrix, DistVector, MsrMatrix, SellMatrix,
+};
 
 fn spmv(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmv");
@@ -41,6 +43,36 @@ fn spmv(c: &mut Criterion) {
                     dy.local()[0]
                 })
             });
+        });
+    }
+    group.finish();
+}
+
+/// Serial SpMV across the adaptive storage formats on format-friendly
+/// patterns: SELL-C-σ on the 5-point stencil (uniform rows), block-CSR
+/// on a FEM-style 3-dof assembly (full tiles), with the CSR kernel on
+/// the same matrix as the baseline in each case. All three are
+/// bit-identical; only the time may differ.
+fn spmv_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_formats");
+    let stencil = generate::laplacian_2d(200);
+    let fem = generate::fem_block(80, 3, 2);
+    for (label, a) in [("stencil200", &stencil), ("femb3", &fem)] {
+        let x = generate::random_vector(a.cols(), 7);
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_function(BenchmarkId::new("csr", label), |b| {
+            let mut y = vec![0.0; a.rows()];
+            b.iter(|| a.matvec_into(&x, &mut y));
+        });
+        group.bench_function(BenchmarkId::new("sell", label), |b| {
+            let s = SellMatrix::from_csr(a);
+            let mut y = vec![0.0; a.rows()];
+            b.iter(|| s.matvec_into(&x, &mut y));
+        });
+        group.bench_function(BenchmarkId::new("bcsr", label), |b| {
+            let m = BcsrMatrix::from_csr(a);
+            let mut y = vec![0.0; a.rows()];
+            b.iter(|| m.matvec_into(&x, &mut y));
         });
     }
     group.finish();
@@ -106,5 +138,5 @@ fn assembly(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, spmv, probe_overhead, conversions, assembly);
+criterion_group!(benches, spmv, spmv_formats, probe_overhead, conversions, assembly);
 criterion_main!(benches);

@@ -137,6 +137,22 @@ macro_rules! lisi_common_methods {
                 rsparse::threads::set_threads(n);
                 return Ok(());
             }
+            // Reserved key: "format" selects the SpMV storage format the
+            // next setupMatrix plans with (csr|sell|bcsr|auto). All
+            // formats are bit-identical, so this is purely a performance
+            // knob — same process-wide pattern as "probe"/"threads".
+            if key == "format" {
+                let policy = rsparse::FormatPolicy::parse(value).ok_or_else(|| {
+                    crate::error::LisiError::BadParameter {
+                        key: "format".into(),
+                        reason: format!(
+                            "unknown format '{value}' (expected csr|sell|bcsr|auto)"
+                        ),
+                    }
+                })?;
+                rsparse::autotune::set_policy(policy);
+                return Ok(());
+            }
             self.state.lock().options.set(key, value);
             Ok(())
         }

@@ -116,6 +116,18 @@ fn counters_json(report: &probe::RankReport) -> String {
     out
 }
 
+fn notes_json(report: &probe::RankReport) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in report.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+    }
+    out.push('}');
+    out
+}
+
 fn residuals_json(history: &[f64]) -> String {
     let mut out = String::from("[");
     for (i, r) in history.iter().enumerate() {
@@ -128,13 +140,16 @@ fn residuals_json(history: &[f64]) -> String {
     out
 }
 
-/// One rank's contribution: its tail, residual history and counters.
+/// One rank's contribution: its tail, residual history, counters and
+/// notes (e.g. the chosen SpMV format).
 fn rank_fragment(rank: usize) -> String {
     let (tail, total) = flight::local_tail();
+    let report = probe::local_report();
     format!(
         "{{\"rank\":{rank},\"events_recorded\":{total},\"counters\":{},\
-         \"residual_history\":{},\"events\":{}}}",
-        counters_json(&probe::local_report()),
+         \"notes\":{},\"residual_history\":{},\"events\":{}}}",
+        counters_json(&report),
+        notes_json(&report),
         residuals_json(&flight::local_residual_history()),
         flight::tail_json(&tail),
     )
@@ -150,7 +165,7 @@ fn registry_fragments() -> Vec<String> {
                 rank.map(|r| r.to_string()).unwrap_or_else(|| "null".into());
             format!(
                 "{{\"rank\":{rank},\"events_recorded\":{},\"counters\":{{}},\
-                 \"residual_history\":[],\"events\":{}}}",
+                 \"notes\":{{}},\"residual_history\":[],\"events\":{}}}",
                 tail.len(),
                 flight::tail_json(&tail),
             )

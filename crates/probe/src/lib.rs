@@ -56,7 +56,9 @@ mod span;
 
 pub use counter::{add, get, incr, Counter};
 pub use monitor::{JsonlMonitor, ResidualHistory, SolveMonitor};
-pub use recorder::{enabled, mode, mode_from_env, reset, set_mode, set_rank, PeerStat, ProbeMode};
+pub use recorder::{
+    enabled, mode, mode_from_env, note, reset, set_mode, set_rank, PeerStat, ProbeMode,
+};
 pub use sink::{
     aggregate, chrome_trace_json, comm_matrix, local_report, render_breakdown, render_comm_matrix,
     render_flight, render_imbalance, render_jsonl, render_summary, render_wait_attribution,
@@ -210,6 +212,27 @@ mod tests {
         assert!(secs >= 0.0);
         assert_eq!(local_report().span("timed_closure").unwrap().calls, 1);
         reset();
+    }
+
+    #[test]
+    fn notes_flow_through_reports_and_sinks() {
+        let _g = locked();
+        reset();
+        note("format", "sell");
+        note("format", "bcsr"); // last write wins
+        add(Counter::FormatChosenBcsr, 1);
+        let report = local_report();
+        assert_eq!(report.note("format"), Some("bcsr"));
+        assert_eq!(report.counter(Counter::FormatChosenBcsr), 1);
+        let summary = render_summary(std::slice::from_ref(&report));
+        assert!(summary.contains("notes:"), "missing notes block:\n{summary}");
+        assert!(summary.contains("format"));
+        assert!(summary.contains("bcsr"));
+        assert!(summary.contains("format_chosen_bcsr"));
+        let jsonl = render_jsonl(std::slice::from_ref(&report));
+        assert!(jsonl.contains("\"notes\":{\"format\":\"bcsr\"}"), "{jsonl}");
+        reset();
+        assert_eq!(local_report().note("format"), None);
     }
 
     #[test]

@@ -197,6 +197,9 @@ pub(crate) struct Recorder {
     pub(crate) peer_sends: Mutex<BTreeMap<usize, PeerStat>>,
     /// Per-peer receive accounting (world rank → messages/bytes).
     pub(crate) peer_recvs: Mutex<BTreeMap<usize, PeerStat>>,
+    /// Free-form annotations (key → latest value), e.g. the sparse format
+    /// an operator plan settled on. Last write wins.
+    pub(crate) notes: Mutex<BTreeMap<&'static str, String>>,
 }
 
 impl Recorder {
@@ -211,6 +214,7 @@ impl Recorder {
             flight: Mutex::new(FlightRing::default()),
             peer_sends: Mutex::new(BTreeMap::new()),
             peer_recvs: Mutex::new(BTreeMap::new()),
+            notes: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -272,6 +276,10 @@ impl Recorder {
         stat.bytes += bytes;
     }
 
+    pub(crate) fn set_note(&self, key: &'static str, value: String) {
+        self.notes.lock().unwrap_or_else(|e| e.into_inner()).insert(key, value);
+    }
+
     fn clear(&self) {
         self.rank.store(RANK_UNSET, Ordering::Relaxed);
         for c in &self.counters {
@@ -283,6 +291,7 @@ impl Recorder {
         self.flight.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.peer_sends.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.peer_recvs.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.notes.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 
@@ -322,6 +331,15 @@ pub(crate) fn local_arc() -> Arc<Recorder> {
 /// `rcomm` launcher on every rank thread; reports then group by rank.
 pub fn set_rank(rank: usize) {
     with_local(|r| r.rank.store(rank, Ordering::Relaxed));
+}
+
+/// Attach a free-form annotation to the current thread's recorder. Notes
+/// surface in [`crate::RankReport::notes`], the summary sink, and
+/// postmortems; the canonical use is `note("format", "sell")` when an
+/// operator plan settles on a sparse format. Last write per key wins.
+pub fn note(key: &'static str, value: impl Into<String>) {
+    let value = value.into();
+    with_local(|r| r.set_note(key, value));
 }
 
 /// Snapshot every live recorder (for [`crate::aggregate`]).

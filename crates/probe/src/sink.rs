@@ -39,6 +39,9 @@ pub struct RankReport {
     /// Per-peer receive accounting (world rank → messages/bytes),
     /// mirroring `RecvsCompleted`/`BytesReceived` exactly.
     pub peer_recvs: BTreeMap<usize, PeerStat>,
+    /// Free-form annotations recorded via [`crate::note`] (key → latest
+    /// value), e.g. `"format" → "sell"`.
+    pub notes: BTreeMap<&'static str, String>,
 }
 
 impl RankReport {
@@ -50,6 +53,11 @@ impl RankReport {
     /// Look up a span summary by name.
     pub fn span(&self, name: &str) -> Option<&SpanSummary> {
         self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a note recorded via [`crate::note`].
+    pub fn note(&self, key: &str) -> Option<&str> {
+        self.notes.get(key).map(String::as_str)
     }
 
     /// Total self-seconds of all `port:*` spans — the component-layer
@@ -72,8 +80,9 @@ impl RankReport {
         spans: Vec<SpanSummary>,
         peer_sends: BTreeMap<usize, PeerStat>,
         peer_recvs: BTreeMap<usize, PeerStat>,
+        notes: BTreeMap<&'static str, String>,
     ) -> RankReport {
-        let mut report = RankReport { rank, counters, spans, peer_sends, peer_recvs };
+        let mut report = RankReport { rank, counters, spans, peer_sends, peer_recvs, notes };
         report
             .spans
             .sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(b.name)));
@@ -90,6 +99,7 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
     let mut spans: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
     let mut peer_sends: BTreeMap<usize, PeerStat> = BTreeMap::new();
     let mut peer_recvs: BTreeMap<usize, PeerStat> = BTreeMap::new();
+    let mut notes: BTreeMap<&'static str, String> = BTreeMap::new();
     for r in recorders {
         for c in Counter::ALL {
             counters[c as usize] += r.counter(c);
@@ -110,6 +120,10 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
                 slot.bytes += stat.bytes;
             }
         }
+        let locked = r.notes.lock().unwrap_or_else(|e| e.into_inner());
+        for (&key, value) in locked.iter() {
+            notes.insert(key, value.clone());
+        }
     }
     let spans = spans
         .into_iter()
@@ -120,7 +134,7 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
             self_s: ns_to_s(total_ns.saturating_sub(child_ns)),
         })
         .collect();
-    RankReport::from_parts(rank, counters, spans, peer_sends, peer_recvs)
+    RankReport::from_parts(rank, counters, spans, peer_sends, peer_recvs, notes)
 }
 
 /// Snapshot the current thread's recorder only. This is what tests use
@@ -176,6 +190,12 @@ pub fn render_summary(reports: &[RankReport]) -> String {
     }
     for rep in reports {
         let _ = writeln!(out, "== probe summary: {} ==", rank_label(rep.rank));
+        if !rep.notes.is_empty() {
+            let _ = writeln!(out, "  notes:");
+            for (key, value) in &rep.notes {
+                let _ = writeln!(out, "    {key:<22} {value}");
+            }
+        }
         let nonzero: Vec<Counter> = Counter::ALL
             .into_iter()
             .filter(|&c| rep.counter(c) > 0)
@@ -521,6 +541,13 @@ pub fn render_jsonl(reports: &[RankReport]) -> String {
                 first = false;
                 let _ = write!(out, "\"{}\":{v}", c.name());
             }
+        }
+        out.push_str("},\"notes\":{");
+        for (i, (key, value)) in rep.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(key), escape_json(value));
         }
         out.push_str("},\"spans\":[");
         for (i, s) in rep.spans.iter().enumerate() {

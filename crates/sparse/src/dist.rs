@@ -30,6 +30,7 @@ use std::sync::{Arc, Mutex};
 
 use rcomm::Communicator;
 
+use crate::autotune::{self, Format, FormatMatrix, FormatPolicy};
 use crate::csr::CsrMatrix;
 use crate::dense;
 use crate::error::{SparseError, SparseResult};
@@ -286,14 +287,20 @@ impl MatvecWorkspace {
 /// pool; below this the synchronization outweighs the row work.
 const PAR_SCATTER_MIN_ROWS: usize = 2048;
 
-/// y[rows[i]] = mat.row(i) · x — the scatter kernel both halves of the
-/// split matvec share. Threaded over contiguous chunks of the row list
-/// when the rank-local thread count and the row count warrant it; each
-/// target index appears at most once in `rows`, so chunks write disjoint
-/// elements of `y` and the result is bit-identical at any thread count.
-#[inline]
-fn spmv_rows(mat: &CsrMatrix, rows: &[usize], x: &[f64], y: &mut [f64]) {
-    let scatter = |lo: usize, hi: usize, ys: &SharedMutSlice| {
+/// y[rows[i]] = mat.row(i) · x — the CSR scatter kernel both halves of
+/// the split matvec share. Threaded over contiguous chunks of the row
+/// list when `threads` and the row count warrant it; each target index
+/// appears at most once in `rows`, so chunks write disjoint elements of
+/// `y` and the result is bit-identical at any thread count. Also the
+/// CSR arm of [`FormatMatrix::spmv_scatter`].
+pub(crate) fn spmv_rows_threaded(
+    mat: &CsrMatrix,
+    rows: &[usize],
+    x: &[f64],
+    ys: &SharedMutSlice<'_>,
+    threads: usize,
+) {
+    let scatter = |lo: usize, hi: usize| {
         for (i, &r) in rows[lo..hi].iter().enumerate() {
             let (cols, vals) = mat.row(lo + i);
             // SAFETY: `rows` holds unique local indices, and chunks of it
@@ -301,13 +308,26 @@ fn spmv_rows(mat: &CsrMatrix, rows: &[usize], x: &[f64], y: &mut [f64]) {
             unsafe { ys.set(r, crate::csr::row_dot(cols, vals, x)) };
         }
     };
-    let ys = SharedMutSlice::new(y);
-    let threads = threads::active();
     if threads > 1 && rows.len() >= PAR_SCATTER_MIN_ROWS {
-        threads::for_each_chunk(rows.len(), threads, |s, e| scatter(s, e, &ys));
+        threads::for_each_chunk(rows.len(), threads, scatter);
     } else {
-        scatter(0, rows.len(), &ys);
+        scatter(0, rows.len());
     }
+}
+
+#[inline]
+fn spmv_rows(mat: &CsrMatrix, rows: &[usize], x: &[f64], y: &mut [f64]) {
+    let ys = SharedMutSlice::new(y);
+    spmv_rows_threaded(mat, rows, x, &ys, threads::active());
+}
+
+/// The interior/boundary pieces converted into the plan's chosen SpMV
+/// format. Absent when the plan chose CSR: the split pieces already are
+/// CSR, so the legacy path runs unchanged with zero conversion cost.
+#[derive(Debug, Clone, PartialEq)]
+struct FormatKernel {
+    interior: FormatMatrix,
+    boundary: FormatMatrix,
 }
 
 /// A block-row-distributed square sparse matrix in CSR form.
@@ -322,6 +342,12 @@ pub struct DistCsrMatrix {
     /// value updates and diagnostics).
     local_global: CsrMatrix,
     plan: HaloPlan,
+    /// The SpMV format this matrix's plan settled on (see
+    /// [`crate::autotune`]); the split CSR pieces stay the source of
+    /// truth either way.
+    chosen: Format,
+    /// Format-converted kernel pieces; `None` ⇒ CSR path.
+    kernel: Option<FormatKernel>,
     /// Reusable matvec scratch; interior mutability so the hot path takes
     /// `&self` (each rank owns its matrix, so the lock is uncontended).
     workspace: Mutex<MatvecWorkspace>,
@@ -335,19 +361,24 @@ impl Clone for DistCsrMatrix {
             split: self.split.clone(),
             local_global: self.local_global.clone(),
             plan: self.plan.clone(),
+            chosen: self.chosen,
+            kernel: self.kernel.clone(),
             workspace: Mutex::new(MatvecWorkspace::new(self.local_rows(), &self.plan)),
         }
     }
 }
 
 impl PartialEq for DistCsrMatrix {
-    /// Structural equality; the matvec workspace is scratch and ignored.
+    /// Structural equality; the matvec workspace is scratch and ignored
+    /// (the format kernel derives from `split` + `chosen`, so comparing
+    /// `chosen` covers it).
     fn eq(&self, other: &Self) -> bool {
         self.partition == other.partition
             && self.rank == other.rank
             && self.split == other.split
             && self.local_global == other.local_global
             && self.plan == other.plan
+            && self.chosen == other.chosen
     }
 }
 
@@ -375,12 +406,29 @@ impl DistCsrMatrix {
         Self::from_local_rows(comm, partition, local)
     }
 
-    /// Build from this rank's local rows (columns global). Collective: the
+    /// Build from this rank's local rows (columns global) under the
+    /// process-global format policy ([`autotune::active_policy`], i.e.
+    /// `RSPARSE_FORMAT` / `port.set("format", ...)`). Collective: the
     /// halo plan construction performs an all-to-all.
     pub fn from_local_rows(
         comm: &Communicator,
         partition: BlockRowPartition,
         local: CsrMatrix,
+    ) -> SparseResult<Self> {
+        Self::from_local_rows_with_format(comm, partition, local, autotune::active_policy())
+    }
+
+    /// [`Self::from_local_rows`] with an explicit format policy — the
+    /// plan ("setupMatrix") step where the autotuner runs, the chosen
+    /// format is converted, and both are cached in the operator so
+    /// steady-state matvecs pay zero conversion cost. Each rank decides
+    /// from its own local rows; results are bit-identical regardless, so
+    /// ranks are free to disagree.
+    pub fn from_local_rows_with_format(
+        comm: &Communicator,
+        partition: BlockRowPartition,
+        local: CsrMatrix,
+        policy: FormatPolicy,
     ) -> SparseResult<Self> {
         let rank = comm.rank();
         if partition.parts() != comm.size() {
@@ -517,8 +565,30 @@ impl DistCsrMatrix {
         );
         let split = SplitLocal { interior, interior_rows, boundary, boundary_rows };
 
+        // 5. Resolve the format policy against the local pattern and
+        //    convert the kernel pieces once, here at plan-build time.
+        let chosen = autotune::plan(&local, policy);
+        autotune::record_choice(chosen);
+        let kernel = if chosen == Format::Csr {
+            None
+        } else {
+            Some(FormatKernel {
+                interior: FormatMatrix::build(&split.interior, chosen),
+                boundary: FormatMatrix::build(&split.boundary, chosen),
+            })
+        };
+
         let workspace = Mutex::new(MatvecWorkspace::new(n_local, &plan));
-        Ok(DistCsrMatrix { partition, rank, split, local_global: local, plan, workspace })
+        Ok(DistCsrMatrix {
+            partition,
+            rank,
+            split,
+            local_global: local,
+            plan,
+            chosen,
+            kernel,
+            workspace,
+        })
     }
 
     /// The row partition.
@@ -550,6 +620,36 @@ impl DistCsrMatrix {
     /// hook; also a good measure of partition quality).
     pub fn ghost_count(&self) -> usize {
         self.plan.n_ghosts
+    }
+
+    /// The SpMV storage format this rank's plan settled on.
+    pub fn chosen_format(&self) -> Format {
+        self.chosen
+    }
+
+    /// Interior scatter kernel in the chosen format (CSR when no
+    /// conversion was planned). Bit-identical across formats and thread
+    /// counts.
+    fn spmv_interior(&self, x: &[f64], yl: &mut [f64]) {
+        match &self.kernel {
+            Some(k) => {
+                let ys = SharedMutSlice::new(yl);
+                k.interior.spmv_scatter(&self.split.interior_rows, x, &ys, threads::active());
+            }
+            None => spmv_rows(&self.split.interior, &self.split.interior_rows, x, yl),
+        }
+    }
+
+    /// Boundary scatter kernel against the ghost-extended vector, in the
+    /// chosen format.
+    fn spmv_boundary(&self, ext: &[f64], yl: &mut [f64]) {
+        match &self.kernel {
+            Some(k) => {
+                let ys = SharedMutSlice::new(yl);
+                k.boundary.spmv_scatter(&self.split.boundary_rows, ext, &ys, threads::active());
+            }
+            None => spmv_rows(&self.split.boundary, &self.split.boundary_rows, ext, yl),
+        }
     }
 
     /// This rank's square diagonal block (rows × owned columns, local
@@ -629,7 +729,7 @@ impl DistCsrMatrix {
         let yl = y.local_mut();
         if overlap {
             let _s = probe::span!("spmv_interior");
-            spmv_rows(&self.split.interior, &self.split.interior_rows, &x.local, yl);
+            self.spmv_interior(&x.local, yl);
         }
 
         // 3. Drain the halo receives (out of order when overlapping).
@@ -640,13 +740,13 @@ impl DistCsrMatrix {
         }
         if !overlap {
             let _s = probe::span!("spmv_interior");
-            spmv_rows(&self.split.interior, &self.split.interior_rows, &x.local, yl);
+            self.spmv_interior(&x.local, yl);
         }
 
         // 4. Boundary rows against the ghost-extended vector.
         {
             let _s = probe::span!("spmv_boundary");
-            spmv_rows(&self.split.boundary, &self.split.boundary_rows, &ws.ext, yl);
+            self.spmv_boundary(&ws.ext, yl);
         }
         ws.primed = true;
         Ok(())
@@ -807,6 +907,12 @@ impl DistCsrMatrix {
                 bnd_cursor += gcols.len();
             }
         }
+        // Replay the new values into the format-converted kernel pieces
+        // (their source-index maps point into the split CSR pieces).
+        if let Some(k) = &mut self.kernel {
+            k.interior.refresh_values(&self.split.interior)?;
+            k.boundary.refresh_values(&self.split.boundary)?;
+        }
         Ok(())
     }
 }
@@ -941,6 +1047,71 @@ mod tests {
         for got in out {
             for (g, e) in got.iter().zip(&expect) {
                 assert!((g - e).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_formats_are_bitwise_identical_to_csr() {
+        // Laplacian (SELL-friendly), FEM blocks (BCSR-friendly): every
+        // policy must produce bit-for-bit the CSR result, before and
+        // after an update_values refresh.
+        for a in [generate::laplacian_2d(12), generate::fem_block(6, 3, 8)] {
+            let n = a.rows();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            for p in [1usize, 3] {
+                let policies = [
+                    FormatPolicy::Fixed(Format::Csr),
+                    FormatPolicy::Fixed(Format::Sell),
+                    FormatPolicy::Fixed(Format::Bcsr),
+                    FormatPolicy::Auto,
+                ];
+                let mut runs = Vec::new();
+                for policy in policies {
+                    let out = Universe::run(p, |comm| {
+                        let part = BlockRowPartition::even(n, comm.size());
+                        let r = part.range(comm.rank());
+                        let local = a.row_block(r.start, r.end).unwrap();
+                        let mut da = DistCsrMatrix::from_local_rows_with_format(
+                            comm,
+                            part.clone(),
+                            local,
+                            policy,
+                        )
+                        .unwrap();
+                        if policy == FormatPolicy::Fixed(Format::Sell) {
+                            assert_eq!(da.chosen_format(), Format::Sell);
+                        }
+                        let dx =
+                            DistVector::from_global(part, comm.rank(), &x).unwrap();
+                        let y1 = da.matvec(comm, &dx).unwrap().allgather_full(comm).unwrap();
+                        let scaled: Vec<f64> = da
+                            .local_matrix()
+                            .values()
+                            .iter()
+                            .map(|v| v * -1.5)
+                            .collect();
+                        da.update_values(&scaled).unwrap();
+                        let y2 = da.matvec(comm, &dx).unwrap().allgather_full(comm).unwrap();
+                        (y1, y2)
+                    });
+                    let mut y1 = Vec::new();
+                    let mut y2 = Vec::new();
+                    for (a1, a2) in out {
+                        y1 = a1;
+                        y2 = a2;
+                    }
+                    runs.push((y1, y2));
+                }
+                let (base1, base2) = &runs[0];
+                for (y1, y2) in &runs[1..] {
+                    for (g, e) in y1.iter().zip(base1) {
+                        assert_eq!(g.to_bits(), e.to_bits(), "p = {p}");
+                    }
+                    for (g, e) in y2.iter().zip(base2) {
+                        assert_eq!(g.to_bits(), e.to_bits(), "p = {p} (post-update)");
+                    }
+                }
             }
         }
     }

@@ -147,6 +147,77 @@ pub fn random_vector(n: usize, seed: u64) -> Vec<f64> {
     (0..n).map(|_| 2.0 * rng.next_f64() - 1.0).collect()
 }
 
+/// Banded matrix of order `n`: every diagonal within `±bw` fully
+/// populated with entries uniform in (−1, 1), diagonal boosted to strict
+/// dominance. Rows have nearly identical lengths (clipped at the ends) —
+/// the SELL-C-σ best case.
+pub fn banded(n: usize, bw: usize, seed: u64) -> CsrMatrix {
+    let mut rng = XorShift64::new(seed);
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        let lo = i.saturating_sub(bw);
+        let hi = (i + bw).min(n - 1);
+        for j in lo..=hi {
+            let v = if j == i {
+                2.0 * bw as f64 + 1.0
+            } else {
+                2.0 * rng.next_f64() - 1.0
+            };
+            coo.push(i, j, v).expect("bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// FEM-style block matrix: the 2-D 5-point Laplacian pattern on an `m×m`
+/// grid with every scalar entry expanded into a dense `b×b` block
+/// (order `m²·b`, as multi-dof-per-node assembly produces). Block
+/// diagonal is boosted to strict dominance; off-block entries are
+/// uniform in (−1, 1). Every stored block is completely full — the
+/// block-CSR best case.
+pub fn fem_block(m: usize, b: usize, seed: u64) -> CsrMatrix {
+    let mut rng = XorShift64::new(seed);
+    let pattern = laplacian_2d(m);
+    let n = m * m * b;
+    let mut coo = CooMatrix::new(n, n);
+    for (i, j, _) in pattern.iter() {
+        for bi in 0..b {
+            for bj in 0..b {
+                let v = if i == j && bi == bj {
+                    // > 4 neighbor blocks × b entries of |v| < 1 each.
+                    5.0 * b as f64
+                } else {
+                    2.0 * rng.next_f64() - 1.0
+                };
+                coo.push(i * b + bi, j * b + bj, v).expect("bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Skewed row-length matrix: most rows hold about `short` random
+/// entries, but every 32nd row holds about `long` — the high-variance
+/// profile where padding makes SELL lose to CSR. Diagonal included and
+/// boosted to dominance.
+pub fn skewed_csr(rows: usize, cols: usize, short: usize, long: usize, seed: u64) -> CsrMatrix {
+    let mut rng = XorShift64::new(seed);
+    let mut coo = CooMatrix::new(rows, cols);
+    for i in 0..rows {
+        let len = if i % 32 == 0 { long } else { short };
+        for _ in 0..len {
+            let j = rng.next_below(cols);
+            if i >= cols || j != i {
+                coo.push(i, j, 2.0 * rng.next_f64() - 1.0).expect("bounds");
+            }
+        }
+        if i < cols {
+            coo.push(i, i, long as f64 + 1.0).expect("bounds");
+        }
+    }
+    coo.to_csr()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +292,49 @@ mod tests {
             assert_eq!(a.shape(), (m * m, m * m));
             assert_eq!(a.nnz(), 5 * m * m - 4 * m, "m = {m}");
         }
+    }
+
+    #[test]
+    fn banded_rows_have_full_bandwidth_inside() {
+        let a = banded(50, 3, 7);
+        assert_eq!(a.shape(), (50, 50));
+        for i in 3..47 {
+            let (cols, _) = a.row(i);
+            assert_eq!(cols.len(), 7, "row {i}");
+            assert_eq!(cols[0], i - 3);
+            assert_eq!(cols[6], i + 3);
+        }
+        assert_eq!(a, banded(50, 3, 7));
+    }
+
+    #[test]
+    fn fem_block_expands_pattern_into_full_blocks() {
+        let (m, b) = (4usize, 3usize);
+        let a = fem_block(m, b, 5);
+        assert_eq!(a.shape(), (m * m * b, m * m * b));
+        assert_eq!(a.nnz(), (5 * m * m - 4 * m) * b * b);
+        // Diagonal dominance from the boosted block diagonal.
+        for i in 0..a.rows() {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {i}");
+        }
+    }
+
+    #[test]
+    fn skewed_rows_alternate_short_and_long() {
+        let a = skewed_csr(256, 256, 3, 64, 13);
+        let len = |i: usize| a.row(i).0.len();
+        assert!(len(0) > 2 * len(1), "{} vs {}", len(0), len(1));
+        assert!(len(32) > 2 * len(33));
     }
 
     #[test]

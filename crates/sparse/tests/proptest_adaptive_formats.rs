@@ -1,0 +1,168 @@
+//! Property-based tests on the adaptive SpMV formats (SELL-C-σ and
+//! block-CSR): conversions must round-trip the CSR matrix *exactly*
+//! (pattern and values, explicit zeros included), and every format's
+//! matvec must be **bitwise** identical to CSR's at every thread count —
+//! the invariant the autotuner relies on to swap formats freely.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rsparse::{BcsrMatrix, CooMatrix, CsrMatrix, SellMatrix};
+
+/// Strategy: a random sparse matrix given as triplets (duplicates allowed —
+/// they are summed by the COO→CSR conversion).
+fn arb_triplets(
+    max_dim: usize,
+    max_nnz: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(r, c)| {
+        let entry = (0..r, 0..c, -100.0f64..100.0);
+        vec(entry, 0..=max_nnz).prop_map(move |t| (r, c, t))
+    })
+}
+
+fn to_csr(rows: usize, cols: usize, t: &[(usize, usize, f64)]) -> CsrMatrix {
+    let r: Vec<usize> = t.iter().map(|e| e.0).collect();
+    let c: Vec<usize> = t.iter().map(|e| e.1).collect();
+    let v: Vec<f64> = t.iter().map(|e| e.2).collect();
+    CooMatrix::from_triplets(rows, cols, &r, &c, &v).unwrap().to_csr()
+}
+
+fn assert_bits_equal(got: &[f64], want: &[f64]) -> Result<(), String> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert_eq!(g.to_bits(), w.to_bits(), "lane {} differs: {} vs {}", i, g, w);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sell_round_trips_for_any_slice_geometry(
+        (rows, cols, t) in arb_triplets(20, 90),
+        c in 1usize..12,
+        sigma in 0usize..40,
+    ) {
+        let a = to_csr(rows, cols, &t);
+        let s = SellMatrix::from_csr_with(&a, c, sigma);
+        prop_assert_eq!(s.nnz(), a.nnz());
+        prop_assert_eq!(s.to_csr(), a);
+    }
+
+    #[test]
+    fn bcsr_round_trips_for_any_block_shape(
+        (rows, cols, t) in arb_triplets(20, 90),
+        br in 1usize..6,
+        bc in 1usize..6,
+    ) {
+        let a = to_csr(rows, cols, &t);
+        let b = BcsrMatrix::from_csr_with(&a, br, bc);
+        prop_assert_eq!(b.nnz(), a.nnz());
+        prop_assert_eq!(b.to_csr(), a);
+    }
+
+    #[test]
+    fn chained_conversions_preserve_explicit_zeros(
+        (rows, cols, t) in arb_triplets(14, 50),
+    ) {
+        // Force some explicit zeros into the pattern, then chain
+        // CSR → SELL → CSR → BCSR → CSR: the stored pattern (zeros
+        // included) must survive both hops untouched.
+        let mut a = to_csr(rows, cols, &t);
+        let n = a.nnz();
+        for (k, v) in a.values_mut().iter_mut().enumerate() {
+            if k % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        prop_assert_eq!(a.nnz(), n);
+        let via_sell = SellMatrix::from_csr(&a).to_csr();
+        prop_assert_eq!(&via_sell, &a);
+        let via_bcsr = BcsrMatrix::from_csr(&via_sell).to_csr();
+        prop_assert_eq!(&via_bcsr, &a);
+    }
+
+    #[test]
+    fn matvecs_are_bitwise_identical_across_formats_and_threads(
+        (rows, cols, t) in arb_triplets(16, 70),
+        c in 1usize..10,
+        sigma in 0usize..32,
+        br in 1usize..5,
+        bc in 1usize..5,
+        xseed in any::<u64>(),
+    ) {
+        let a = to_csr(rows, cols, &t);
+        let x = rsparse::generate::random_vector(cols, xseed);
+        let mut want = vec![0.0f64; rows];
+        a.matvec_into(&x, &mut want);
+        let s = SellMatrix::from_csr_with(&a, c, sigma);
+        let b = BcsrMatrix::from_csr_with(&a, br, bc);
+        let mut y = vec![f64::NAN; rows];
+        for threads in [1usize, 2, 4, 8] {
+            y.fill(f64::NAN);
+            s.matvec_threaded_into(&x, &mut y, threads);
+            assert_bits_equal(&y, &want)?;
+            y.fill(f64::NAN);
+            b.matvec_threaded_into(&x, &mut y, threads);
+            assert_bits_equal(&y, &want)?;
+        }
+    }
+
+    #[test]
+    fn refreshed_values_keep_bit_identity(
+        (rows, cols, t) in arb_triplets(14, 50),
+        scale in -4.0f64..4.0,
+        xseed in any::<u64>(),
+    ) {
+        let mut a = to_csr(rows, cols, &t);
+        let mut s = SellMatrix::from_csr(&a);
+        let mut b = BcsrMatrix::from_csr(&a);
+        for v in a.values_mut() {
+            *v *= scale;
+        }
+        s.refresh_values(&a).unwrap();
+        b.refresh_values(&a).unwrap();
+        let x = rsparse::generate::random_vector(cols, xseed);
+        let mut want = vec![0.0f64; rows];
+        a.matvec_into(&x, &mut want);
+        let mut y = vec![f64::NAN; rows];
+        s.matvec_into(&x, &mut y);
+        assert_bits_equal(&y, &want)?;
+        y.fill(f64::NAN);
+        b.matvec_into(&x, &mut y);
+        assert_bits_equal(&y, &want)?;
+    }
+}
+
+proptest! {
+    // FEM-style block matrices are larger; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fem_block_matrices_stay_bitwise_identical(
+        m in 3usize..9,
+        bsize in 2usize..4,
+        seed in any::<u64>(),
+        xseed in any::<u64>(),
+    ) {
+        let a = rsparse::generate::fem_block(m, bsize, seed);
+        let x = rsparse::generate::random_vector(a.cols(), xseed);
+        let mut want = vec![0.0f64; a.rows()];
+        a.matvec_into(&x, &mut want);
+        let s = SellMatrix::from_csr(&a);
+        let b = BcsrMatrix::from_csr_with(&a, bsize, bsize);
+        // FEM assembly expands every pattern entry into a full block, so
+        // the matched block size must cover it with zero fill.
+        prop_assert!((b.fill_ratio() - 1.0).abs() < 1e-12, "fill {}", b.fill_ratio());
+        let mut y = vec![f64::NAN; a.rows()];
+        for threads in [1usize, 2, 4, 8] {
+            y.fill(f64::NAN);
+            s.matvec_threaded_into(&x, &mut y, threads);
+            assert_bits_equal(&y, &want)?;
+            y.fill(f64::NAN);
+            b.matvec_threaded_into(&x, &mut y, threads);
+            assert_bits_equal(&y, &want)?;
+        }
+    }
+}

@@ -54,6 +54,9 @@ cargo run -q -p lisi-bench --release --bin flight_guard > "$OUT_DIR/flight_guard
 echo "== triangular-solve speedup guard (paired) =="
 cargo run -q -p lisi-bench --release --bin trsv_guard > "$OUT_DIR/trsv_guard.json"
 
+echo "== sparse-format speedup guard (paired) =="
+cargo run -q -p lisi-bench --release --bin format_guard > "$OUT_DIR/format_guard.json"
+
 python3 - "$LABEL" "$OUT_DIR" <<'EOF'
 import json, os, sys
 
@@ -257,4 +260,48 @@ else:
           f"< {tg['threads']} threads (bit-identity verified; "
           f"measured {tg['speedup']:.4f}x)")
 print("recorded BENCH_trsv.json")
+
+# Sparse-format guard: the autotuner's chosen format vs CSR on three
+# representative matrices (dense band, FEM blocks, skewed rows), paired
+# and order-alternated. Two verdicts, mirroring the trsv guard:
+#   * bit_identical: every format's matvec must equal CSR's bit-for-bit
+#     on EVERY workload — a miss is a correctness bug, hard fail;
+#   * speedup (target ≥ 1.2×): only gated where the autotuner actually
+#     converted (`applicable`); the skewed workload stays CSR by design,
+#     so its entry carries no speedup claim (recorded as SKIP).
+with open(os.path.join(out_dir, "format_guard.json")) as f:
+    fmt = json.load(f)
+
+FORMAT_TARGET_SPEEDUP = 1.2
+fmt_rec = {"target_speedup": FORMAT_TARGET_SPEEDUP, "trials": fmt["trials"],
+           "formats": []}
+all_pass = True
+for w in fmt["formats"]:
+    gated = w["applicable"]
+    ok = bool(w["bit_identical"]
+              and (not gated or w["speedup"] >= FORMAT_TARGET_SPEEDUP))
+    all_pass = all_pass and ok
+    fmt_rec["formats"].append({**w, "pass": ok})
+fmt_rec["pass"] = all_pass
+with open("BENCH_format.json", "w") as f:
+    json.dump(fmt_rec, f, indent=2)
+    f.write("\n")
+
+for w in fmt_rec["formats"]:
+    if not w["bit_identical"]:
+        print(f"ERROR: format '{w['chosen']}' matvec on '{w['workload']}' is "
+              f"NOT bit-identical to CSR — determinism contract broken.",
+              file=sys.stderr)
+        sys.exit(1)
+for w in fmt_rec["formats"]:
+    if w["applicable"]:
+        verdict = ("PASS" if w["speedup"] >= FORMAT_TARGET_SPEEDUP
+                   else "WARN (below target; noisy machine or a regression)")
+        print(f"format {w['chosen']} vs csr on {w['workload']}: "
+              f"{w['speedup']:.2f}x (target >= {FORMAT_TARGET_SPEEDUP}x) "
+              f"-> {verdict}")
+    else:
+        print(f"format check SKIPPED on {w['workload']}: autotuner kept csr "
+              f"(bit-identity verified; measured {w['speedup']:.4f}x)")
+print("recorded BENCH_format.json")
 EOF

@@ -24,6 +24,13 @@ echo "== tests (RSPARSE_THREADS=4) =="
 RSPARSE_THREADS=4 \
 RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace
 
+echo "== tests (RSPARSE_FORMAT=auto) =="
+# Same suite with the storage-format autotuner choosing per matrix:
+# SELL-C-σ / block-CSR kernels are bit-identical to CSR, so every test
+# must pass unchanged whatever the selector picks.
+RSPARSE_FORMAT=auto \
+RCOMM_DEADLOCK_TIMEOUT_SECS=${RCOMM_DEADLOCK_TIMEOUT_SECS:-30} cargo test --workspace
+
 echo "== examples =="
 for e in quickstart solver_switching matrix_free multigrid_recursion \
          usage_scenarios formats_tour external_matrix resilience; do
