@@ -1,0 +1,78 @@
+//! Exporter smoke check, curl-free: start the Prometheus endpoint on an
+//! ephemeral localhost port, run a small 4-rank CG under summary probing
+//! with tracing armed, then fetch `/metrics` over a plain
+//! `std::net::TcpStream` and assert the families a scrape relies on are
+//! present. Exits nonzero on any miss so `scripts/check_all.sh` can gate
+//! on it without external tooling.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use rcomm::Universe;
+use rkrylov::{Ksp, KspConfig, KspType, MatOperator, PcType};
+use rsparse::{generate, BlockRowPartition, DistCsrMatrix, DistVector};
+
+fn main() {
+    probe::set_mode(probe::ProbeMode::Summary);
+    probe::trace::set_armed(true);
+    let server = probe::export::serve("127.0.0.1:0").expect("bind an ephemeral localhost port");
+    let addr = server.addr();
+
+    let n_side = 16usize;
+    let n = n_side * n_side;
+    let a = generate::laplacian_2d(n_side);
+    let b = vec![1.0; n];
+    let results = Universe::run(4, |comm| {
+        let part = BlockRowPartition::even(n, comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), &a).unwrap();
+        let op = MatOperator::new(da);
+        let db = DistVector::from_global(part.clone(), comm.rank(), &b).unwrap();
+        let cfg = KspConfig {
+            ksp_type: KspType::Cg,
+            pc_type: PcType::Jacobi,
+            rtol: 1e-10,
+            maxits: 500,
+            ..KspConfig::default()
+        };
+        let ksp = Ksp::new(cfg).unwrap();
+        let mut x = DistVector::zeros(part, comm.rank());
+        ksp.solve(comm, &op, &db, &mut x).unwrap()
+    });
+    probe::trace::set_armed(false);
+    assert!(results.iter().all(|r| r.converged()), "smoke CG must converge");
+
+    let mut conn = TcpStream::connect(addr).expect("connect to the exporter");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    server.stop();
+
+    assert!(
+        response.starts_with("HTTP/1.0 200 OK"),
+        "expected 200, got:\n{response}"
+    );
+    assert!(response.contains("text/plain; version=0.0.4"), "exposition header");
+    for family in [
+        "# TYPE rsparse_ksp_iterations_total counter",
+        "# TYPE rsparse_span_seconds_total counter",
+        "rsparse_span_seconds_total{rank=\"0\",span=\"allreduce\"}",
+        "# TYPE rsparse_iter_time_seconds histogram",
+        "# TYPE rsparse_collective_seconds histogram",
+        "# TYPE rsparse_halo_drain_wait_seconds histogram",
+        "le=\"+Inf\"",
+    ] {
+        assert!(response.contains(family), "missing {family:?} in:\n{response}");
+    }
+
+    // The same solve must also have produced a mergeable causal trace.
+    let cp = probe::critpath::analyze_latest().expect("traced solve yields a critical path");
+    assert_eq!(cp.ranks.len(), 4, "per-rank totals for all four ranks");
+
+    println!(
+        "export smoke OK: {} bytes of metrics from http://{addr}/metrics, \
+         critical path over {} segments",
+        response.len(),
+        cp.segments.len()
+    );
+}

@@ -62,4 +62,6 @@ fn main() {
         probe::ProbeMode::Flight => print!("{}", probe::render_flight()),
         _ => {}
     }
+    // Non-empty only when causal tracing was armed (RSPARSE_TRACE=1).
+    print!("{}", probe::critpath::render_latest());
 }

@@ -52,6 +52,8 @@ fn main() {
     if mode == probe::ProbeMode::Flight {
         print!("{}", probe::render_flight());
     }
+    // Non-empty only when causal tracing was armed (RSPARSE_TRACE=1).
+    print!("{}", probe::critpath::render_latest());
     println!();
     println!("paper reference (PETSc on 8 cluster nodes):");
     println!("| 12300  | 0.086   | 0.070     | +0.016/18.61     | 36    |");

@@ -1,0 +1,105 @@
+//! Paired causal-tracing overhead guard.
+//!
+//! Causal tracing (`probe::trace`) is compiled into every p2p send,
+//! receive and span close. Disarmed, each hook is one relaxed atomic
+//! load — that path rides along on *every* solve and must stay invisible
+//! (<2% against the stored baseline, checked cross-process by
+//! `scripts/bench_smoke.sh`). Armed, each hook stamps envelopes and
+//! appends fixed-size trace records — an opt-in diagnostic mode whose
+//! cost must still stay under 5% so tracing a production-shaped run
+//! remains honest. A two-window A/B cannot resolve either bound on a
+//! drifting shared machine, so like the other `*_guard` bins this one
+//! alternates disarmed against armed in order-swapped pairs and reports
+//! the median per-pair ratio on the dist4 fused-reduction CG workload
+//! (the allreduce- and halo-heavy path where every hook fires).
+//!
+//! Output: one JSON object on stdout; consumed by `scripts/bench_smoke.sh`
+//! into `BENCH_trace_overhead.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rcomm::Universe;
+use rkrylov::{Ksp, KspConfig, KspType, MatOperator, PcType};
+use rsparse::{generate, BlockRowPartition, CsrMatrix, DistCsrMatrix, DistVector};
+
+fn fused_cg_workload(a: &CsrMatrix, b: &[f64]) -> f64 {
+    Universe::run(4, |comm| {
+        let part = BlockRowPartition::even(a.rows(), comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), a).unwrap();
+        let op = MatOperator::new(da);
+        let db = DistVector::from_global(part.clone(), comm.rank(), b).unwrap();
+        let mut dx = DistVector::zeros(part, comm.rank());
+        let ksp = Ksp::new(KspConfig {
+            ksp_type: KspType::Cg,
+            pc_type: PcType::None,
+            // Fixed work: 40 fused-reduction iterations, no early exit.
+            rtol: 0.0,
+            atol: 0.0,
+            maxits: 40,
+            keep_history: false,
+            fused_reductions: true,
+            ..KspConfig::default()
+        })
+        .unwrap();
+        let r = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+        r.final_residual
+    })[0]
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Run the workload in alternating disarmed/armed pairs and return
+/// `(disarmed_median_s, armed_median_s, overhead_pct)`.
+fn paired(trials: usize, mut work: impl FnMut() -> f64) -> (f64, f64, f64) {
+    let mut sink = 0.0;
+    for _ in 0..2 {
+        sink += work(); // warm-up
+    }
+    let mut off_s = Vec::with_capacity(trials);
+    let mut on_s = Vec::with_capacity(trials);
+    let mut ratios = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let on_first = t % 2 == 1;
+        let mut pair = [0.0f64; 2]; // [disarmed, armed]
+        for step in 0..2 {
+            let on = (step == 1) != on_first;
+            probe::trace::set_armed(on);
+            // Drop the previous window's trace records so the armed path
+            // always pays the full append cost instead of bouncing off a
+            // saturated budget (the steady state a user would trace in).
+            probe::reset();
+            let t0 = Instant::now();
+            sink += work();
+            sink += work();
+            pair[usize::from(on)] = t0.elapsed().as_secs_f64() / 2.0;
+        }
+        off_s.push(pair[0]);
+        on_s.push(pair[1]);
+        ratios.push(pair[1] / pair[0]);
+    }
+    probe::trace::set_armed(false); // restore the default
+    black_box(sink);
+    let pct = 100.0 * (median(&mut ratios) - 1.0);
+    (median(&mut off_s), median(&mut on_s), pct)
+}
+
+fn main() {
+    let trials: usize = std::env::var("TRACE_GUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let a = generate::laplacian_2d(200);
+    let b = vec![1.0; a.rows()];
+    let (off, on, pct) = paired(trials, || fused_cg_workload(&a, &b));
+    println!(
+        "{{\"trials\":{trials},\
+\"fused_cg\":{{\"workload\":\"dist4 m=200 fused cg 40 its\",\
+\"disarmed_median_ns\":{:.1},\"armed_median_ns\":{:.1},\"overhead_pct\":{pct:.4}}}}}",
+        off * 1e9,
+        on * 1e9,
+    );
+}

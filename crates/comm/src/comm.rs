@@ -264,7 +264,15 @@ impl Communicator {
                 None => {}
             }
         }
-        self.send_ctx(dest, tag, self.context, value)?;
+        // Stamp user p2p traffic with the active trace context (one
+        // relaxed load when tracing is disarmed), recording the Send
+        // event as a side effect.
+        let stamp = if probe::trace::thread_active() {
+            probe::trace::stamp_send(self.world_rank(dest)?, std::mem::size_of::<T>() as u64)
+        } else {
+            None
+        };
+        self.send_env(dest, tag, self.context, value, stamp)?;
         self.note_send(dest, tag, std::mem::size_of::<T>() as u64);
         Ok(())
     }
@@ -276,11 +284,25 @@ impl Communicator {
         context: Context,
         value: T,
     ) -> CommResult<()> {
+        // Internal collective traffic travels unstamped: collectives are
+        // matched across ranks by their per-trace index instead.
+        self.send_env(dest, tag, context, value, None)
+    }
+
+    fn send_env<T: Send + 'static>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        context: Context,
+        value: T,
+        stamp: Option<probe::trace::Stamp>,
+    ) -> CommResult<()> {
         let world_dest = self.world_rank(dest)?;
         let env = Envelope {
             src: self.rank,
             tag,
             context,
+            stamp,
             payload: Box::new(value),
         };
         self.wiring.senders[world_dest]
@@ -293,7 +315,13 @@ impl Communicator {
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: Tag) -> CommResult<T> {
         Self::check_tag(tag)?;
         let act = self.recv_fault(Some(tag))?;
-        let (mut v, _) = self.recv_match::<T>(Some(src), Some(tag), self.context)?;
+        let posted = probe::trace::recv_start();
+        let (mut v, _, stamp) =
+            self.recv_match_stamped::<T>(Some(src), Some(tag), self.context)?;
+        if let Some(t0) = posted {
+            let peer = self.world_rank(src).unwrap_or_else(|_| self.my_world_rank());
+            probe::trace::recv_event(peer, stamp, std::mem::size_of::<T>() as u64, t0);
+        }
         if let Some(FaultAction::Corrupt { seed, call }) = act {
             let _ = fault::corrupt_payload(&mut v, seed, call);
         }
@@ -312,7 +340,13 @@ impl Communicator {
         let src = if src == ANY_SOURCE { None } else { Some(src as usize) };
         let tag = if tag == ANY_TAG { None } else { Some(tag) };
         let act = self.recv_fault(tag)?;
-        let (mut v, status) = self.recv_match::<T>(src, tag, self.context)?;
+        let posted = probe::trace::recv_start();
+        let (mut v, status, stamp) = self.recv_match_stamped::<T>(src, tag, self.context)?;
+        if let Some(t0) = posted {
+            let peer =
+                self.world_rank(status.source).unwrap_or_else(|_| self.my_world_rank());
+            probe::trace::recv_event(peer, stamp, std::mem::size_of::<T>() as u64, t0);
+        }
         if let Some(FaultAction::Corrupt { seed, call }) = act {
             let _ = fault::corrupt_payload(&mut v, seed, call);
         }
@@ -363,6 +397,18 @@ impl Communicator {
         tag: Option<Tag>,
         context: Context,
     ) -> CommResult<(T, RecvStatus)> {
+        self.recv_match_stamped(src, tag, context).map(|(v, s, _)| (v, s))
+    }
+
+    /// [`Self::recv_match`] variant that also surfaces the envelope's
+    /// causal trace stamp (the user-facing receives feed it to
+    /// `probe::trace::recv_event`).
+    fn recv_match_stamped<T: Send + 'static>(
+        &self,
+        src: Option<usize>,
+        tag: Option<Tag>,
+        context: Context,
+    ) -> CommResult<(T, RecvStatus, Option<probe::trace::Stamp>)> {
         if let Some(s) = src {
             self.world_rank(s)?;
         }
@@ -394,11 +440,14 @@ impl Communicator {
         }
     }
 
-    fn unpack<T: Send + 'static>(env: Envelope) -> CommResult<(T, RecvStatus)> {
+    fn unpack<T: Send + 'static>(
+        env: Envelope,
+    ) -> CommResult<(T, RecvStatus, Option<probe::trace::Stamp>)> {
         let status = RecvStatus { source: env.src, tag: env.tag };
+        let stamp = env.stamp;
         let boxed: Box<dyn Any + Send> = env.payload;
         match boxed.downcast::<T>() {
-            Ok(v) => Ok((*v, status)),
+            Ok(v) => Ok((*v, status, stamp)),
             Err(_) => Err(CommError::TypeMismatch { expected: std::any::type_name::<T>() }),
         }
     }
@@ -509,7 +558,9 @@ impl Communicator {
         self.stats.allreduce();
         self.note_collective("allreduce");
         // Reduction time is wait-attributed: under the probe it shows up
-        // as the "allreduce" span (time blocked riding the reduction).
+        // as the "allreduce" span (time blocked riding the reduction),
+        // and the same interval feeds the collective latency histogram.
+        let _lat = probe::hist::HistTimer::start(probe::hist::Hist::Collective);
         let _wait = probe::span!("allreduce");
         let mut value = value;
         if let Some(FaultAction::Corrupt { seed, call }) =
@@ -532,6 +583,7 @@ impl Communicator {
     {
         self.stats.allreduce();
         self.note_collective("allreduce");
+        let _lat = probe::hist::HistTimer::start(probe::hist::Hist::Collective);
         let _wait = probe::span!("allreduce");
         if let Some(FaultAction::Corrupt { seed, call }) =
             self.collective_fault(FaultOp::Allreduce, "allreduce")?

@@ -25,6 +25,9 @@ pub(crate) struct Envelope {
     pub tag: Tag,
     /// Context id of the communicator the message was sent on.
     pub context: Context,
+    /// Causal trace stamp (trace id, sending span, per-sender sequence);
+    /// `None` unless the sender had an active trace (see `probe::trace`).
+    pub stamp: Option<probe::trace::Stamp>,
     /// The payload. `Box<dyn Any>` lets a single mailbox carry every message
     /// type; the receiver downcasts and reports a typed error on mismatch.
     pub payload: Box<dyn Any + Send>,
@@ -60,7 +63,7 @@ mod tests {
     use super::*;
 
     fn env(src: usize, tag: Tag, context: Context) -> Envelope {
-        Envelope { src, tag, context, payload: Box::new(0u8) }
+        Envelope { src, tag, context, stamp: None, payload: Box::new(0u8) }
     }
 
     #[test]

@@ -34,6 +34,12 @@ impl Universe {
         // Arm the process-wide fault plan from RSPARSE_FAULTS exactly
         // once, before any rank communicates.
         crate::fault::arm_from_env_once();
+        // Start the live telemetry exporter once if RSPARSE_METRICS_ADDR
+        // is set, and bump the trace generation so solves in this launch
+        // get trace ids distinct from earlier launches. Both happen
+        // before any rank thread spawns, so every rank agrees.
+        probe::export::maybe_serve_from_env();
+        probe::trace::advance_generation();
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..n).map(|_| unbounded()).unzip();
         let wiring = Arc::new(Wiring { senders });

@@ -137,6 +137,22 @@ macro_rules! lisi_common_methods {
                 rsparse::threads::set_threads(n);
                 return Ok(());
             }
+            // Reserved key: "trace" arms or disarms causal cross-rank
+            // tracing (`probe::trace`) for subsequent solves — the
+            // programmatic twin of `RSPARSE_TRACE`. Accepts the usual
+            // switch spellings (1|on|true|yes / 0|off|false|no|none).
+            if key == "trace" {
+                let armed = probe::trace::parse_switch(value).ok_or_else(|| {
+                    crate::error::LisiError::BadParameter {
+                        key: "trace".into(),
+                        reason: format!(
+                            "unknown trace switch '{value}' (expected on|off)"
+                        ),
+                    }
+                })?;
+                probe::trace::set_armed(armed);
+                return Ok(());
+            }
             // Reserved key: "format" selects the SpMV storage format the
             // next setupMatrix plans with (csr|sell|bcsr|auto). All
             // formats are bit-identical, so this is purely a performance
@@ -166,6 +182,10 @@ macro_rules! lisi_common_methods {
         }
 
         fn set_bool(&self, key: &str, value: bool) -> crate::error::LisiResult<()> {
+            if key == "trace" {
+                probe::trace::set_armed(value);
+                return Ok(());
+            }
             self.state.lock().options.set_bool(key, value);
             Ok(())
         }

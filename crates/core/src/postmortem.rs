@@ -195,14 +195,44 @@ fn assemble(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"trigger\": \"{}\",\n  \"ranks\": {ranks},\n  \
          \"gathered\": \"{gathered}\",\n  \"policy\": \"{}\",\n  \"recovery_path\": [{}],\n  \
          \"fault_plan\": {fault_plan},\n  \"fault_rules_fired\": [{}],\n  \"report\": {},\n  \
+         \"critical_path\": {},\n  \
          \"rank_tails\": [\n    {}\n  ]\n}}\n",
         json_escape(trigger),
         json_escape(policy_spec),
         path.join(", "),
         fired.join(", "),
         report_json(report),
+        probe::critpath::latest_json(),
         fragments.join(",\n    "),
     )
+}
+
+/// Pick a destination that does not clobber an earlier postmortem from
+/// this process: the first dump for a given configured path uses the path
+/// as-is, later ones insert a monotonic sequence before the extension
+/// (`postmortem.json`, `postmortem.1.json`, `postmortem.2.json`, …).
+/// The counter is per-path so tests pointing `RSPARSE_POSTMORTEM` at
+/// distinct temp files stay independent.
+fn sequenced_dest(base: &std::path::Path) -> PathBuf {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    static SEQ: Mutex<BTreeMap<PathBuf, u64>> = Mutex::new(BTreeMap::new());
+    let mut seq = SEQ.lock().unwrap_or_else(|e| e.into_inner());
+    let n = seq.entry(base.to_path_buf()).or_insert(0);
+    let dest = if *n == 0 {
+        base.to_path_buf()
+    } else {
+        match base.extension().and_then(|e| e.to_str()) {
+            Some(ext) => base.with_extension(format!("{n}.{ext}")),
+            None => {
+                let mut name = base.as_os_str().to_os_string();
+                name.push(format!(".{n}"));
+                PathBuf::from(name)
+            }
+        }
+    };
+    *n += 1;
+    dest
 }
 
 /// Gather every rank's flight-recorder tail and write the cohort's
@@ -221,7 +251,7 @@ pub fn write_cohort(
     policy_spec: &str,
     recovery_path: &[String],
 ) -> Option<PathBuf> {
-    let dest = path()?;
+    let base = path()?;
     let ranks = comm.size();
     let doc = match comm.gather(0, rank_fragment(comm.rank())) {
         Ok(Some(fragments)) => {
@@ -235,6 +265,9 @@ pub fn write_cohort(
             assemble(trigger, ranks, policy_spec, recovery_path, report, "registry", &fragments)
         }
     };
+    // Advance the sequence only on the rank that writes, so non-root
+    // contributors (which return above) never consume a slot.
+    let dest = sequenced_dest(&base);
     match std::fs::write(&dest, doc) {
         Ok(()) => {
             probe::emit_jsonl(&format!(
@@ -265,6 +298,21 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         let rep = SolveReport { residual: f64::NAN, ..SolveReport::default() };
         assert!(report_json(&rep).contains("\"residual\":null"));
+    }
+
+    #[test]
+    fn sequenced_destinations_never_repeat() {
+        let base = PathBuf::from("/tmp/lisi-test-seq/pm.json");
+        assert_eq!(sequenced_dest(&base), base);
+        assert_eq!(sequenced_dest(&base), PathBuf::from("/tmp/lisi-test-seq/pm.1.json"));
+        assert_eq!(sequenced_dest(&base), PathBuf::from("/tmp/lisi-test-seq/pm.2.json"));
+        // Extension-less paths get a plain numeric suffix.
+        let bare = PathBuf::from("/tmp/lisi-test-seq/pm-bare");
+        assert_eq!(sequenced_dest(&bare), bare);
+        assert_eq!(sequenced_dest(&bare), PathBuf::from("/tmp/lisi-test-seq/pm-bare.1"));
+        // Distinct configured paths keep independent counters.
+        let other = PathBuf::from("/tmp/lisi-test-seq/other.json");
+        assert_eq!(sequenced_dest(&other), other);
     }
 
     #[test]

@@ -190,6 +190,7 @@ impl RsluSolver {
 
     /// Phase 3: triangular solves (+ optional refinement).
     pub fn solve(&mut self, b: &[f64]) -> RsluResult<Vec<f64>> {
+        let _trace = probe::trace::solve_guard();
         let _span = probe::span!("rslu_solve");
         let lu = self
             .factors
@@ -328,6 +329,7 @@ impl DistRslu {
         partition: &BlockRowPartition,
         b: &DistVector,
     ) -> RsluResult<DistVector> {
+        let _trace = probe::trace::solve_guard();
         let _span = probe::span!("rslu_dist_solve");
         let b_full = b.gather_to_root(comm, 0)?;
         let chunks: Option<Vec<Vec<f64>>> = if comm.rank() == 0 {

@@ -275,6 +275,9 @@ pub(crate) struct Monitor<'a, 'b> {
     best_rnorm: f64,
     /// Consecutive iterations without a new best residual.
     stalled: usize,
+    /// Clock reading at the last counted iteration, feeding the
+    /// per-iteration latency histogram; `None` when histograms are off.
+    last_tick: Option<std::time::Instant>,
 }
 
 impl<'a, 'b> Monitor<'a, 'b> {
@@ -313,6 +316,7 @@ impl<'a, 'b> Monitor<'a, 'b> {
             stagnation_window: cfg.stagnation_window,
             best_rnorm: r0,
             stalled: 0,
+            last_tick: probe::hist::active().then(std::time::Instant::now),
         }
     }
 
@@ -354,6 +358,15 @@ impl<'a, 'b> Monitor<'a, 'b> {
             if iteration > self.last_counted {
                 self.last_counted = iteration;
                 probe::incr(probe::Counter::KspIterations);
+                if let Some(prev) = self.last_tick.take() {
+                    probe::hist::record_ns(
+                        probe::hist::Hist::IterTime,
+                        prev.elapsed().as_nanos() as u64,
+                    );
+                }
+                if probe::hist::active() {
+                    self.last_tick = Some(std::time::Instant::now());
+                }
                 // Black box: the per-iteration residual trail is what a
                 // postmortem replays when the attempt never converges.
                 probe::flight::record(probe::flight::FlightKind::Iter {
@@ -543,6 +556,9 @@ impl Ksp {
         x: &mut DistVector,
         cb: Option<&mut dyn probe::SolveMonitor>,
     ) -> KspOutcome<KspResult> {
+        // Open a causal trace for this solve (inert unless tracing is
+        // armed) before the span so the span lands inside the trace.
+        let _trace = probe::trace::solve_guard();
         let _span = probe::span!("ksp_solve");
         let cfg = &self.config;
         match cfg.ksp_type {

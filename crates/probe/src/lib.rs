@@ -44,15 +44,36 @@
 //! [`aggregate`] merges every recorder created since the last [`reset`],
 //! combining recorders that share a rank (e.g. across repeated
 //! `Universe::run` launches).
+//!
+//! # Causality and export
+//!
+//! Three layers answer *why* a solve was slow rather than just *where*
+//! the time went: [`trace`] propagates a per-solve trace context and
+//! stamps every p2p message and collective so a post-solve merge
+//! reconstructs the cross-rank happens-before graph — armed via
+//! `RSPARSE_TRACE` or `set("trace", "on")`, one relaxed load when off;
+//! [`critpath`] walks that graph backward and attributes end-to-end
+//! wall-clock to local / wait-on-rank-r / collective segments, naming
+//! the top blocking edges; [`hist`] keeps zero-alloc log2 latency
+//! histograms (per-iteration time, halo-drain wait, collective latency,
+//! sptrsv level sweeps) rendered as quantile columns in the summary
+//! sink. [`export`] serves all of it — counters, span totals,
+//! histograms — as Prometheus text over localhost TCP
+//! (`RSPARSE_METRICS_ADDR`; default off) or as a one-shot
+//! [`export::snapshot`] string.
 
 #![warn(missing_docs)]
 
 mod counter;
+pub mod critpath;
+pub mod export;
 pub mod flight;
+pub mod hist;
 mod monitor;
 mod recorder;
 mod sink;
 mod span;
+pub mod trace;
 
 pub use counter::{add, get, incr, Counter};
 pub use monitor::{JsonlMonitor, ResidualHistory, SolveMonitor};

@@ -8,6 +8,8 @@ use std::time::Instant;
 
 use crate::counter::{Counter, COUNTER_COUNT};
 use crate::flight::{FlightRecord, FlightRing};
+use crate::hist::{self, Hist, BUCKETS, HIST_COUNT};
+use crate::trace::{self, TraceRecord};
 
 // ---------------------------------------------------------------------------
 // Probe mode
@@ -200,6 +202,14 @@ pub(crate) struct Recorder {
     /// Free-form annotations (key → latest value), e.g. the sparse format
     /// an operator plan settled on. Last write wins.
     pub(crate) notes: Mutex<BTreeMap<&'static str, String>>,
+    /// Log2 latency histogram buckets, one row per [`Hist`] family.
+    hist_counts: [[AtomicU64; BUCKETS]; HIST_COUNT],
+    /// Sum of recorded nanoseconds per [`Hist`] family (Prometheus `_sum`).
+    hist_sums: [AtomicU64; HIST_COUNT],
+    /// Causal trace records (see [`crate::trace`]).
+    pub(crate) trace: Mutex<Vec<TraceRecord>>,
+    /// Trace records dropped after the global budget was exhausted.
+    pub(crate) dropped_trace: AtomicU64,
 }
 
 impl Recorder {
@@ -215,6 +225,10 @@ impl Recorder {
             peer_sends: Mutex::new(BTreeMap::new()),
             peer_recvs: Mutex::new(BTreeMap::new()),
             notes: Mutex::new(BTreeMap::new()),
+            hist_counts: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            hist_sums: std::array::from_fn(|_| AtomicU64::new(0)),
+            trace: Mutex::new(Vec::new()),
+            dropped_trace: AtomicU64::new(0),
         }
     }
 
@@ -280,6 +294,40 @@ impl Recorder {
         self.notes.lock().unwrap_or_else(|e| e.into_inner()).insert(key, value);
     }
 
+    /// Record one latency sample: one bucket increment, one sum add.
+    #[inline]
+    pub(crate) fn record_hist(&self, h: Hist, ns: u64) {
+        self.hist_counts[h.index()][hist::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.hist_sums[h.index()].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Plain-integer snapshot of one histogram family's buckets and sum.
+    pub(crate) fn hist_snapshot(&self, h: Hist) -> ([u64; BUCKETS], u64) {
+        let buckets =
+            std::array::from_fn(|i| self.hist_counts[h.index()][i].load(Ordering::Relaxed));
+        (buckets, self.hist_sums[h.index()].load(Ordering::Relaxed))
+    }
+
+    /// Absorb one solve's staged trace batch under a single lock. The
+    /// staging `Vec` is drained but keeps its capacity for the next
+    /// solve; records beyond the per-recorder budget count as dropped.
+    pub(crate) fn trace_extend(&self, staged: &mut Vec<TraceRecord>, dropped: u64) {
+        let mut trace = self.trace.lock().unwrap_or_else(|e| e.into_inner());
+        let room = trace::TRACE_BUDGET.saturating_sub(trace.len());
+        let take = room.min(staged.len());
+        let overflow = (staged.len() - take) as u64 + dropped;
+        trace.extend(staged.drain(..take));
+        staged.clear();
+        if overflow > 0 {
+            self.dropped_trace.fetch_add(overflow, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of every retained trace record on this recorder.
+    pub(crate) fn trace_snapshot(&self) -> Vec<TraceRecord> {
+        self.trace.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
     fn clear(&self) {
         self.rank.store(RANK_UNSET, Ordering::Relaxed);
         for c in &self.counters {
@@ -292,6 +340,16 @@ impl Recorder {
         self.peer_sends.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.peer_recvs.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.notes.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        for row in &self.hist_counts {
+            for b in row {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        for s in &self.hist_sums {
+            s.store(0, Ordering::Relaxed);
+        }
+        self.trace.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.dropped_trace.store(0, Ordering::Relaxed);
     }
 }
 
@@ -347,9 +405,10 @@ pub(crate) fn all_recorders() -> Vec<Arc<Recorder>> {
     REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
-/// Zero all recorded counters, spans and chrome events in place, and
-/// reset the chrome event budget. Recorders stay registered (thread-local
-/// handles remain valid); this is a measurement reset, not a teardown.
+/// Zero all recorded counters, spans, histograms, chrome events and trace
+/// records in place, and reset the event budgets. Recorders stay
+/// registered (thread-local handles remain valid); this is a measurement
+/// reset, not a teardown.
 pub fn reset() {
     for r in all_recorders() {
         r.clear();

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use crate::counter::{Counter, COUNTER_COUNT};
+use crate::hist::{self, Hist, HistSummary, BUCKETS, HIST_COUNT};
 use crate::recorder::{self, PeerStat, Recorder};
 
 /// Aggregated statistics for one span name (see [`RankReport::spans`]).
@@ -31,7 +32,8 @@ pub struct RankReport {
     /// [`crate::set_rank`]; `None` for untagged threads.
     pub rank: Option<usize>,
     counters: [u64; COUNTER_COUNT],
-    /// Spans sorted by descending total time.
+    /// Spans sorted by name, so rendered reports diff cleanly between
+    /// runs (wall-clock ordering varies run to run).
     pub spans: Vec<SpanSummary>,
     /// Per-peer send accounting (world rank → messages/bytes), mirroring
     /// `SendsPosted`/`BytesSent` exactly.
@@ -42,6 +44,10 @@ pub struct RankReport {
     /// Free-form annotations recorded via [`crate::note`] (key → latest
     /// value), e.g. `"format" → "sell"`.
     pub notes: BTreeMap<&'static str, String>,
+    /// Merged log2 latency buckets, one row per [`Hist`] family.
+    hist_counts: [[u64; BUCKETS]; HIST_COUNT],
+    /// Total recorded nanoseconds per [`Hist`] family.
+    hist_sums: [u64; HIST_COUNT],
 }
 
 impl RankReport {
@@ -70,10 +76,22 @@ impl RankReport {
             .sum()
     }
 
+    /// Quantile summary of one latency histogram family.
+    pub fn hist(&self, h: Hist) -> HistSummary {
+        hist::summarize(&self.hist_counts[h as usize], self.hist_sums[h as usize])
+    }
+
+    /// Raw merged buckets and nanosecond sum of one histogram family
+    /// (what the Prometheus exporter emits as cumulative `le` buckets).
+    pub fn hist_buckets(&self, h: Hist) -> ([u64; BUCKETS], u64) {
+        (self.hist_counts[h as usize], self.hist_sums[h as usize])
+    }
+
     fn is_empty(&self) -> bool {
         self.spans.is_empty() && self.counters.iter().all(|&c| c == 0)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn from_parts(
         rank: Option<usize>,
         counters: [u64; COUNTER_COUNT],
@@ -81,11 +99,21 @@ impl RankReport {
         peer_sends: BTreeMap<usize, PeerStat>,
         peer_recvs: BTreeMap<usize, PeerStat>,
         notes: BTreeMap<&'static str, String>,
+        hist_counts: [[u64; BUCKETS]; HIST_COUNT],
+        hist_sums: [u64; HIST_COUNT],
     ) -> RankReport {
-        let mut report = RankReport { rank, counters, spans, peer_sends, peer_recvs, notes };
-        report
-            .spans
-            .sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(b.name)));
+        let mut report = RankReport {
+            rank,
+            counters,
+            spans,
+            peer_sends,
+            peer_recvs,
+            notes,
+            hist_counts,
+            hist_sums,
+        };
+        // Name order, not time order: output must be stable across runs.
+        report.spans.sort_by(|a, b| a.name.cmp(b.name));
         report
     }
 }
@@ -100,6 +128,8 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
     let mut peer_sends: BTreeMap<usize, PeerStat> = BTreeMap::new();
     let mut peer_recvs: BTreeMap<usize, PeerStat> = BTreeMap::new();
     let mut notes: BTreeMap<&'static str, String> = BTreeMap::new();
+    let mut hist_counts = [[0u64; BUCKETS]; HIST_COUNT];
+    let mut hist_sums = [0u64; HIST_COUNT];
     for r in recorders {
         for c in Counter::ALL {
             counters[c as usize] += r.counter(c);
@@ -124,6 +154,13 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
         for (&key, value) in locked.iter() {
             notes.insert(key, value.clone());
         }
+        for h in hist::ALL {
+            let (buckets, sum) = r.hist_snapshot(h);
+            for (slot, b) in hist_counts[h as usize].iter_mut().zip(buckets) {
+                *slot += b;
+            }
+            hist_sums[h as usize] += sum;
+        }
     }
     let spans = spans
         .into_iter()
@@ -134,7 +171,9 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
             self_s: ns_to_s(total_ns.saturating_sub(child_ns)),
         })
         .collect();
-    RankReport::from_parts(rank, counters, spans, peer_sends, peer_recvs, notes)
+    RankReport::from_parts(
+        rank, counters, spans, peer_sends, peer_recvs, notes, hist_counts, hist_sums,
+    )
 }
 
 /// Snapshot the current thread's recorder only. This is what tests use
@@ -196,10 +235,12 @@ pub fn render_summary(reports: &[RankReport]) -> String {
                 let _ = writeln!(out, "    {key:<22} {value}");
             }
         }
-        let nonzero: Vec<Counter> = Counter::ALL
+        let mut nonzero: Vec<Counter> = Counter::ALL
             .into_iter()
             .filter(|&c| rep.counter(c) > 0)
             .collect();
+        // Name order, not declaration order: stable diffs between runs.
+        nonzero.sort_by_key(|c| c.name());
         if !nonzero.is_empty() {
             let _ = writeln!(out, "  counters:");
             for c in nonzero {
@@ -217,6 +258,30 @@ pub fn render_summary(reports: &[RankReport]) -> String {
                     out,
                     "         {:<22} {:>8} {:>12.6} {:>12.6}",
                     s.name, s.calls, s.total_s, s.self_s
+                );
+            }
+        }
+        let live: Vec<(Hist, HistSummary)> = hist::ALL
+            .into_iter()
+            .map(|h| (h, rep.hist(h)))
+            .filter(|(_, s)| s.count > 0)
+            .collect();
+        if !live.is_empty() {
+            let _ = writeln!(
+                out,
+                "  hists: {:<22} {:>8} {:>11} {:>11} {:>11} {:>11}",
+                "name", "count", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"
+            );
+            for (h, s) in live {
+                let _ = writeln!(
+                    out,
+                    "         {:<22} {:>8} {:>11.3e} {:>11.3e} {:>11.3e} {:>11.3e}",
+                    h.name(),
+                    s.count,
+                    s.p50_s,
+                    s.p90_s,
+                    s.p99_s,
+                    s.max_s
                 );
             }
         }

@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use crate::recorder::{self, chrome_enabled, enabled, epoch, STACK};
+use crate::trace;
 
 fn push_frame() {
     STACK.with(|s| s.borrow_mut().push(0));
@@ -27,24 +28,42 @@ fn close_frame(name: &'static str, start: Instant) {
             r.record_event(name, ts_us, dur_ns / 1_000);
         }
     });
+    if trace::thread_active() {
+        // Same clock reads as the span table, so the causal trace and the
+        // wait-time attribution describe identical instants.
+        let t0_ns = start.duration_since(epoch()).as_nanos() as u64;
+        trace::on_span_close(name, t0_ns, dur_ns);
+    }
+}
+
+/// Whether spans should time right now: probe enabled, or a causal trace
+/// active on this thread (traced solves fill the span table even with
+/// the probe off, so the attribution table always accompanies a trace).
+#[inline]
+fn span_active() -> bool {
+    enabled() || trace::thread_active()
 }
 
 /// RAII guard for a scoped span; created by [`crate::span!`]. Records on
-/// drop. Inert (no clock read, no allocation) when the probe is disabled.
+/// drop. Inert (no clock read, no allocation) when the probe is disabled
+/// and no trace is active.
 #[must_use = "binding the guard keeps the span open until end of scope"]
 pub struct SpanGuard {
     live: Option<(&'static str, Instant)>,
+    /// Previous innermost phase to restore (`Some` only while tracing).
+    phase_prev: Option<&'static str>,
 }
 
 impl SpanGuard {
     /// Open a span named `name`. Prefer the [`crate::span!`] macro.
     #[inline]
     pub fn enter(name: &'static str) -> SpanGuard {
-        if !enabled() {
-            return SpanGuard { live: None };
+        if !span_active() {
+            return SpanGuard { live: None, phase_prev: None };
         }
+        let phase_prev = trace::thread_active().then(|| trace::push_phase(name));
         push_frame();
-        SpanGuard { live: Some((name, Instant::now())) }
+        SpanGuard { live: Some((name, Instant::now())), phase_prev }
     }
 }
 
@@ -52,6 +71,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((name, start)) = self.live.take() {
             close_frame(name, start);
+        }
+        if let Some(prev) = self.phase_prev.take() {
+            trace::pop_phase(prev);
         }
     }
 }
@@ -65,28 +87,38 @@ impl Drop for SpanGuard {
 pub struct SectionTimer {
     name: &'static str,
     start: Instant,
-    /// Whether we pushed a span frame at start (probe was enabled).
+    /// Whether we pushed a span frame at start (spans were active).
     pushed: bool,
+    /// Previous innermost phase to restore (`Some` only while tracing).
+    phase_prev: Option<&'static str>,
     done: bool,
 }
 
 impl SectionTimer {
     /// Start timing a named section.
     pub fn start(name: &'static str) -> SectionTimer {
-        let pushed = enabled();
+        let pushed = span_active();
+        let phase_prev = (pushed && trace::thread_active()).then(|| trace::push_phase(name));
         if pushed {
             push_frame();
         }
-        SectionTimer { name, start: Instant::now(), pushed, done: false }
+        SectionTimer { name, start: Instant::now(), pushed, phase_prev, done: false }
     }
 
-    /// Stop and return the elapsed wall-clock seconds, recording the span
-    /// if the probe was enabled at start.
-    pub fn stop(mut self) -> f64 {
-        self.done = true;
+    fn close(&mut self) {
         if self.pushed {
             close_frame(self.name, self.start);
         }
+        if let Some(prev) = self.phase_prev.take() {
+            trace::pop_phase(prev);
+        }
+    }
+
+    /// Stop and return the elapsed wall-clock seconds, recording the span
+    /// if spans were active at start.
+    pub fn stop(mut self) -> f64 {
+        self.done = true;
+        self.close();
         self.start.elapsed().as_secs_f64()
     }
 }
@@ -95,8 +127,8 @@ impl Drop for SectionTimer {
     fn drop(&mut self) {
         // Early-return/`?` paths still close the span frame; the measured
         // seconds are simply lost to the caller.
-        if !self.done && self.pushed {
-            close_frame(self.name, self.start);
+        if !self.done {
+            self.close();
         }
     }
 }

@@ -1,0 +1,409 @@
+//! Causal cross-rank trace contexts.
+//!
+//! Every solve that starts while tracing is armed gets a **trace id**
+//! that is identical on every rank without any communication: ranks are
+//! SPMD threads, so the k-th solve begun on each rank thread is the same
+//! logical solve, and the id is derived from a per-thread solve counter
+//! plus a process-wide launch generation (bumped by the `rcomm`
+//! launcher so back-to-back launches do not collide).
+//!
+//! While a trace is active on a thread, the comm layer stamps each
+//! outgoing point-to-point message with a [`Stamp`] — (trace id, sending
+//! span, per-sender sequence) — and records [`TraceKind`] events: sends,
+//! receives (posted→matched interval), closed spans as phases, and
+//! blocking reductions as indexed collectives (the k-th `allreduce` on
+//! each rank is the same collective, again by SPMD structure). A
+//! post-solve merge over the registry reconstructs the cross-rank
+//! happens-before graph; see [`crate::critpath`].
+//!
+//! Phase events reuse the *same clock reads* as the span table (they are
+//! emitted from the span close path), so critical-path per-rank totals
+//! reconcile with the summary sink's wait-time attribution table exactly.
+//!
+//! Arming follows the one-atomic-when-off pattern: `RSPARSE_TRACE=1` (or
+//! `port.set("trace", "on")` through any LISI adapter) flips one global
+//! atomic; a disarmed build pays a single relaxed load per site. Tracing
+//! is independent of `RSPARSE_PROBE` — with the probe off, spans are
+//! still timed *inside* traced solves so the attribution table and the
+//! trace describe the same instants.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::recorder;
+
+// ---------------------------------------------------------------------------
+// Arming switch
+// ---------------------------------------------------------------------------
+
+/// Sentinel meaning "not yet initialized from the environment".
+const ARMED_UNSET: u8 = u8::MAX;
+
+static ARMED: AtomicU8 = AtomicU8::new(ARMED_UNSET);
+
+/// Parse an on/off switch value (`RSPARSE_TRACE`, `set("trace", ...)`).
+/// Returns `None` for unrecognized spellings.
+pub fn parse_switch(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => Some(true),
+        "" | "0" | "off" | "false" | "no" | "none" => Some(false),
+        _ => None,
+    }
+}
+
+/// Whether causal tracing is armed, lazily initialized from
+/// `RSPARSE_TRACE` on first use. One relaxed load once initialized.
+#[inline]
+pub fn armed() -> bool {
+    let raw = ARMED.load(Ordering::Relaxed);
+    if raw == ARMED_UNSET {
+        let on = std::env::var("RSPARSE_TRACE")
+            .ok()
+            .and_then(|v| parse_switch(&v))
+            .unwrap_or(false);
+        // Racing initializers compute the same value; either store wins.
+        let _ = ARMED.compare_exchange(
+            ARMED_UNSET,
+            on as u8,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        on
+    } else {
+        raw != 0
+    }
+}
+
+/// Arm or disarm tracing (overrides the environment).
+pub fn set_armed(on: bool) {
+    ARMED.store(on as u8, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids
+// ---------------------------------------------------------------------------
+
+/// Launch generation; bumped once per SPMD launch *before* rank threads
+/// spawn, so every rank of one launch agrees on it and successive
+/// launches (whose fresh threads restart their solve counters) get
+/// distinct trace ids.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Bump the launch generation. Called by the `rcomm` launcher; harmless
+/// (but pointless) anywhere else.
+pub fn advance_generation() {
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+}
+
+const SOLVE_BITS: u32 = 20;
+
+thread_local! {
+    /// Solves begun on this thread while armed (trace-id low bits).
+    static SOLVES: Cell<u64> = const { Cell::new(0) };
+    /// Active trace id (0 = no trace active on this thread).
+    static CUR: Cell<u64> = const { Cell::new(0) };
+    /// Per-sender p2p sequence within the active trace.
+    static SEND_SEQ: Cell<u64> = const { Cell::new(0) };
+    /// Blocking-collective index within the active trace.
+    static COLL_IDX: Cell<u64> = const { Cell::new(0) };
+    /// Innermost open span name (stamped onto outgoing messages).
+    static PHASE: Cell<&'static str> = const { Cell::new("") };
+    /// Staging buffer for the active solve's records: hot-path pushes are
+    /// a plain thread-local append (no lock, no registry lookup); the
+    /// whole batch moves into this thread's recorder once, when the
+    /// [`SolveGuard`] closes.
+    static STAGE: std::cell::RefCell<Vec<TraceRecord>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Records rejected by the staging budget during the active solve.
+    static STAGE_DROPPED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Whether a trace is active on the *current thread* (armed and inside a
+/// [`solve_guard`] scope). One relaxed load when disarmed.
+#[inline]
+pub fn thread_active() -> bool {
+    armed() && CUR.with(|c| c.get()) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// Message stamp carried by every in-flight envelope while the sender is
+/// tracing: enough to match the receive back to the exact send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// Trace id of the sending solve.
+    pub trace: u64,
+    /// Innermost open span on the sender at send time.
+    pub phase: &'static str,
+    /// 1-based per-sender sequence number within the trace.
+    pub seq: u64,
+}
+
+/// What one trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Solve entered its traced region (instant; `t0 == t1`).
+    Begin,
+    /// Solve left its traced region (instant; `t0 == t1`).
+    End,
+    /// A span closed; same clock reads as the span table.
+    Phase {
+        /// Span name.
+        name: &'static str,
+    },
+    /// A point-to-point send was posted (instant; `t0 == t1`).
+    Send {
+        /// Destination world rank.
+        peer: usize,
+        /// 1-based per-sender sequence within the trace.
+        seq: u64,
+        /// Payload element bytes (as the byte counters count).
+        bytes: u64,
+        /// Innermost open span at send time.
+        phase: &'static str,
+    },
+    /// A blocking receive completed; `t0` = posted, `t1` = matched.
+    Recv {
+        /// Source world rank.
+        peer: usize,
+        /// Matching sender sequence (0 when the message was unstamped or
+        /// stamped by a different trace).
+        src_seq: u64,
+        /// Payload element bytes.
+        bytes: u64,
+    },
+    /// A blocking reduction; the k-th on each rank is the same collective.
+    Collective {
+        /// Operation name (`"allreduce"`).
+        op: &'static str,
+        /// 1-based per-rank collective index within the trace.
+        index: u64,
+    },
+}
+
+/// One trace event on one rank, timestamped in nanoseconds since the
+/// process-wide probe epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Trace id this record belongs to.
+    pub trace: u64,
+    /// Start timestamp (ns since epoch).
+    pub t0_ns: u64,
+    /// End timestamp (ns since epoch; equals `t0_ns` for instants).
+    pub t1_ns: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Per-recorder cap on retained trace records, mirroring the chrome
+/// event budget: a long armed solve must not grow memory without bound.
+/// Deliberately per-thread (checked under the recorder's own trace lock)
+/// rather than a process-global atomic — a shared counter would put one
+/// contended cache line on every rank's record hot path.
+pub(crate) const TRACE_BUDGET: usize = 1 << 17;
+
+#[inline]
+fn now_ns() -> u64 {
+    recorder::epoch().elapsed().as_nanos() as u64
+}
+
+#[inline]
+fn push(trace: u64, t0_ns: u64, t1_ns: u64, kind: TraceKind) {
+    STAGE.with(|s| {
+        let mut stage = s.borrow_mut();
+        if stage.len() < TRACE_BUDGET {
+            stage.push(TraceRecord { trace, t0_ns, t1_ns, kind });
+        } else {
+            STAGE_DROPPED.with(|d| d.set(d.get() + 1));
+        }
+    });
+}
+
+/// Move the staged batch into this thread's recorder (one lock per
+/// solve). Called when the [`SolveGuard`] closes; the staging `Vec`
+/// keeps its capacity, so steady-state tracing never reallocates.
+fn flush_stage() {
+    STAGE.with(|s| {
+        let mut stage = s.borrow_mut();
+        let dropped = STAGE_DROPPED.with(Cell::take);
+        if stage.is_empty() && dropped == 0 {
+            return;
+        }
+        recorder::with_local(|r| r.trace_extend(&mut stage, dropped));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Solve scope
+// ---------------------------------------------------------------------------
+
+/// RAII scope marking one traced solve on this thread; created by
+/// [`solve_guard`]. Records `Begin` on entry and `End` on drop.
+#[must_use = "binding the guard keeps the trace active until end of scope"]
+pub struct SolveGuard {
+    live: bool,
+}
+
+/// Open a traced-solve scope. Inert when tracing is disarmed, and inert
+/// when a trace is already active on this thread (nested solves — e.g. a
+/// smoother's inner Krylov — fold into the enclosing trace).
+pub fn solve_guard() -> SolveGuard {
+    if !armed() || CUR.with(|c| c.get()) != 0 {
+        return SolveGuard { live: false };
+    }
+    let count = SOLVES.with(|c| {
+        let v = c.get() + 1;
+        c.set(v);
+        v
+    });
+    let id = (GENERATION.load(Ordering::Relaxed) << SOLVE_BITS)
+        | (count & ((1 << SOLVE_BITS) - 1));
+    CUR.with(|c| c.set(id));
+    SEND_SEQ.with(|c| c.set(0));
+    COLL_IDX.with(|c| c.set(0));
+    let t = now_ns();
+    push(id, t, t, TraceKind::Begin);
+    SolveGuard { live: true }
+}
+
+impl Drop for SolveGuard {
+    fn drop(&mut self) {
+        if self.live {
+            let id = CUR.with(|c| c.get());
+            let t = now_ns();
+            push(id, t, t, TraceKind::End);
+            CUR.with(|c| c.set(0));
+            flush_stage();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hooks for the span and comm layers
+// ---------------------------------------------------------------------------
+
+/// Span opened: remember it as the innermost phase; returns the previous
+/// phase for the guard to restore. Called only when [`thread_active`].
+pub(crate) fn push_phase(name: &'static str) -> &'static str {
+    PHASE.with(|p| p.replace(name))
+}
+
+/// Span closing: restore the enclosing phase.
+pub(crate) fn pop_phase(prev: &'static str) {
+    PHASE.with(|p| p.set(prev));
+}
+
+/// Span closed: record it as a `Phase` (or, for the reduction span, as
+/// the next indexed `Collective`) with the span's own clock readings.
+pub(crate) fn on_span_close(name: &'static str, t0_ns: u64, dur_ns: u64) {
+    if !thread_active() {
+        return;
+    }
+    let id = CUR.with(|c| c.get());
+    let kind = if name == "allreduce" {
+        let index = COLL_IDX.with(|c| {
+            let v = c.get() + 1;
+            c.set(v);
+            v
+        });
+        TraceKind::Collective { op: "allreduce", index }
+    } else {
+        TraceKind::Phase { name }
+    };
+    push(id, t0_ns, t0_ns + dur_ns, kind);
+}
+
+/// A p2p send is about to post to `peer` (world rank): record the `Send`
+/// event and hand back the [`Stamp`] to ride on the envelope. `None`
+/// when no trace is active on this thread.
+pub fn stamp_send(peer: usize, bytes: u64) -> Option<Stamp> {
+    if !thread_active() {
+        return None;
+    }
+    let trace = CUR.with(|c| c.get());
+    let seq = SEND_SEQ.with(|c| {
+        let v = c.get() + 1;
+        c.set(v);
+        v
+    });
+    let phase = PHASE.with(|p| p.get());
+    let t = now_ns();
+    push(trace, t, t, TraceKind::Send { peer, seq, bytes, phase });
+    Some(Stamp { trace, phase, seq })
+}
+
+/// A blocking receive is being posted: timestamp it if tracing. Pass the
+/// result to [`recv_event`] once the message is matched.
+#[inline]
+pub fn recv_start() -> Option<u64> {
+    if thread_active() {
+        Some(now_ns())
+    } else {
+        None
+    }
+}
+
+/// A blocking receive matched a message from `peer` (world rank):
+/// record the posted→matched interval and the sender's sequence (from
+/// the envelope's stamp, when it belongs to the same trace).
+pub fn recv_event(peer: usize, stamp: Option<Stamp>, bytes: u64, t0_ns: u64) {
+    if !thread_active() {
+        return;
+    }
+    let trace = CUR.with(|c| c.get());
+    let src_seq = match stamp {
+        Some(s) if s.trace == trace => s.seq,
+        _ => 0,
+    };
+    push(trace, t0_ns, now_ns(), TraceKind::Recv { peer, src_seq, bytes });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the global armed switch.
+    static ARM_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn switch_parsing_accepts_common_spellings() {
+        assert_eq!(parse_switch("1"), Some(true));
+        assert_eq!(parse_switch(" ON "), Some(true));
+        assert_eq!(parse_switch("off"), Some(false));
+        assert_eq!(parse_switch(""), Some(false));
+        assert_eq!(parse_switch("maybe"), None);
+    }
+
+    #[test]
+    fn disarmed_guard_is_inert_and_stamps_are_none() {
+        let _l = ARM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_armed(false);
+        let g = solve_guard();
+        assert!(!thread_active());
+        assert!(stamp_send(0, 8).is_none());
+        assert!(recv_start().is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn armed_guard_activates_and_sequences_sends() {
+        let _l = ARM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_armed(true);
+        {
+            let _g = solve_guard();
+            assert!(thread_active());
+            let a = stamp_send(1, 8).unwrap();
+            let b = stamp_send(2, 8).unwrap();
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.seq, 1);
+            assert_eq!(b.seq, 2);
+            // Nested solves fold into the enclosing trace.
+            let inner = solve_guard();
+            assert!(!inner.live);
+        }
+        assert!(!thread_active());
+        set_armed(false);
+    }
+}

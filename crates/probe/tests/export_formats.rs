@@ -1,0 +1,182 @@
+//! Schema validation of the probe crate's machine-readable exports:
+//! the chrome://tracing document, the per-rank JSONL report stream and
+//! the [`probe::JsonlMonitor`] live stream are parsed back with the
+//! in-tree `serde_json` shim and checked field by field — catching
+//! quoting slips, missing commas and schema drift that substring asserts
+//! cannot.
+//!
+//! The tests mutate the process-wide probe mode and recorder registry,
+//! so they serialize on one lock and reset state at each boundary.
+
+use std::sync::Mutex;
+
+use serde_json::Value;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn chrome_trace_parses_with_rank_pids_and_monotone_end_times() {
+    let _g = locked();
+    probe::reset();
+    probe::set_mode(probe::ProbeMode::Chrome);
+    probe::set_rank(3);
+    {
+        let _outer = probe::span!("outer_phase");
+        let _inner = probe::span!("inner_phase");
+    }
+    let doc = probe::chrome_trace_json();
+    probe::set_mode(probe::ProbeMode::Off);
+    probe::reset();
+
+    let v = serde_json::from_str(&doc).expect("chrome trace must be valid JSON");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "spans must have produced events");
+
+    let mut names = Vec::new();
+    let mut last_end: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    for e in events {
+        match e["ph"].as_str().expect("ph string") {
+            "X" => {
+                // Complete events: the viewer contract is name/cat/ts/dur
+                // plus pid=rank and tid=thread lanes.
+                let name = e["name"].as_str().expect("X event name").to_string();
+                assert_eq!(e["cat"].as_str(), Some("probe"));
+                let ts = e["ts"].as_f64().expect("ts number");
+                let dur = e["dur"].as_f64().expect("dur number");
+                assert!(ts >= 0.0 && dur >= 0.0, "non-negative times: {e:?}");
+                let pid = e["pid"].as_u64().expect("pid number");
+                let tid = e["tid"].as_u64().expect("tid number");
+                assert_eq!(pid, 3, "pid is the SPMD rank");
+                // Events are appended at span close, so end times are
+                // non-decreasing within one (pid, tid) lane.
+                let end = ts + dur;
+                let prev = last_end.insert((pid, tid), end).unwrap_or(0.0);
+                assert!(end >= prev, "end times must be monotone per lane");
+                names.push(name);
+            }
+            "M" => {
+                assert_eq!(e["name"].as_str(), Some("process_name"));
+                assert!(e["args"]["name"].as_str().is_some(), "lane label");
+            }
+            ph => panic!("unexpected phase type {ph:?}"),
+        }
+    }
+    assert!(names.iter().any(|n| n == "outer_phase"), "names: {names:?}");
+    assert!(names.iter().any(|n| n == "inner_phase"), "names: {names:?}");
+    assert!(v["otherData"]["droppedEvents"].as_u64().is_some());
+}
+
+#[test]
+fn jsonl_report_stream_parses_line_by_line() {
+    let _g = locked();
+    probe::reset();
+    probe::set_mode(probe::ProbeMode::Summary);
+    probe::incr(probe::Counter::PortCalls);
+    probe::timed("jsonl_span", || std::thread::sleep(std::time::Duration::from_micros(50)));
+    let text = probe::render_jsonl(&probe::aggregate());
+    probe::set_mode(probe::ProbeMode::Off);
+    probe::reset();
+
+    let mut saw_span = false;
+    let mut lines = 0;
+    for line in text.lines() {
+        let v = serde_json::from_str(line).expect("each JSONL line is one JSON object");
+        lines += 1;
+        assert!(
+            v["rank"].as_u64().is_some() || v["rank"].is_null(),
+            "rank is a number or null: {line}"
+        );
+        let counters = v["counters"].as_object().expect("counters object");
+        for c in counters.values() {
+            assert!(c.as_u64().is_some_and(|n| n > 0), "only nonzero counters appear");
+        }
+        assert!(v["notes"].as_object().is_some(), "notes object");
+        for s in v["spans"].as_array().expect("spans array") {
+            assert!(s["name"].as_str().is_some());
+            assert!(s["calls"].as_u64().is_some_and(|n| n > 0));
+            let total = s["total_s"].as_f64().expect("total_s number");
+            let self_s = s["self_s"].as_f64().expect("self_s number");
+            assert!(total >= self_s && self_s >= 0.0, "span times ordered: {s:?}");
+            if s["name"].as_str() == Some("jsonl_span") {
+                saw_span = true;
+            }
+        }
+    }
+    assert!(lines >= 1, "at least one rank line:\n{text}");
+    assert!(saw_span, "the recorded span must appear:\n{text}");
+}
+
+#[test]
+fn jsonl_monitor_stream_parses_event_by_event() {
+    use probe::SolveMonitor;
+    let mut buf: Vec<u8> = Vec::new();
+    {
+        let mut mon = probe::JsonlMonitor::with_rank(&mut buf, 2);
+        mon.on_start(1.0);
+        mon.on_iteration(1, 0.5, 2);
+        mon.on_iteration(2, f64::NAN, 4);
+        mon.on_phase("factorize", 0.25);
+        mon.on_finish(2, 1e-9, true);
+    }
+    let text = String::from_utf8(buf).expect("monitor stream is UTF-8");
+    let events: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each monitor line is one JSON object"))
+        .collect();
+    assert_eq!(events.len(), 5);
+    for e in &events {
+        assert_eq!(e["rank"].as_u64(), Some(2), "every line carries the rank tag");
+        assert!(e["event"].as_str().is_some());
+    }
+    assert_eq!(events[0]["event"].as_str(), Some("start"));
+    assert_eq!(events[1]["iteration"].as_u64(), Some(1));
+    assert_eq!(events[1]["residual"].as_f64(), Some(0.5));
+    assert!(events[2]["residual"].is_null(), "NaN residual serializes as null");
+    assert_eq!(events[3]["phase"].as_str(), Some("factorize"));
+    assert_eq!(events[4]["converged"].as_bool(), Some(true));
+    // Iteration counters are monotone across the stream.
+    let iters: Vec<u64> = events
+        .iter()
+        .filter(|e| e["event"].as_str() == Some("iteration"))
+        .map(|e| e["iteration"].as_u64().unwrap())
+        .collect();
+    assert!(iters.windows(2).all(|w| w[0] < w[1]), "iterations: {iters:?}");
+}
+
+#[test]
+fn summary_sink_is_deterministic_and_name_sorted() {
+    let _g = locked();
+    probe::reset();
+    probe::set_mode(probe::ProbeMode::Summary);
+    // Record counters and spans in an order that is NOT alphabetical, so
+    // the sort inside the sink is what produces the stable layout.
+    probe::incr(probe::Counter::PcApplies);
+    probe::incr(probe::Counter::MatvecCalls);
+    probe::timed("z_last", || {});
+    probe::timed("a_first", || {});
+    probe::timed("m_middle", || {});
+    let reports = probe::aggregate();
+    let once = probe::render_summary(&reports);
+    let twice = probe::render_summary(&probe::aggregate());
+    probe::set_mode(probe::ProbeMode::Off);
+    probe::reset();
+
+    assert_eq!(once, twice, "two renders of the same state must be identical");
+    for rep in &reports {
+        let names: Vec<&str> = rep.spans.iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "span rows sorted by name");
+    }
+    let a = once.find("a_first").expect("a_first row");
+    let m = once.find("m_middle").expect("m_middle row");
+    let z = once.find("z_last").expect("z_last row");
+    assert!(a < m && m < z, "span rows render in name order");
+    let mv = once.find("matvec_calls").expect("matvec_calls row");
+    let pc = once.find("pc_applies").expect("pc_applies row");
+    assert!(mv < pc, "counter rows render in name order");
+}

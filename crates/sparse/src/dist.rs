@@ -735,6 +735,7 @@ impl DistCsrMatrix {
         // 3. Drain the halo receives (out of order when overlapping).
         ws.ext[..n_local].copy_from_slice(&x.local);
         {
+            let _lat = probe::hist::HistTimer::start(probe::hist::Hist::HaloDrain);
             let _s = probe::span!("halo_drain");
             self.drain_halos(comm, ws, overlap)?;
         }

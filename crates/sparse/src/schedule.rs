@@ -202,10 +202,16 @@ impl LevelSchedule {
     where
         F: Fn(usize) + Sync,
     {
+        // Per-level sweep latencies feed the `sptrsv_level` histogram.
+        // Pool threads carry no rank, so durations are collected here and
+        // recorded from the calling (ranked) thread after the broadcast.
+        let timing = probe::hist::active();
+        let level_ns: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
         if threads > 1 {
             let barrier = rayon::pool::SpinBarrier::new(threads);
             let n_levels = self.levels();
             let ran = rayon::pool::try_broadcast(threads, |tid| {
+                let mut tick = (timing && tid == 0).then(std::time::Instant::now);
                 for l in 0..n_levels {
                     let lo = self.level_ptr[l];
                     let hi = self.level_ptr[l + 1];
@@ -219,16 +225,48 @@ impl LevelSchedule {
                     if l + 1 < n_levels {
                         barrier.wait();
                     }
+                    if let Some(prev) = tick.take() {
+                        // Barrier-to-barrier on thread 0 ≈ the level's
+                        // wall-clock (all peers have arrived).
+                        level_ns
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(prev.elapsed().as_nanos() as u64);
+                        tick = Some(std::time::Instant::now());
+                    }
                 }
             });
             if ran {
+                self.record_level_latencies(&level_ns);
                 return threads;
             }
         }
-        for &row in &self.rows {
-            f(row);
+        if timing {
+            for w in self.level_ptr.windows(2) {
+                let t0 = std::time::Instant::now();
+                for &row in &self.rows[w[0]..w[1]] {
+                    f(row);
+                }
+                probe::hist::record_ns(
+                    probe::hist::Hist::SptrsvLevel,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+        } else {
+            for &row in &self.rows {
+                f(row);
+            }
         }
         1
+    }
+
+    /// Flush durations gathered on pool thread 0 into this (ranked)
+    /// thread's recorder.
+    fn record_level_latencies(&self, level_ns: &std::sync::Mutex<Vec<u64>>) {
+        let ns = level_ns.lock().unwrap_or_else(|e| e.into_inner());
+        for &d in ns.iter() {
+            probe::hist::record_ns(probe::hist::Hist::SptrsvLevel, d);
+        }
     }
 }
 

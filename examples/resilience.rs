@@ -179,4 +179,7 @@ fn main() {
     print!("{}", cca_lisi::probe::render_imbalance(&reports));
     print!("{}", cca_lisi::probe::render_wait_attribution(&reports));
     print!("{}", cca_lisi::probe::render_comm_matrix(&reports));
+    // With RSPARSE_TRACE=1 the causal trace of the last solve yields a
+    // critical-path attribution; empty (and silent) otherwise.
+    print!("{}", cca_lisi::probe::critpath::render_latest());
 }

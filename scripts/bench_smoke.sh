@@ -51,6 +51,9 @@ cargo run -q -p lisi-bench --release --bin fault_guard > "$OUT_DIR/fault_guard.j
 echo "== flight-recorder overhead guard (paired) =="
 cargo run -q -p lisi-bench --release --bin flight_guard > "$OUT_DIR/flight_guard.json"
 
+echo "== causal-tracing overhead guard (paired) =="
+cargo run -q -p lisi-bench --release --bin trace_guard > "$OUT_DIR/trace_guard.json"
+
 echo "== triangular-solve speedup guard (paired) =="
 cargo run -q -p lisi-bench --release --bin trsv_guard > "$OUT_DIR/trsv_guard.json"
 
@@ -221,6 +224,73 @@ verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
 print(f"flight recorder on-vs-off (fused_cg): {rec['overhead_pct']:+.2f}% "
       f"(target < {FLIGHT_TARGET_PCT}%) -> {verdict}")
 print("recorded BENCH_flight_overhead.json")
+
+# Causal-tracing guards (two distinct budgets, mirroring the fault
+# guards):
+#   * disabled path (<2%): with RSPARSE_TRACE unset every trace hook is
+#     one relaxed atomic load, so this run's fresh disarmed fused-CG
+#     median must sit within 2% of the one stored by the previous run of
+#     this script. Cross-process, so a miss WARNs; a *missing* baseline
+#     fails loudly (unless BENCH_ALLOW_MISSING_BASELINE=1) so the gate
+#     cannot silently rot.
+#   * armed (<5%, diagnostic): the paired trace_guard measurement bounds
+#     stamping + record staging + span pass-through while tracing is
+#     armed — only paid when a user asks for causal traces.
+with open(os.path.join(out_dir, "trace_guard.json")) as f:
+    tr = json.load(f)
+
+TRACE_DISABLED_TARGET_PCT = 2.0
+TRACE_ARMED_TARGET_PCT = 5.0
+trace_file = "BENCH_trace_overhead.json"
+prev_trace = None
+if os.path.exists(trace_file):
+    with open(trace_file) as f:
+        prev_trace = json.load(f)
+
+w = tr["fused_cg"]
+trace_rec = {
+    "trials": tr["trials"],
+    "armed": {
+        "target_pct": TRACE_ARMED_TARGET_PCT,
+        **w,
+        "pass": w["overhead_pct"] < TRACE_ARMED_TARGET_PCT,
+    },
+    "disabled": {"target_pct": TRACE_DISABLED_TARGET_PCT},
+}
+prev_ns = (prev_trace or {}).get("armed", {}).get("disarmed_median_ns")
+if prev_ns:
+    slowdown_pct = 100.0 * (w["disarmed_median_ns"] / prev_ns - 1.0)
+    trace_rec["disabled"].update({
+        "baseline_disarmed_median_ns": prev_ns,
+        "current_disarmed_median_ns": w["disarmed_median_ns"],
+        "slowdown_pct": slowdown_pct,
+        "pass": slowdown_pct < TRACE_DISABLED_TARGET_PCT,
+    })
+with open(trace_file, "w") as f:
+    json.dump(trace_rec, f, indent=2)
+    f.write("\n")
+
+if prev_ns:
+    rec = trace_rec["disabled"]
+    verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+    print(f"trace disabled-path vs stored baseline: "
+          f"{rec['slowdown_pct']:+.2f}% "
+          f"(target < {TRACE_DISABLED_TARGET_PCT}%) -> {verdict}")
+elif os.environ.get("BENCH_ALLOW_MISSING_BASELINE") == "1":
+    print("trace disabled-path: no stored baseline to compare against "
+          "(recorded one for next time; allowed by "
+          "BENCH_ALLOW_MISSING_BASELINE=1)")
+else:
+    print(f"ERROR: no stored disarmed baseline in {trace_file}; the "
+          f"trace disabled-path gate cannot run. Re-run with "
+          f"BENCH_ALLOW_MISSING_BASELINE=1 to record a first baseline.",
+          file=sys.stderr)
+    sys.exit(1)
+rec = trace_rec["armed"]
+verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+print(f"trace armed-vs-disarmed (fused_cg): {rec['overhead_pct']:+.2f}% "
+      f"(target < {TRACE_ARMED_TARGET_PCT}%) -> {verdict}")
+print(f"recorded {trace_file}")
 
 # Triangular-solve guard: level-scheduled ILU(0) apply vs the serial
 # sweeps on the paper's 200×200 problem, paired and order-alternated.

@@ -38,6 +38,17 @@ for e in quickstart solver_switching matrix_free multigrid_recursion \
   cargo run --release --example "$e" >/dev/null
 done
 
+echo "== causal tracing (resilience example, RSPARSE_TRACE=1) =="
+# Same example again with tracing armed: the run must still converge and
+# additionally print a critical-path attribution built from the merged
+# cross-rank trace of the last solve. (Captured, not piped: grep -q would
+# SIGPIPE the example under pipefail.)
+traced_out="$(RSPARSE_TRACE=1 cargo run --release --example resilience)"
+grep -q "critical path" <<<"$traced_out"
+
+echo "== telemetry exporter smoke (std TcpStream, curl-free) =="
+cargo run -q -p lisi-bench --release --bin export_smoke
+
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
