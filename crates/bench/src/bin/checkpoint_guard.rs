@@ -1,0 +1,107 @@
+//! Paired Krylov-checkpoint overhead guard.
+//!
+//! The elastic-recovery checkpoint hook sits inside the CG/GMRES
+//! iteration loop (`cfg.checkpoint_every`); with checkpointing *off*
+//! (the default, `checkpoint_every = 0`) its cost is one integer
+//! compare per iteration and must stay invisible (<1%). With
+//! checkpointing *on* every 10 iterations the snapshot copy of (x, r)
+//! into the double-buffered registry is paid, budgeted at <5%.
+//!
+//! Like `fault_guard`, a two-window A/B cannot resolve sub-percent
+//! deltas on a drifting shared machine, so this bin alternates
+//! *off* (`checkpoint_every = 0`) against *every-10* in order-swapped
+//! pairs over a fixed-iteration fused-reduction CG solve on 4 ranks
+//! and reports the median per-pair ratio. The off path's absolute
+//! median is additionally compared by `scripts/bench_smoke.sh` against
+//! the median stored by the previous run (the <1% off-path budget —
+//! cross-process, so a miss WARNs).
+//!
+//! Output: one JSON object on stdout.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rcomm::Universe;
+use rkrylov::{Ksp, KspConfig, KspType, MatOperator, PcType};
+use rsparse::{generate, BlockRowPartition, DistCsrMatrix, DistVector};
+
+fn fused_cg_workload(a: &rsparse::CsrMatrix, b: &[f64], checkpoint_every: usize) -> f64 {
+    let out = Universe::run(4, move |comm| {
+        let part = BlockRowPartition::even(a.rows(), comm.size());
+        let da = DistCsrMatrix::from_global(comm, part.clone(), a).unwrap();
+        let op = MatOperator::new(da);
+        let db = DistVector::from_global(part.clone(), comm.rank(), b).unwrap();
+        let mut dx = DistVector::zeros(part, comm.rank());
+        let ksp = Ksp::new(KspConfig {
+            ksp_type: KspType::Cg,
+            pc_type: PcType::None,
+            // Fixed work: 40 fused-reduction iterations, no early exit —
+            // with every-10 checkpointing that is 4 snapshot deposits.
+            rtol: 0.0,
+            atol: 0.0,
+            maxits: 40,
+            keep_history: false,
+            fused_reductions: true,
+            checkpoint_every,
+            ..KspConfig::default()
+        })
+        .unwrap();
+        let r = ksp.solve(comm, &op, &db, &mut dx).unwrap();
+        r.final_residual
+    })[0];
+    rkrylov::checkpoint::clear_all();
+    out
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Run the workload in alternating off/every-10 pairs and return
+/// `(off_median_s, ckpt10_median_s, overhead_pct)`.
+fn paired(trials: usize, mut work: impl FnMut(usize) -> f64) -> (f64, f64, f64) {
+    let mut sink = 0.0;
+    for _ in 0..2 {
+        sink += work(0); // warm-up
+    }
+    let mut off_s = Vec::with_capacity(trials);
+    let mut on_s = Vec::with_capacity(trials);
+    let mut ratios = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let on_first = t % 2 == 1;
+        let mut pair = [0.0f64; 2]; // [off, every-10]
+        for step in 0..2 {
+            let on = (step == 1) != on_first;
+            let every = if on { 10 } else { 0 };
+            let t0 = Instant::now();
+            sink += work(every);
+            sink += work(every);
+            pair[usize::from(on)] = t0.elapsed().as_secs_f64() / 2.0;
+        }
+        off_s.push(pair[0]);
+        on_s.push(pair[1]);
+        ratios.push(pair[1] / pair[0]);
+    }
+    black_box(sink);
+    let pct = 100.0 * (median(&mut ratios) - 1.0);
+    (median(&mut off_s), median(&mut on_s), pct)
+}
+
+fn main() {
+    let trials: usize = std::env::var("CHECKPOINT_GUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let a = generate::laplacian_2d(120);
+    let b = vec![1.0; a.rows()];
+    let (off, on, pct) = paired(trials, |every| fused_cg_workload(&a, &b, every));
+
+    println!(
+        "{{\"trials\":{trials},\
+\"fused_cg\":{{\"workload\":\"dist4 m=120 fused cg 40 its\",\
+\"off_median_ns\":{:.1},\"ckpt10_median_ns\":{:.1},\"overhead_pct\":{pct:.4}}}}}",
+        off * 1e9,
+        on * 1e9,
+    );
+}

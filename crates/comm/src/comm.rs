@@ -152,6 +152,33 @@ impl Communicator {
         self.members[self.rank]
     }
 
+    /// World rank of each member, indexed by local rank. World ranks are
+    /// the space the cohort registry and fault plans address.
+    pub fn world_members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Cohort gate on every communication call: stamp this rank's
+    /// heartbeat and refuse to operate once the rank has been marked
+    /// dead — a killed rank fails every call with the same
+    /// [`CommError::RankLost`] verdict forever after.
+    #[inline]
+    fn cohort_gate(&self) -> CommResult<()> {
+        let me = self.my_world_rank();
+        crate::cohort::heartbeat(me);
+        if crate::cohort::is_lost(me) {
+            return Err(CommError::RankLost(me));
+        }
+        Ok(())
+    }
+
+    /// Snapshot this communicator's cohort health: which members are
+    /// alive and which are lost (killed or heartbeat-stale). The `alive`
+    /// list is exactly the survivor set [`Communicator::shrink`] expects.
+    pub fn cohort_view(&self) -> crate::cohort::CohortView {
+        crate::cohort::CohortView::capture(&self.members)
+    }
+
     /// Byte/message accounting plus a flight-recorder event for one
     /// posted p2p send. The matrix row must reconcile exactly against
     /// `SendsPosted`/`BytesSent`, so every path that bumps those stats —
@@ -194,6 +221,7 @@ impl Communicator {
     /// `Corrupt` action is returned so the caller can poison the payload
     /// *after* it arrives.
     fn recv_fault(&self, tag: Option<Tag>) -> CommResult<Option<FaultAction>> {
+        self.cohort_gate()?;
         if !fault::armed() {
             return Ok(None);
         }
@@ -204,6 +232,10 @@ impl Communicator {
             Some(FaultAction::Delay(ms)) => {
                 std::thread::sleep(Duration::from_millis(ms));
                 Ok(None)
+            }
+            Some(FaultAction::Kill) => {
+                crate::cohort::mark_dead(self.my_world_rank());
+                Err(CommError::RankLost(self.my_world_rank()))
             }
             other => Ok(other),
         }
@@ -217,6 +249,7 @@ impl Communicator {
         op: FaultOp,
         name: &'static str,
     ) -> CommResult<Option<FaultAction>> {
+        self.cohort_gate()?;
         if !fault::armed() {
             return Ok(None);
         }
@@ -227,6 +260,10 @@ impl Communicator {
             Some(FaultAction::Delay(ms)) => {
                 std::thread::sleep(Duration::from_millis(ms));
                 Ok(None)
+            }
+            Some(FaultAction::Kill) => {
+                crate::cohort::mark_dead(self.my_world_rank());
+                Err(CommError::RankLost(self.my_world_rank()))
             }
             other => Ok(other),
         }
@@ -239,6 +276,7 @@ impl Communicator {
     /// to self is allowed and is matched by a later receive.
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> CommResult<()> {
         Self::check_tag(tag)?;
+        self.cohort_gate()?;
         let mut value = value;
         if fault::armed() {
             match fault::check(FaultOp::Send, self.my_world_rank(), Some(tag)) {
@@ -260,6 +298,10 @@ impl Communicator {
                 }
                 Some(FaultAction::Truncate) => {
                     let _ = fault::truncate_payload(&mut value);
+                }
+                Some(FaultAction::Kill) => {
+                    crate::cohort::mark_dead(self.my_world_rank());
+                    return Err(CommError::RankLost(self.my_world_rank()));
                 }
                 None => {}
             }
@@ -298,6 +340,11 @@ impl Communicator {
         stamp: Option<probe::trace::Stamp>,
     ) -> CommResult<()> {
         let world_dest = self.world_rank(dest)?;
+        // Fail fast instead of filling a dead rank's mailbox; one relaxed
+        // load while the cohort is intact.
+        if crate::cohort::is_lost(world_dest) {
+            return Err(CommError::RankLost(world_dest));
+        }
         let env = Envelope {
             src: self.rank,
             tag,
@@ -419,11 +466,18 @@ impl Communicator {
             let env = post.pending.remove(pos).expect("position just found");
             return Self::unpack(env);
         }
-        // 2. Block on the mailbox.
+        // 2. Block on the mailbox — in short slices, so a blocked rank
+        //    notices a cohort member dying (kill fault, stale heartbeat)
+        //    within ~10 ms and fails with the rank-consistent RankLost
+        //    verdict instead of waiting out the whole deadlock timeout.
+        //    Slicing costs nothing on the happy path: recv_timeout
+        //    returns as soon as a message arrives, and the per-slice
+        //    cohort check is one relaxed atomic load while nobody died.
+        const SLICE: Duration = Duration::from_millis(10);
         let deadline = std::time::Instant::now() + deadlock_timeout();
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match post.receiver.recv_timeout(remaining) {
+            match post.receiver.recv_timeout(remaining.min(SLICE)) {
                 Ok(env) => {
                     if env.matches(src, tag, context) {
                         return Self::unpack(env);
@@ -431,7 +485,12 @@ impl Communicator {
                     post.pending.push_back(env);
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(CommError::DeadlockSuspected { rank: self.rank, src, tag });
+                    if let Some(world) = crate::cohort::lost_member(&self.members) {
+                        return Err(CommError::RankLost(world));
+                    }
+                    if remaining <= SLICE {
+                        return Err(CommError::DeadlockSuspected { rank: self.rank, src, tag });
+                    }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::PeerGone(usize::MAX));
@@ -498,6 +557,52 @@ impl Communicator {
             .collect();
         let salt = self.split_salt.fetch_add(1, Ordering::Relaxed);
         let ctx = child_context(self.context, salt, color);
+        Ok(Communicator::new(
+            my_new_rank,
+            Arc::new(members),
+            ctx,
+            Arc::clone(&self.wiring),
+            Arc::clone(&self.post),
+        ))
+    }
+
+    /// Shrink this communicator to `survivors` (local ranks, ascending,
+    /// must include the calling rank): the elastic-recovery primitive.
+    /// The result has dense ranks `0..survivors.len()` in survivor order.
+    ///
+    /// Unlike [`Communicator::split`], shrink performs **no communication**
+    /// — the lost rank cannot participate in an agreement protocol, and
+    /// every survivor already holds the same rank-consistent verdict
+    /// ([`CommError::RankLost`]) plus the same member list. The child
+    /// context is derived by hashing the survivor *world*-rank list, so
+    /// all survivors compute an identical context without exchanging a
+    /// message, and it cannot collide with contexts minted by `dup`/`split`
+    /// (those advance `split_salt`, which attempt-retry loops may have
+    /// advanced differently on different ranks — exactly why it is *not*
+    /// used here).
+    pub fn shrink(&self, survivors: &[usize]) -> CommResult<Communicator> {
+        if survivors.is_empty() || survivors.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CommError::BadCounts { expected: self.size(), got: survivors.len() });
+        }
+        if let Some(&bad) = survivors.iter().find(|&&r| r >= self.size()) {
+            return Err(CommError::RankOutOfRange { rank: bad, size: self.size() });
+        }
+        let my_new_rank = survivors
+            .iter()
+            .position(|&r| r == self.rank)
+            .ok_or(CommError::RankLost(self.my_world_rank()))?;
+        let members: Vec<usize> = survivors.iter().map(|&r| self.members[r]).collect();
+        // SplitMix64-style fold over the survivor world ranks: every
+        // survivor derives the same salt from the same list, locally.
+        let salt = members
+            .iter()
+            .fold(0x9e37_79b9_7f4a_7c15_u64, |acc, &w| {
+                let mut z = acc ^ (w as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 30)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            });
+        let ctx = child_context(self.context, salt, members.len() as u64);
+        probe::incr(probe::Counter::CohortShrinks);
         Ok(Communicator::new(
             my_new_rank,
             Arc::new(members),

@@ -56,6 +56,13 @@ pub enum CommError {
         /// What it got.
         got: usize,
     },
+    /// A cohort member (world rank) stopped servicing communication — it
+    /// was killed by a `kind=kill` fault rule or its heartbeat went
+    /// stale. Unlike [`CommError::DeadlockSuspected`], every survivor
+    /// reaches this verdict with the *same* rank, so a recovery layer can
+    /// shrink the communicator around the loss
+    /// ([`crate::Communicator::shrink`]) instead of aborting.
+    RankLost(usize),
     /// A deterministic fault-injection rule fired on this operation.
     /// Only produced while a [`crate::fault::FaultPlan`] is armed.
     Injected {
@@ -81,6 +88,7 @@ impl CommError {
             CommError::Injected { .. }
                 | CommError::DeadlockSuspected { .. }
                 | CommError::PeerGone(_)
+                | CommError::RankLost(_)
         )
     }
 }
@@ -100,6 +108,9 @@ impl fmt::Display for CommError {
                 "rank {rank} blocked too long in recv(src={src:?}, tag={tag:?}); suspected deadlock"
             ),
             CommError::PeerGone(r) => write!(f, "peer rank {r} is gone (thread exited)"),
+            CommError::RankLost(r) => {
+                write!(f, "rank {r} lost from cohort (stopped servicing communication)")
+            }
             CommError::BadCounts { expected, got } => {
                 write!(f, "counts slice has {got} entries, expected {expected}")
             }
@@ -145,6 +156,8 @@ mod tests {
     fn transient_classification() {
         assert!(CommError::Injected { op: "send", rank: 2, call: 3 }.is_transient());
         assert!(CommError::PeerGone(1).is_transient());
+        assert!(CommError::RankLost(2).is_transient());
+        assert!(CommError::RankLost(2).to_string().contains("rank 2 lost from cohort"));
         assert!(CommError::DeadlockSuspected { rank: 0, src: None, tag: None }.is_transient());
         assert!(!CommError::InvalidTag(-1).is_transient());
         assert!(!CommError::RankOutOfRange { rank: 9, size: 4 }.is_transient());

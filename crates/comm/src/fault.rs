@@ -17,7 +17,7 @@
 //! | key        | values                                                       | default |
 //! |------------|--------------------------------------------------------------|---------|
 //! | `op`       | `send` `recv` `barrier` `bcast` `reduce` `allreduce` `gather` `allgather` `scatter` `alltoall` `scan` | required |
-//! | `kind`     | `error` `drop` `delay` `corrupt` `truncate`                  | required |
+//! | `kind`     | `error` `drop` `delay` `corrupt` `truncate` `kill`           | required |
 //! | `rank`     | world rank, or `*` for any rank                              | `*`     |
 //! | `call`     | 1-based count of *matching* calls at which the rule fires    | `1`     |
 //! | `tag`      | restrict a p2p rule to one message tag                       | any     |
@@ -40,6 +40,14 @@
 //!   reduction — exactly the failure the solver guards must agree on.
 //! * `truncate` — a send's `Vec<f64>`/`Arc<Vec<f64>>` payload loses its
 //!   last element, so the receiver's length checks trip (send-only).
+//! * `kill` — the rank permanently stops servicing communication: the
+//!   matching call and every later communication call on that rank fail
+//!   with [`crate::CommError::RankLost`], and the rank is marked dead in
+//!   the process-wide [`crate::cohort`] registry. Survivors blocked on
+//!   the dead rank observe the registry and fail their own calls with
+//!   the same rank-consistent `RankLost` verdict instead of waiting out
+//!   the deadlock watchdog — the trigger for
+//!   `Communicator::shrink`-based elastic recovery. Valid on any op.
 //!
 //! Each rule fires **once** (a one-shot fuse): a fault that breaks solve
 //! attempt 1 does not re-fire on the fallback attempt. Rules count their
@@ -131,6 +139,10 @@ pub enum FaultKind {
     Corrupt,
     /// Shorten a send's `Vec<f64>` payload by one element (send-only).
     Truncate,
+    /// Permanently stop this rank from servicing communication: mark it
+    /// dead in the cohort registry and fail this and every later call
+    /// with [`crate::CommError::RankLost`].
+    Kill,
 }
 
 impl FaultKind {
@@ -142,6 +154,7 @@ impl FaultKind {
             FaultKind::Delay(_) => "delay",
             FaultKind::Corrupt => "corrupt",
             FaultKind::Truncate => "truncate",
+            FaultKind::Kill => "kill",
         }
     }
 }
@@ -252,6 +265,7 @@ impl FaultPlan {
                 "delay" => FaultKind::Delay(delay_ms),
                 "corrupt" => FaultKind::Corrupt,
                 "truncate" => FaultKind::Truncate,
+                "kill" => FaultKind::Kill,
                 other => return Err(format!("unknown fault kind '{other}'")),
             };
             if call == 0 {
@@ -282,6 +296,8 @@ pub(crate) enum FaultAction {
     Corrupt { seed: u64, call: u64 },
     /// Shorten the payload by one element.
     Truncate,
+    /// Mark the rank dead and fail with [`crate::CommError::RankLost`].
+    Kill,
 }
 
 struct Armed {
@@ -400,6 +416,7 @@ pub(crate) fn check(op: FaultOp, world_rank: usize, tag: Option<Tag>) -> Option<
             FaultKind::Delay(ms) => FaultAction::Delay(ms),
             FaultKind::Corrupt => FaultAction::Corrupt { seed, call: n },
             FaultKind::Truncate => FaultAction::Truncate,
+            FaultKind::Kill => FaultAction::Kill,
         });
     }
     None
@@ -505,6 +522,20 @@ mod tests {
         assert!(FaultPlan::parse("op=allreduce,kind=truncate").is_err());
         assert!(FaultPlan::parse("op=send,kind=error,rank=x").is_err());
         assert!(FaultPlan::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn kill_is_valid_on_any_op() {
+        for spec in [
+            "op=allreduce,rank=2,call=4,kind=kill",
+            "op=send,rank=1,tag=7001,kind=kill",
+            "op=alltoall,rank=1,call=1,kind=kill",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert_eq!(plan.rules[0].kind, FaultKind::Kill);
+            let reparsed = FaultPlan::parse(&plan.spec()).unwrap();
+            assert_eq!(plan, reparsed, "kill spec '{spec}' must round-trip");
+        }
     }
 
     #[test]

@@ -39,9 +39,11 @@ mod stats;
 mod timer;
 mod universe;
 
+pub mod cohort;
 pub mod collectives;
 pub mod fault;
 
+pub use cohort::CohortView;
 pub use comm::{Communicator, RecvStatus, ANY_SOURCE, ANY_TAG};
 pub use error::{CommError, CommResult};
 pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRule};

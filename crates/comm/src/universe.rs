@@ -34,6 +34,9 @@ impl Universe {
         // Arm the process-wide fault plan from RSPARSE_FAULTS exactly
         // once, before any rank communicates.
         crate::fault::arm_from_env_once();
+        // Fresh cohort: one universe's casualties (killed ranks, stale
+        // heartbeats) must not haunt the next launch.
+        crate::cohort::reset(n);
         // Start the live telemetry exporter once if RSPARSE_METRICS_ADDR
         // is set, and bump the trace generation so solves in this launch
         // get trace ids distinct from earlier launches. Both happen

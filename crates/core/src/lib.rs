@@ -44,6 +44,7 @@ pub use components::{
     MatrixFreeComponent, SolverComponent, MATRIX_FREE_PORT, SOLVER_PORT, SOLVER_PORT_TYPE,
 };
 pub use error::{LisiError, LisiResult};
+pub use postmortem::CohortChange;
 pub use resilient::{
     AttemptSpec, BackendSwitch, FrameworkSwitch, ResilientSolver, ResilientSolverComponent,
     RetryPolicy, StaticSwitch, BACKEND_PORT,

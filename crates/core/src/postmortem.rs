@@ -86,7 +86,7 @@ fn json_f64(v: f64) -> String {
 fn report_json(report: &SolveReport) -> String {
     format!(
         "{{\"converged\":{},\"iterations\":{},\"residual\":{},\"setup_seconds\":{},\
-         \"solve_seconds\":{},\"reason\":{},\"attempts\":{},\"recovery\":{}}}",
+         \"solve_seconds\":{},\"reason\":{},\"attempts\":{},\"recovery\":{},\"cohort\":{}}}",
         report.converged,
         report.iterations,
         json_f64(report.residual),
@@ -95,7 +95,44 @@ fn report_json(report: &SolveReport) -> String {
         report.reason,
         report.attempts,
         report.recovery,
+        report.cohort,
     )
+}
+
+/// What an elastic shrink did to the cohort — stamped into the
+/// postmortem as the `cohort_change` object so a dump of a survived
+/// rank loss names the casualty, the survivor remapping and where the
+/// restarted solve picked up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CohortChange {
+    /// World rank that was declared lost.
+    pub lost_rank: usize,
+    /// Cohort size before the shrink.
+    pub old_size: usize,
+    /// Cohort size after the shrink.
+    pub new_size: usize,
+    /// Surviving world ranks in new-rank order: `survivors[new]` is the
+    /// world rank now serving dense rank `new`.
+    pub survivors: Vec<usize>,
+    /// Checkpoint iteration the solve resumed from (0 = restarted from
+    /// the caller's initial guess; no consistent checkpoint existed).
+    pub resumed_iteration: usize,
+}
+
+impl CohortChange {
+    fn json(&self) -> String {
+        let survivors: Vec<String> =
+            self.survivors.iter().map(|r| r.to_string()).collect();
+        format!(
+            "{{\"lost_rank\":{},\"old_size\":{},\"new_size\":{},\
+             \"survivors\":[{}],\"resumed_iteration\":{}}}",
+            self.lost_rank,
+            self.old_size,
+            self.new_size,
+            survivors.join(","),
+            self.resumed_iteration,
+        )
+    }
 }
 
 fn counters_json(report: &probe::RankReport) -> String {
@@ -173,12 +210,18 @@ fn registry_fragments() -> Vec<String> {
         .collect()
 }
 
-fn assemble(
+/// Assemble the full postmortem document from its pieces. Public so
+/// schema-conformance tests can build a document without staging a
+/// whole failed cohort; applications should go through
+/// [`write_cohort`].
+#[allow(clippy::too_many_arguments)] // one positional arg per document section
+pub fn assemble(
     trigger: &str,
     ranks: usize,
     policy_spec: &str,
     recovery_path: &[String],
     report: &SolveReport,
+    cohort_change: Option<&CohortChange>,
     gathered: &str,
     fragments: &[String],
 ) -> String {
@@ -191,10 +234,13 @@ fn assemble(
         .iter()
         .map(|s| format!("\"{}\"", json_escape(s)))
         .collect();
+    let cohort_change =
+        cohort_change.map(|c| c.json()).unwrap_or_else(|| "null".into());
     format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"trigger\": \"{}\",\n  \"ranks\": {ranks},\n  \
          \"gathered\": \"{gathered}\",\n  \"policy\": \"{}\",\n  \"recovery_path\": [{}],\n  \
          \"fault_plan\": {fault_plan},\n  \"fault_rules_fired\": [{}],\n  \"report\": {},\n  \
+         \"cohort_change\": {cohort_change},\n  \
          \"critical_path\": {},\n  \
          \"rank_tails\": [\n    {}\n  ]\n}}\n",
         json_escape(trigger),
@@ -250,19 +296,36 @@ pub fn write_cohort(
     report: &SolveReport,
     policy_spec: &str,
     recovery_path: &[String],
+    cohort_change: Option<&CohortChange>,
 ) -> Option<PathBuf> {
     let base = path()?;
     let ranks = comm.size();
     let doc = match comm.gather(0, rank_fragment(comm.rank())) {
-        Ok(Some(fragments)) => {
-            assemble(trigger, ranks, policy_spec, recovery_path, report, "cohort", &fragments)
-        }
+        Ok(Some(fragments)) => assemble(
+            trigger,
+            ranks,
+            policy_spec,
+            recovery_path,
+            report,
+            cohort_change,
+            "cohort",
+            &fragments,
+        ),
         Ok(None) => return None, // non-root: rank 0 writes
         Err(_) => {
             // Divergent cohort: the gather could not complete. Snapshot
             // the registry instead — same process, every tail is local.
             let fragments = registry_fragments();
-            assemble(trigger, ranks, policy_spec, recovery_path, report, "registry", &fragments)
+            assemble(
+                trigger,
+                ranks,
+                policy_spec,
+                recovery_path,
+                report,
+                cohort_change,
+                "registry",
+                &fragments,
+            )
         }
     };
     // Advance the sequence only on the rank that writes, so non-root
@@ -324,12 +387,47 @@ mod tests {
             "cg:solver=cg -> lu",
             &["cg#1: swap: boom".into(), "lu#2: exhausted: boom".into()],
             &rep,
+            None,
             "cohort",
             &["{\"rank\":0}".into(), "{\"rank\":1}".into()],
         );
         assert!(doc.contains("\"schema\": \"lisi-postmortem-v1\""));
         assert!(doc.contains("\"trigger\": \"exhausted\""));
         assert!(doc.contains("\"rank\":1"));
+        assert!(doc.contains("\"cohort_change\": null"));
+        let depth = doc.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "braces/brackets balance");
+    }
+
+    #[test]
+    fn cohort_change_serializes_the_survivor_mapping() {
+        let change = CohortChange {
+            lost_rank: 2,
+            old_size: 4,
+            new_size: 3,
+            survivors: vec![0, 1, 3],
+            resumed_iteration: 20,
+        };
+        let rep = SolveReport { converged: true, recovery: 3, cohort: 3, ..Default::default() };
+        let doc = assemble(
+            "recovered",
+            4,
+            "rksp:solver=cg",
+            &["rksp#2: shrink: rank 2 lost from cohort".into()],
+            &rep,
+            Some(&change),
+            "cohort",
+            &["{\"rank\":0}".into()],
+        );
+        assert!(doc.contains(
+            "\"cohort_change\": {\"lost_rank\":2,\"old_size\":4,\"new_size\":3,\
+             \"survivors\":[0,1,3],\"resumed_iteration\":20}"
+        ));
+        assert!(doc.contains("\"cohort\":3"));
         let depth = doc.chars().fold(0i64, |d, c| match c {
             '{' | '[' => d + 1,
             '}' | ']' => d - 1,

@@ -21,6 +21,15 @@
 //!   exhaustion — surfaced by the guards in `rkrylov`/`raztec` as
 //!   non-convergence errors): no point retrying identically, so the
 //!   driver advances to the next attempt spec in the chain;
+//! - **lost ranks** ([`rcomm::CommError::RankLost`] — a member stopped
+//!   servicing communication for good): no amount of retrying at the
+//!   old size can succeed, so the survivors *shrink* the communicator
+//!   around the casualty, repartition its block rows from the
+//!   neighbour-mirrored copy of the problem data, restore the newest
+//!   cohort-consistent Krylov checkpoint (falling back to the caller's
+//!   initial guess when checkpointing was off) and re-run the same
+//!   attempt spec on the smaller cohort (`recovery = 3`, with the new
+//!   cohort size in `STATUS_COHORT`);
 //! - **exhaustion**: every spec failed. The driver still writes a full
 //!   status array (`converged = 0`, `recovery = −1`, the attempt count)
 //!   before returning a structured error — callers always get the
@@ -46,10 +55,55 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::components::{SOLVER_PORT, SOLVER_PORT_TYPE};
 use crate::error::{LisiError, LisiResult};
+use crate::postmortem::CohortChange;
 use crate::state::LisiState;
 use crate::status::{SolveReport, STATUS_LEN};
 use crate::traits::SparseSolverPort;
 use crate::types::SparseStruct;
+
+/// The neighbour mirror of each rank's static problem data (block rows +
+/// right-hand side), deposited at solve entry. In the MPI picture this
+/// copy lives in the memory of rank `(r + 1) mod size` — the same ring
+/// placement the Krylov checkpoints use — so one lost rank leaves every
+/// block recoverable on a survivor. In this in-process SPMD runtime all
+/// rank threads share one heap, so a process-global registry keyed by
+/// world rank plays the neighbour's part; what matters for the recovery
+/// protocol is that after `RankLost(d)` the casualty's ring neighbour can
+/// produce `d`'s exact block for the repartition.
+mod mirror {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    use rsparse::CsrMatrix;
+
+    #[derive(Clone)]
+    pub(super) struct Block {
+        pub start_row: usize,
+        pub matrix: CsrMatrix,
+        pub rhs: Vec<f64>,
+    }
+
+    static STORE: Mutex<Option<HashMap<usize, Block>>> = Mutex::new(None);
+
+    /// Overwrite `world_rank`'s mirrored block (every solve entry
+    /// re-deposits, so stale blocks from earlier solves never survive
+    /// into a shrink).
+    pub(super) fn deposit(world_rank: usize, start_row: usize, matrix: CsrMatrix, rhs: Vec<f64>) {
+        STORE
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_or_insert_with(HashMap::new)
+            .insert(world_rank, Block { start_row, matrix, rhs });
+    }
+
+    pub(super) fn get(world_rank: usize) -> Option<Block> {
+        STORE
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .and_then(|m| m.get(&world_rank).cloned())
+    }
+}
 
 /// Uses-port name through which the resilient driver reaches its
 /// current backend solver (type [`SOLVER_PORT_TYPE`]).
@@ -311,6 +365,113 @@ impl ResilientSolver {
         }
     }
 
+    /// The world rank named by a `RankLost` verdict, if this error is
+    /// one. Like [`Self::is_transient`], the comm taxonomy arrives
+    /// stringified, so this parses the stable display form
+    /// `"rank R lost from cohort"`.
+    fn lost_rank(err: &LisiError) -> Option<usize> {
+        let LisiError::Package(msg) = err else { return None };
+        let head = &msg[..msg.find(" lost from cohort")?];
+        head.rsplit(|c: char| !c.is_ascii_digit()).next().and_then(|d| d.parse().ok())
+    }
+
+    /// The elastic recovery action: shrink the communicator around the
+    /// casualty, repartition its block rows from the neighbour mirror,
+    /// and restore the newest cohort-consistent Krylov checkpoint.
+    ///
+    /// Collective on the survivor set — every survivor reaches this from
+    /// the same rank-consistent `RankLost` verdict. Mutates the captured
+    /// setup state in place (communicator, distribution, matrix, RHS),
+    /// so the ordinary [`Self::configure_backend`] replay rebuilds halo
+    /// and format plans for the new layout through the cached setup
+    /// path. Returns the change record and the initial guess for this
+    /// rank's new block: the checkpoint slice when one exists, zeros
+    /// otherwise (restart from scratch).
+    fn shrink_after_loss(
+        st: &mut LisiState,
+        lost_world: usize,
+    ) -> LisiResult<(CohortChange, Vec<f64>)> {
+        let (old_members, old_size, my_local, shrunken, holder) = {
+            let comm = st.comm()?;
+            let old_members: Vec<usize> = comm.world_members().to_vec();
+            let old_size = comm.size();
+            let dead_local =
+                old_members.iter().position(|&w| w == lost_world).ok_or_else(|| {
+                    LisiError::Package(format!(
+                        "world rank {lost_world} reported lost is not a cohort member"
+                    ))
+                })?;
+            let survivors: Vec<usize> = (0..old_size).filter(|&r| r != dead_local).collect();
+            let shrunken = comm.shrink(&survivors).map_err(LisiError::from)?;
+            // The casualty's ring neighbour serves its mirrored block.
+            let holder = (dead_local + 1) % old_size;
+            (old_members, old_size, comm.rank(), shrunken, holder)
+        };
+        let (new_start, new_matrix, new_rhs) = {
+            let matrix = st.matrix.as_ref().ok_or_else(|| {
+                LisiError::BadPhase("cannot repartition before setupMatrix".into())
+            })?;
+            let rhs = st.rhs.as_deref().ok_or_else(|| {
+                LisiError::BadPhase("cannot repartition before setupRHS".into())
+            })?;
+            let global_rows = st.global_cols.ok_or_else(|| {
+                LisiError::BadPhase("cannot repartition before setGlobalCols".into())
+            })?;
+            let extra = if my_local == holder {
+                Some(mirror::get(lost_world).map(|b| (b.start_row, b.matrix, b.rhs)).ok_or_else(
+                    || {
+                        LisiError::Package(format!(
+                            "no mirrored block for lost rank {lost_world}; its rows are \
+                             unrecoverable"
+                        ))
+                    },
+                )?)
+            } else {
+                None
+            };
+            let start = st.start_row.unwrap_or(0);
+            rsparse::DistCsrMatrix::repartition_block_rows(
+                &shrunken, start, matrix, rhs, extra, global_rows,
+            )
+            .map_err(|e| LisiError::Package(e.to_string()))?
+        };
+        let new_rows = new_matrix.rows();
+        // Restore against the *old* membership: the casualty's
+        // neighbour-held snapshot is part of the consistent set.
+        let (resumed_iteration, guess) = match rkrylov::checkpoint::latest_consistent(&old_members)
+        {
+            Some((it, chunks)) => {
+                let mut full: Vec<f64> = Vec::new();
+                for (_, chunk) in chunks {
+                    full.extend_from_slice(&chunk);
+                }
+                if full.len() == st.global_cols.unwrap_or(0) {
+                    (it, full[new_start..new_start + new_rows].to_vec())
+                } else {
+                    (0, vec![0.0; new_rows])
+                }
+            }
+            None => (0, vec![0.0; new_rows]),
+        };
+        let survivors_world: Vec<usize> =
+            old_members.iter().copied().filter(|&w| w != lost_world).collect();
+        st.comm = Some(shrunken);
+        st.start_row = Some(new_start);
+        st.local_rows = Some(new_rows);
+        st.matrix = Some(new_matrix);
+        st.matrix_epoch += 1;
+        st.rhs = Some(new_rhs);
+        probe::note("cohort_size", (old_size - 1).to_string());
+        let change = CohortChange {
+            lost_rank: lost_world,
+            old_size,
+            new_size: old_size - 1,
+            survivors: survivors_world,
+            resumed_iteration,
+        };
+        Ok((change, guess))
+    }
+
     /// Replay the captured setup phase onto `port`: communicator,
     /// distribution, options (caller's, then the spec's overrides),
     /// matrix and right-hand sides — the §5.1 call sequence, re-driven
@@ -397,7 +558,7 @@ impl SparseSolverPort for ResilientSolver {
     crate::adapters::lisi_common_methods!();
 
     fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
-        let st = self.state.lock();
+        let mut st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
         let policy = self.effective_policy(&st)?;
         if policy.attempts.is_empty() {
@@ -411,38 +572,85 @@ impl SparseSolverPort for ResilientSolver {
             LisiError::BadPhase("no backend switch connected (call set_backends)".into())
         })?;
 
+        // Elastic-recovery staging: forget checkpoints from earlier
+        // solves (a restored iterate must never leak across solves — the
+        // first deposit of this solve is gated behind collectives, so no
+        // rank can deposit before every rank has cleared), and mirror
+        // this rank's static problem data onto its ring neighbour so a
+        // lost rank's block stays recoverable. Repartitioning handles a
+        // single RHS; multi-RHS solves keep the retry/swap taxonomy only.
+        rkrylov::checkpoint::clear_all();
+        if st.n_rhs == 1 {
+            if let (Ok(comm), Some(m), Some(rhs)) = (st.comm(), st.matrix.as_ref(), st.rhs.as_ref())
+            {
+                mirror::deposit(
+                    comm.world_members()[comm.rank()],
+                    st.start_row.unwrap_or(0),
+                    m.clone(),
+                    rhs.clone(),
+                );
+            }
+        }
+        // The caller's layout, for writing the solution back after a
+        // shrink moved this rank's block boundaries.
+        let old_start = st.start_row.unwrap_or(0);
+        let old_rows = st.local_rows.unwrap_or(solution.len());
+
         // The caller's initial guess, restored before every attempt so a
-        // half-diverged iterate never seeds the next backend.
-        let guess: Vec<f64> = solution.to_vec();
+        // half-diverged iterate never seeds the next backend. A shrink
+        // replaces it with the restored checkpoint slice for the new
+        // block (or zeros when no checkpoint existed).
+        let mut guess: Vec<f64> = solution.to_vec();
+        // Working buffer sized to the *current* layout — after a shrink
+        // the local block no longer matches the caller's `solution`.
+        let mut work: Vec<f64> = Vec::new();
         let mut attempts_made = 0usize;
         let mut last_err: Option<LisiError> = None;
+        let mut cohort_change: Option<CohortChange> = None;
         // Human-readable trail of every attempt's fate, stamped into the
         // postmortem document as `recovery_path`.
         let mut recovery_path: Vec<String> = Vec::new();
 
-        for (slot, spec) in policy.attempts.iter().enumerate() {
+        'specs: for (slot, spec) in policy.attempts.iter().enumerate() {
             let mut retries = 0usize;
             loop {
                 attempts_made += 1;
                 probe::incr(probe::Counter::ResilientAttempts);
                 let _span = probe::span!("resilient_attempt");
                 Self::flight_attempt(slot, attempts_made, "start");
-                solution.copy_from_slice(&guess);
-                match Self::attempt_once(&st, switch.as_ref(), spec, solution) {
+                work.clear();
+                work.extend_from_slice(&guess);
+                match Self::attempt_once(&st, switch.as_ref(), spec, &mut work) {
                     Ok(mut report) => {
                         Self::emit_attempt_event(spec, slot, attempts_made, "ok");
                         Self::flight_attempt(slot, attempts_made, "ok");
                         recovery_path.push(format!("{}#{attempts_made}: ok", spec.backend));
                         report.attempts = attempts_made;
-                        report.recovery = match (attempts_made, slot) {
-                            (1, _) => 0,
-                            (_, 0) => 1,
-                            _ => 2,
+                        report.recovery = if cohort_change.is_some() {
+                            3
+                        } else {
+                            match (attempts_made, slot) {
+                                (1, _) => 0,
+                                (_, 0) => 1,
+                                _ => 2,
+                            }
                         };
+                        report.cohort =
+                            cohort_change.as_ref().map(|c| c.new_size).unwrap_or(0);
                         if report.recovery != 0 {
                             probe::incr(probe::Counter::ResilientRecoveries);
                         }
                         report.write_into(status)?;
+                        if cohort_change.is_some() {
+                            // The survivors' blocks moved; rebuild the
+                            // global solution and hand the caller back
+                            // exactly the rows it originally owned.
+                            let full =
+                                st.comm()?.allgatherv(&work).map_err(LisiError::from)?;
+                            solution.copy_from_slice(&full[old_start..old_start + old_rows]);
+                        } else {
+                            solution.copy_from_slice(&work);
+                        }
                         if report.recovery != 0 {
                             // The solve survived only through recovery:
                             // leave the black-box record of how.
@@ -452,12 +660,71 @@ impl SparseSolverPort for ResilientSolver {
                                 &report,
                                 &policy.spec(),
                                 &recovery_path,
+                                cohort_change.as_ref(),
                             );
                         }
                         return Ok(());
                     }
                     Err(e) => {
                         Self::emit_attempt_event(spec, slot, attempts_made, &e.to_string());
+                        // A lost rank is not a retryable hiccup — the
+                        // cohort itself changed shape. Handle it before
+                        // the transient taxonomy.
+                        if let Some(lost_world) = Self::lost_rank(&e) {
+                            let me = {
+                                let comm = st.comm()?;
+                                comm.world_members()[comm.rank()]
+                            };
+                            if lost_world == me {
+                                // This rank *is* the casualty: no shrink
+                                // can include it. Exit with the full
+                                // structured verdict below.
+                                Self::flight_attempt(slot, attempts_made, "casualty");
+                                recovery_path.push(format!(
+                                    "{}#{attempts_made}: casualty: {e}",
+                                    spec.backend
+                                ));
+                                last_err = Some(e);
+                                break 'specs;
+                            }
+                            if st.n_rhs == 1 {
+                                match Self::shrink_after_loss(&mut st, lost_world) {
+                                    Ok((change, restored)) => {
+                                        Self::flight_attempt(slot, attempts_made, "shrink");
+                                        probe::emit_jsonl(&format!(
+                                            "{{\"event\":\"cohort_shrink\",\"lost_rank\":{},\
+                                             \"new_size\":{},\"resumed_iteration\":{}}}",
+                                            change.lost_rank,
+                                            change.new_size,
+                                            change.resumed_iteration,
+                                        ));
+                                        recovery_path.push(format!(
+                                            "{}#{attempts_made}: shrink: rank {} lost, cohort \
+                                             {} -> {}, resume at iteration {}",
+                                            spec.backend,
+                                            change.lost_rank,
+                                            change.old_size,
+                                            change.new_size,
+                                            change.resumed_iteration,
+                                        ));
+                                        guess = restored;
+                                        cohort_change = Some(change);
+                                        // Same spec, shrunken cohort; a
+                                        // loss does not spend a retry.
+                                        continue;
+                                    }
+                                    Err(se) => {
+                                        Self::flight_attempt(slot, attempts_made, "shrink-failed");
+                                        recovery_path.push(format!(
+                                            "{}#{attempts_made}: shrink failed: {se}",
+                                            spec.backend
+                                        ));
+                                        last_err = Some(se);
+                                        break 'specs;
+                                    }
+                                }
+                            }
+                        }
                         let transient = Self::is_transient(&e);
                         let retrying = transient && retries < policy.max_transient_retries;
                         let phase = if retrying {
@@ -489,6 +756,7 @@ impl SparseSolverPort for ResilientSolver {
             converged: false,
             attempts: attempts_made,
             recovery: -1,
+            cohort: cohort_change.as_ref().map(|c| c.new_size).unwrap_or(0),
             ..SolveReport::default()
         };
         report.write_into(status)?;
@@ -498,6 +766,7 @@ impl SparseSolverPort for ResilientSolver {
             &report,
             &policy.spec(),
             &recovery_path,
+            cohort_change.as_ref(),
         );
         let last = last_err.map(|e| e.to_string()).unwrap_or_else(|| "unknown".into());
         Err(LisiError::Package(format!(

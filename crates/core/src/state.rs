@@ -661,9 +661,10 @@ mod tests {
     fn solve_buffer_validation() {
         let mut st = seeded_state(0, 4, 4);
         st.ingest_rhs(&[0.0; 4], 1).unwrap();
-        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 8]).is_ok());
-        assert!(st.check_solve_buffers(&[0.0; 3], &[0.0; 8]).is_err());
-        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; 6]).is_err());
+        use crate::status::STATUS_LEN;
+        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; STATUS_LEN]).is_ok());
+        assert!(st.check_solve_buffers(&[0.0; 3], &[0.0; STATUS_LEN]).is_err());
+        assert!(st.check_solve_buffers(&[0.0; 4], &[0.0; STATUS_LEN - 1]).is_err());
     }
 
     #[test]

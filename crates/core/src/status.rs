@@ -15,7 +15,8 @@
 //! | 4     | solve time in seconds |
 //! | 5     | package-specific reason/diagnostic code |
 //! | 6     | solve attempts made (resilient driver; plain adapters write 1) |
-//! | 7     | recovery code (0 none needed, 1 retry, 2 backend swap, −1 exhausted) |
+//! | 7     | recovery code (0 none needed, 1 retry, 2 backend swap, 3 cohort shrink, −1 exhausted) |
+//! | 8     | cohort size after the solve (0 = the cohort never changed) |
 //!
 //! The layout is append-only: indices 0–5 predate the resilience additions
 //! and keep their meaning forever, so status arrays written by older
@@ -24,7 +25,7 @@
 use crate::error::{LisiError, LisiResult};
 
 /// Required minimum length of the status array.
-pub const STATUS_LEN: usize = 8;
+pub const STATUS_LEN: usize = 9;
 
 /// Index of the converged flag.
 pub const STATUS_CONVERGED: usize = 0;
@@ -43,8 +44,12 @@ pub const STATUS_REASON: usize = 5;
 pub const STATUS_ATTEMPTS: usize = 6;
 /// Index of the recovery code: 0 = first try succeeded, 1 = recovered by
 /// retrying the same backend, 2 = recovered by swapping backends,
+/// 3 = recovered by shrinking the cohort around a lost rank,
 /// −1 = all attempts exhausted.
 pub const STATUS_RECOVERY: usize = 7;
+/// Index of the cohort size the solve finished on: 0 when the cohort
+/// never changed, otherwise the survivor count after an elastic shrink.
+pub const STATUS_COHORT: usize = 8;
 
 /// A typed view of the solve outcome; adapters build one and serialize it
 /// into the caller's array.
@@ -66,6 +71,8 @@ pub struct SolveReport {
     pub attempts: usize,
     /// Recovery code (see [`STATUS_RECOVERY`]).
     pub recovery: i32,
+    /// Cohort size after the solve (see [`STATUS_COHORT`]; 0 = unchanged).
+    pub cohort: usize,
 }
 
 impl Default for SolveReport {
@@ -79,6 +86,7 @@ impl Default for SolveReport {
             reason: 0,
             attempts: 1,
             recovery: 0,
+            cohort: 0,
         }
     }
 }
@@ -107,6 +115,7 @@ impl SolveReport {
         status[STATUS_REASON] = self.reason as f64;
         status[STATUS_ATTEMPTS] = self.attempts as f64;
         status[STATUS_RECOVERY] = self.recovery as f64;
+        status[STATUS_COHORT] = self.cohort as f64;
         Ok(())
     }
 
@@ -123,6 +132,7 @@ impl SolveReport {
             reason: status.get(STATUS_REASON).copied().unwrap_or(0.0) as i32,
             attempts: status.get(STATUS_ATTEMPTS).copied().unwrap_or(1.0) as usize,
             recovery: status.get(STATUS_RECOVERY).copied().unwrap_or(0.0) as i32,
+            cohort: status.get(STATUS_COHORT).copied().unwrap_or(0.0) as usize,
         }
     }
 }
@@ -142,6 +152,7 @@ mod tests {
             reason: 7,
             attempts: 3,
             recovery: 2,
+            cohort: 3,
         };
         let mut arr = [9.0; STATUS_LEN + 2];
         rep.write_into(&mut arr).unwrap();
@@ -149,6 +160,7 @@ mod tests {
         assert_eq!(arr[STATUS_ITERATIONS], 42.0);
         assert_eq!(arr[STATUS_ATTEMPTS], 3.0);
         assert_eq!(arr[STATUS_RECOVERY], 2.0);
+        assert_eq!(arr[STATUS_COHORT], 3.0);
         assert_eq!(arr[STATUS_LEN], 0.0, "extra entries are zeroed");
         let back = SolveReport::from_slice(&arr);
         assert_eq!(back, rep);
@@ -180,5 +192,6 @@ mod tests {
         assert!(rep.converged);
         assert_eq!(rep.attempts, 1);
         assert_eq!(rep.recovery, 0);
+        assert_eq!(rep.cohort, 0, "pre-elastic arrays parse as cohort-unchanged");
     }
 }

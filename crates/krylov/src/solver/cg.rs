@@ -82,6 +82,19 @@ pub(crate) fn solve(
             pc.apply(comm, &r, &mut z)?;
             rz_new = r.dot(&z, comm)?;
         }
+        if cfg.checkpoint_every > 0 && iterations.is_multiple_of(cfg.checkpoint_every) {
+            // Elastic-recovery snapshot (x, r) at the checkpoint boundary;
+            // every rank passes here on the same iteration, so the
+            // deposited generation is cohort-consistent up to the one
+            // in-flight boundary `latest_consistent` tolerates.
+            crate::checkpoint::deposit(
+                comm.world_members()[rank],
+                iterations,
+                op.partition().start_row(rank),
+                x.local(),
+                r.local(),
+            );
+        }
         if rz == 0.0 {
             break ConvergedReason::Breakdown;
         }

@@ -40,6 +40,7 @@ pub(crate) fn solve(
 
     let mut iterations = 0usize;
     let mut rnorm = r0;
+    let mut last_checkpoint = 0usize;
 
     // Per-restart workspace, hoisted out of the cycle loop: the Arnoldi
     // bases grow to restart length once and later cycles overwrite the
@@ -191,6 +192,22 @@ pub(crate) fn solve(
         rnorm = mon.guarded_norm2(&r)?;
         if let Some(reason) = mon.check(iterations, rnorm) {
             break 'outer reason;
+        }
+        if cfg.checkpoint_every > 0
+            && iterations - last_checkpoint >= cfg.checkpoint_every
+        {
+            // Elastic-recovery snapshot at the restart boundary: x and
+            // the freshly recomputed true residual fully determine the
+            // restart, so no Arnoldi basis needs to be preserved — a
+            // restore simply warm-restarts from this x.
+            crate::checkpoint::deposit(
+                comm.world_members()[rank],
+                iterations,
+                op.partition().start_row(rank),
+                x.local(),
+                r.local(),
+            );
+            last_checkpoint = iterations;
         }
     };
     Ok(mon.finish(reason, iterations, r0, rnorm))

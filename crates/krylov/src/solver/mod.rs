@@ -118,6 +118,14 @@ pub struct KspConfig {
     /// (0 = disabled). The test is purely residual-derived and residuals
     /// are rank-agreed, so the verdict is identical on every rank.
     pub stagnation_window: usize,
+    /// Deposit a [`crate::checkpoint`] snapshot of the Krylov state every
+    /// this many iterations (CG and friends: every k-th iteration; GMRES:
+    /// at each restart boundary once k iterations have passed).
+    /// 0 disables checkpointing entirely — the default, so solves pay
+    /// nothing unless elastic recovery is wanted. Defaults from
+    /// `RSPARSE_CHECKPOINT_EVERY` (read per `KspConfig::default()` call,
+    /// not cached, so recovery layers can toggle it per solve).
+    pub checkpoint_every: usize,
 }
 
 impl Default for KspConfig {
@@ -136,6 +144,10 @@ impl Default for KspConfig {
             fused_reductions: true,
             max_seconds: None,
             stagnation_window: 0,
+            checkpoint_every: std::env::var("RSPARSE_CHECKPOINT_EVERY")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
         }
     }
 }
@@ -227,6 +239,11 @@ impl KspConfig {
             cfg.stagnation_window = v
                 .parse()
                 .map_err(|_| KspError::BadConfig(format!("bad stagnation_window '{v}'")))?;
+        }
+        if let Some(v) = opts.get_first(&["ksp_checkpoint_every", "checkpoint_every"]) {
+            cfg.checkpoint_every = v
+                .parse()
+                .map_err(|_| KspError::BadConfig(format!("bad checkpoint_every '{v}'")))?;
         }
         if let Some(v) = opts.get_first(&["ksp_fused_reductions", "fused_reductions"]) {
             cfg.fused_reductions = match v.to_ascii_lowercase().as_str() {

@@ -112,10 +112,16 @@ pub enum Counter {
     /// Nanoseconds spent converting CSR operators into the chosen
     /// format's storage (paid once at plan build, never per matvec).
     FormatConversionNs,
+    /// World ranks marked lost in the cohort registry (killed by a fault
+    /// rule or declared heartbeat-stale).
+    RanksLost,
+    /// Communicator shrinks performed by the elastic recovery path (one
+    /// per successful `Communicator::shrink`-based repartition).
+    CohortShrinks,
 }
 
 /// Number of counter variants (recorder slot-array length).
-pub(crate) const COUNTER_COUNT: usize = 42;
+pub(crate) const COUNTER_COUNT: usize = 44;
 
 impl Counter {
     /// All variants, in declaration order (matching slot indices).
@@ -162,6 +168,8 @@ impl Counter {
         Counter::FormatChosenBcsr,
         Counter::FormatAutotuneNs,
         Counter::FormatConversionNs,
+        Counter::RanksLost,
+        Counter::CohortShrinks,
     ];
 
     /// Stable snake_case name used by the JSON and summary sinks.
@@ -209,6 +217,8 @@ impl Counter {
             Counter::FormatChosenBcsr => "format_chosen_bcsr",
             Counter::FormatAutotuneNs => "format_autotune_ns",
             Counter::FormatConversionNs => "format_conversion_ns",
+            Counter::RanksLost => "ranks_lost",
+            Counter::CohortShrinks => "cohort_shrinks",
         }
     }
 

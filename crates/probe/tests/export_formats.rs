@@ -148,6 +148,66 @@ fn jsonl_monitor_stream_parses_event_by_event() {
 }
 
 #[test]
+fn postmortem_cohort_change_schema_parses_with_survivor_mapping() {
+    let _g = locked();
+    // Assembled by the core crate; validated here with the shim parser
+    // like every other machine-readable export.
+    let report = lisi::SolveReport {
+        converged: true,
+        iterations: 41,
+        residual: 3.2e-11,
+        attempts: 2,
+        recovery: 3,
+        cohort: 3,
+        ..Default::default()
+    };
+    let change = lisi::CohortChange {
+        lost_rank: 2,
+        old_size: 4,
+        new_size: 3,
+        survivors: vec![0, 1, 3],
+        resumed_iteration: 20,
+    };
+    let doc = lisi::postmortem::assemble(
+        "recovered",
+        4,
+        "rksp:solver=cg,preconditioner=ilu0",
+        &["rksp#1: shrink: rank 2 lost, cohort 4 -> 3, resume at iteration 20".to_string()],
+        &report,
+        Some(&change),
+        "",
+        &[],
+    );
+
+    let v = serde_json::from_str(&doc).expect("postmortem must be valid JSON");
+    assert_eq!(v["trigger"].as_str(), Some("recovered"));
+    let cc = v["cohort_change"].as_object().expect("cohort_change object");
+    assert_eq!(cc["lost_rank"].as_u64(), Some(2));
+    assert_eq!(cc["old_size"].as_u64(), Some(4));
+    assert_eq!(cc["new_size"].as_u64(), Some(3));
+    let survivors: Vec<u64> = cc["survivors"]
+        .as_array()
+        .expect("survivors array")
+        .iter()
+        .map(|s| s.as_u64().expect("survivor world rank"))
+        .collect();
+    assert_eq!(survivors, vec![0, 1, 3], "new-rank-ordered world ranks");
+    assert_eq!(cc["resumed_iteration"].as_u64(), Some(20));
+    // The shrunken size is mirrored into the report block, and the
+    // mapping is internally consistent with it.
+    assert_eq!(v["report"]["cohort"].as_u64(), Some(3));
+    assert_eq!(v["report"]["recovery"].as_u64(), Some(3));
+    assert_eq!(survivors.len() as u64, cc["new_size"].as_u64().unwrap());
+    assert!(!survivors.contains(&2), "the casualty never survives itself");
+
+    // Without a change the key is an explicit null, not absent: readers
+    // can distinguish "cohort intact" from schema drift.
+    let doc = lisi::postmortem::assemble("recovered", 4, "p", &[], &report, None, "", &[]);
+    let v = serde_json::from_str(&doc).expect("postmortem must be valid JSON");
+    assert!(v["cohort_change"].is_null(), "null when the cohort never changed");
+}
+
+#[test]
 fn summary_sink_is_deterministic_and_name_sorted() {
     let _g = locked();
     probe::reset();

@@ -832,6 +832,133 @@ impl DistCsrMatrix {
         self.workspace.lock().unwrap_or_else(|e| e.into_inner()).steady_allocs
     }
 
+    /// Deterministic rendering of this rank's halo-exchange plan and
+    /// chosen SpMV format — the elastic-recovery invariant check. A
+    /// matrix rebuilt on a shrunken cohort must produce, on every
+    /// survivor, exactly the digest a fresh setup at that size produces:
+    /// both go through the same cached plan-build path
+    /// ([`Self::from_local_rows_with_format`]), so any divergence means
+    /// the repartition handed a rank the wrong rows.
+    pub fn halo_plan_digest(&self) -> String {
+        format!(
+            "rank={}/{} rows={} format={:?} plan={:?}",
+            self.rank,
+            self.partition.parts(),
+            self.local_rows(),
+            self.chosen,
+            self.plan,
+        )
+    }
+
+    /// Redistribute block rows after a cohort shrink. Collective on the
+    /// **shrunken** communicator.
+    ///
+    /// Every survivor contributes the block it already owns (`start_row`,
+    /// `local` with global column indices, conforming `rhs` chunk); the
+    /// survivor holding a mirror of the lost rank's block additionally
+    /// contributes it via `extra`. The contributed blocks must tile
+    /// `0..global_rows` exactly. Returns this rank's block under the
+    /// fresh even partition over the survivors — feed it straight back
+    /// into [`Self::from_local_rows`] to rebuild halo plans, level
+    /// schedules and format plans through the ordinary cached setup path.
+    pub fn repartition_block_rows(
+        comm: &Communicator,
+        start_row: usize,
+        local: &CsrMatrix,
+        rhs: &[f64],
+        extra: Option<(usize, CsrMatrix, Vec<f64>)>,
+        global_rows: usize,
+    ) -> SparseResult<(usize, CsrMatrix, Vec<f64>)> {
+        if rhs.len() != local.rows() {
+            return Err(SparseError::LengthMismatch {
+                what: "repartition rhs chunk",
+                expected: local.rows(),
+                got: rhs.len(),
+            });
+        }
+        // Flatten every contributed block into global triplets plus
+        // (global row, rhs value) pairs.
+        let mut spans: Vec<(usize, usize)> = vec![(start_row, local.rows())];
+        let mut rows_l = Vec::with_capacity(local.nnz());
+        let mut cols_l = Vec::with_capacity(local.nnz());
+        let mut vals_l = Vec::with_capacity(local.nnz());
+        let mut rhs_idx = Vec::with_capacity(rhs.len());
+        let mut rhs_val = Vec::with_capacity(rhs.len());
+        let mut contribute = |start: usize, m: &CsrMatrix, b: &[f64]| {
+            for (lr, gc, v) in m.iter() {
+                rows_l.push(start + lr);
+                cols_l.push(gc);
+                vals_l.push(v);
+            }
+            for (lr, &v) in b.iter().enumerate() {
+                rhs_idx.push(start + lr);
+                rhs_val.push(v);
+            }
+        };
+        contribute(start_row, local, rhs);
+        if let Some((xstart, xmat, xrhs)) = &extra {
+            if xrhs.len() != xmat.rows() {
+                return Err(SparseError::LengthMismatch {
+                    what: "repartition mirrored rhs chunk",
+                    expected: xmat.rows(),
+                    got: xrhs.len(),
+                });
+            }
+            spans.push((*xstart, xmat.rows()));
+            contribute(*xstart, xmat, xrhs);
+        }
+
+        // Everyone learns everything: the matrices this interface targets
+        // are modest, and a full replication keeps the recovery path a
+        // single collective per array on the shrunken communicator.
+        let mut all_spans = comm.allgatherv(&spans)?;
+        let rows = comm.allgatherv(&rows_l)?;
+        let cols = comm.allgatherv(&cols_l)?;
+        let vals = comm.allgatherv(&vals_l)?;
+        let rhs_idx = comm.allgatherv(&rhs_idx)?;
+        let rhs_val = comm.allgatherv(&rhs_val)?;
+
+        // The blocks must tile 0..global_rows exactly — a gap means the
+        // lost rank's block was mirrored nowhere, an overlap that two
+        // ranks both claim it.
+        all_spans.sort_unstable();
+        let mut next = 0usize;
+        for &(s, n) in &all_spans {
+            if s != next {
+                return Err(SparseError::BadBlockPartition(format!(
+                    "repartition blocks do not tile the row space: expected \
+                     a block starting at row {next}, got {s}"
+                )));
+            }
+            next = s + n;
+        }
+        if next != global_rows {
+            return Err(SparseError::BadBlockPartition(format!(
+                "repartition blocks cover {next} of {global_rows} rows"
+            )));
+        }
+
+        // Rebuild the global matrix and rhs, then slice this rank's block
+        // under the fresh even partition over the survivors.
+        let coo = crate::coo::CooMatrix::from_triplets(
+            global_rows,
+            global_rows,
+            &rows,
+            &cols,
+            &vals,
+        )?;
+        let global = coo.to_csr();
+        let mut full_rhs = vec![0.0; global_rows];
+        for (&i, &v) in rhs_idx.iter().zip(&rhs_val) {
+            full_rhs[i] = v;
+        }
+        let part = BlockRowPartition::even(global_rows, comm.size());
+        let r = part.range(comm.rank());
+        let new_local = global.row_block(r.start, r.end)?;
+        let new_rhs = full_rhs[r.clone()].to_vec();
+        Ok((r.start, new_local, new_rhs))
+    }
+
     /// Gather the full matrix onto `root` as a replicated CSR (the
     /// direct-solver path; `None` elsewhere). Collective.
     pub fn gather_to_root(

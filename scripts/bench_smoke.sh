@@ -23,6 +23,12 @@
 #     (mutex + rule scan per call) is only paid while testing faults.
 # Both land in BENCH_fault_overhead.json; misses WARN, never fail.
 #
+# Krylov-checkpoint guard (same two-budget shape): the `checkpoint_guard`
+# bin pairs checkpointing-off against every-10-iterations over a fused-
+# reduction CG solve; the off path (<1%) gates against the previously
+# stored median, the every-10 snapshot cost gates at <5%. Both land in
+# BENCH_checkpoint_overhead.json.
+#
 # Usage: scripts/bench_smoke.sh [pre|post]   (default: post)
 #
 # BENCH_spmv.json accumulates one entry per label, so running once before a
@@ -53,6 +59,9 @@ cargo run -q -p lisi-bench --release --bin flight_guard > "$OUT_DIR/flight_guard
 
 echo "== causal-tracing overhead guard (paired) =="
 cargo run -q -p lisi-bench --release --bin trace_guard > "$OUT_DIR/trace_guard.json"
+
+echo "== Krylov-checkpoint overhead guard (paired) =="
+cargo run -q -p lisi-bench --release --bin checkpoint_guard > "$OUT_DIR/checkpoint_guard.json"
 
 echo "== triangular-solve speedup guard (paired) =="
 cargo run -q -p lisi-bench --release --bin trsv_guard > "$OUT_DIR/trsv_guard.json"
@@ -291,6 +300,73 @@ verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
 print(f"trace armed-vs-disarmed (fused_cg): {rec['overhead_pct']:+.2f}% "
       f"(target < {TRACE_ARMED_TARGET_PCT}%) -> {verdict}")
 print(f"recorded {trace_file}")
+
+# Krylov-checkpoint guards (two distinct budgets, mirroring the trace
+# guards):
+#   * off path (<1%): with checkpointing disabled (the default) the hook
+#     is one integer compare per iteration, so this run's fresh off-path
+#     fused-CG median must sit within 1% of the one stored by the
+#     previous run of this script. Cross-process, so a miss WARNs; a
+#     *missing* baseline fails loudly (unless
+#     BENCH_ALLOW_MISSING_BASELINE=1) so the gate cannot silently rot.
+#   * every-10 (<5%): the paired checkpoint_guard measurement bounds the
+#     (x, r) snapshot copy into the double-buffered registry — only paid
+#     when a user opts into elastic recovery.
+with open(os.path.join(out_dir, "checkpoint_guard.json")) as f:
+    ck = json.load(f)
+
+CKPT_OFF_TARGET_PCT = 1.0
+CKPT_ON_TARGET_PCT = 5.0
+ckpt_file = "BENCH_checkpoint_overhead.json"
+prev_ckpt = None
+if os.path.exists(ckpt_file):
+    with open(ckpt_file) as f:
+        prev_ckpt = json.load(f)
+
+w = ck["fused_cg"]
+ckpt_rec = {
+    "trials": ck["trials"],
+    "every_10": {
+        "target_pct": CKPT_ON_TARGET_PCT,
+        **w,
+        "pass": w["overhead_pct"] < CKPT_ON_TARGET_PCT,
+    },
+    "off": {"target_pct": CKPT_OFF_TARGET_PCT},
+}
+prev_ns = (prev_ckpt or {}).get("every_10", {}).get("off_median_ns")
+if prev_ns:
+    slowdown_pct = 100.0 * (w["off_median_ns"] / prev_ns - 1.0)
+    ckpt_rec["off"].update({
+        "baseline_off_median_ns": prev_ns,
+        "current_off_median_ns": w["off_median_ns"],
+        "slowdown_pct": slowdown_pct,
+        "pass": slowdown_pct < CKPT_OFF_TARGET_PCT,
+    })
+with open(ckpt_file, "w") as f:
+    json.dump(ckpt_rec, f, indent=2)
+    f.write("\n")
+
+if prev_ns:
+    rec = ckpt_rec["off"]
+    verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+    print(f"checkpoint off-path vs stored baseline: "
+          f"{rec['slowdown_pct']:+.2f}% "
+          f"(target < {CKPT_OFF_TARGET_PCT}%) -> {verdict}")
+elif os.environ.get("BENCH_ALLOW_MISSING_BASELINE") == "1":
+    print("checkpoint off-path: no stored baseline to compare against "
+          "(recorded one for next time; allowed by "
+          "BENCH_ALLOW_MISSING_BASELINE=1)")
+else:
+    print(f"ERROR: no stored off-path baseline in {ckpt_file}; the "
+          f"checkpoint off-path gate cannot run. Re-run with "
+          f"BENCH_ALLOW_MISSING_BASELINE=1 to record a first baseline.",
+          file=sys.stderr)
+    sys.exit(1)
+rec = ckpt_rec["every_10"]
+verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+print(f"checkpoint every-10 vs off (fused_cg): {rec['overhead_pct']:+.2f}% "
+      f"(target < {CKPT_ON_TARGET_PCT}%) -> {verdict}")
+print(f"recorded {ckpt_file}")
 
 # Triangular-solve guard: level-scheduled ILU(0) apply vs the serial
 # sweeps on the paper's 200×200 problem, paired and order-alternated.

@@ -38,6 +38,9 @@ for e in quickstart solver_switching matrix_free multigrid_recursion \
   cargo run --release --example "$e" >/dev/null
 done
 
+echo "== fault matrix (incl. kill-rank elastic recovery) =="
+scripts/fault_matrix.sh
+
 echo "== causal tracing (resilience example, RSPARSE_TRACE=1) =="
 # Same example again with tracing armed: the run must still converge and
 # additionally print a critical-path attribution built from the merged

@@ -17,11 +17,23 @@
 #                       must succeed on the first attempt)
 #   send-truncate       a halo message loses its last element (length
 #                       mismatch surfaces as a typed transport error)
+#   kill-rank-solve     rank 2 permanently stops servicing communication
+#                       mid-CG (allreduce call 30 ≈ iteration 14) with
+#                       checkpointing every 10 iterations armed: the three
+#                       survivors shrink the cohort, repartition the dead
+#                       rank's rows and resume from the iteration-10
+#                       snapshot (recovery code 3)
+#   kill-rank-setup     rank 1 dies during the first halo-plan exchange,
+#                       before any iterate exists: survivors shrink and
+#                       restart from zero on the repartitioned layout
 #
 # Every run must exit 0 — the driver's contract is a structured outcome,
 # never a hang or a panic. The per-rank attempts/recovery lines from the
 # example output tell the story per plan; the watchdog is kept short so
-# rank-divergent plans convert blocked peers into retries quickly.
+# rank-divergent plans convert blocked peers into retries quickly. The
+# ENVS column supplies per-plan knobs (checkpoint cadence, a tighter
+# watchdog for the kill rows whose final gather must time out on the
+# dead rank).
 #
 # Usage: scripts/fault_matrix.sh
 set -euo pipefail
@@ -39,6 +51,8 @@ declare -a NAMES=(
   halo-send-corrupt
   halo-delay
   send-truncate
+  kill-rank-solve
+  kill-rank-setup
 )
 declare -a PLANS=(
   'op=allreduce,rank=2,call=2,kind=corrupt;seed=11'
@@ -47,6 +61,19 @@ declare -a PLANS=(
   'op=send,rank=3,tag=7001,call=1,kind=corrupt;seed=7'
   'op=recv,rank=2,tag=7001,call=1,kind=delay,delay_ms=50'
   'op=send,rank=1,tag=7001,call=1,kind=truncate'
+  'op=allreduce,rank=2,call=30,kind=kill'
+  'op=alltoall,rank=1,call=1,kind=kill'
+)
+# Per-plan environment knobs, word-split on purpose.
+declare -a ENVS=(
+  ''
+  ''
+  ''
+  ''
+  ''
+  ''
+  'RSPARSE_CHECKPOINT_EVERY=10 RCOMM_DEADLOCK_TIMEOUT_SECS=2'
+  'RCOMM_DEADLOCK_TIMEOUT_SECS=2'
 )
 
 fail=0
@@ -54,11 +81,23 @@ summary=""
 for i in "${!NAMES[@]}"; do
   name="${NAMES[$i]}"
   plan="${PLANS[$i]}"
+  extra_env="${ENVS[$i]}"
   echo
-  echo "== $name: RSPARSE_FAULTS='$plan' =="
+  echo "== $name: ${extra_env:+$extra_env }RSPARSE_FAULTS='$plan' =="
   log="$(mktemp)"
-  if RSPARSE_FAULTS="$plan" ./target/release/examples/resilience >"$log" 2>&1; then
+  # shellcheck disable=SC2086
+  if env $extra_env RSPARSE_FAULTS="$plan" ./target/release/examples/resilience >"$log" 2>&1; then
     verdict="ok"
+    # The kill rows must actually demonstrate the elastic path: at least
+    # one survivor line reporting recovery code 3 (cohort shrink).
+    case "$name" in
+      kill-*)
+        if ! grep -Eq 'rank [0-9]+: converged=true .*recovery=3' "$log"; then
+          verdict="FAILED"
+          fail=1
+        fi
+        ;;
+    esac
   else
     verdict="FAILED"
     fail=1
