@@ -1,0 +1,160 @@
+//! Tolerance-aware diff of two solve ledgers.
+//!
+//! `ledger_diff <baseline.json> <current.json> [tolerance_pct]`
+//!
+//! The work-model side of a ledger is deterministic — per-kernel `flops`
+//! and `bytes` derive from the cached plans, so any drift there is a
+//! model or plan change and is reported as a hard mismatch, per rank.
+//! The measured side is noisy, and per-rank spans double as barrier-skew
+//! meters, so efficiency is gated on the *rank-aggregated* figure
+//! (Σbytes/Σseconds, Σflops/Σseconds per kernel) and only for compute
+//! kernels (`flops > 0` — comm spans are wait-dominated; their traffic
+//! is already pinned exactly by the model check) whose baseline
+//! aggregate time clears `LEDGER_MIN_SECONDS` (default 5 ms). A gated
+//! kernel regresses when the aggregate drops below baseline by more
+//! than `tolerance_pct` (default 15). Exit status: 0 clean, 1
+//! regression/mismatch, 2 usage or parse failure — the contract
+//! `scripts/regression_sentinel.sh` relies on.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: parse error: {e:?}"))
+}
+
+/// Key a kernel row by (rank, kernel name).
+fn kernel_key(row: &Value) -> Option<(u64, String)> {
+    Some((
+        row.get("rank")?.as_u64()?,
+        row.get("kernel")?.as_str()?.to_string(),
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: ledger_diff <baseline.json> <current.json> [tolerance_pct]");
+        return ExitCode::from(2);
+    }
+    let tolerance_pct: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("tolerance_pct must be a number"))
+        .unwrap_or(15.0);
+    let min_seconds: f64 = std::env::var("LEDGER_MIN_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    let (base, cur) = match (load(&args[1]), load(&args[2])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("ledger_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut fail = |msg: String| {
+        eprintln!("REGRESSION: {msg}");
+        failures += 1;
+    };
+
+    match (base.get("schema").and_then(Value::as_str), cur.get("schema").and_then(Value::as_str)) {
+        (Some(b), Some(c)) if b == c => {}
+        (b, c) => fail(format!("schema mismatch: baseline {b:?} vs current {c:?}")),
+    }
+
+    let empty = Vec::new();
+    let base_kernels = base
+        .get("kernels")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let cur_kernels = cur
+        .get("kernels")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    for brow in base_kernels {
+        let Some(key) = kernel_key(brow) else { continue };
+        let Some(crow) = cur_kernels.iter().find(|r| kernel_key(r).as_ref() == Some(&key))
+        else {
+            fail(format!("kernel {key:?} present in baseline but missing from current"));
+            continue;
+        };
+        // Deterministic model side: per-unit flops and bytes must agree
+        // exactly (totals scale with iteration count, which may drift).
+        for field in ["flops", "bytes"] {
+            let per_unit = |row: &Value| -> Option<f64> {
+                let total = row.get(field)?.as_f64()?;
+                let units = row.get("units")?.as_f64()?;
+                (units > 0.0).then(|| total / units)
+            };
+            match (per_unit(brow), per_unit(crow)) {
+                (Some(b), Some(c)) if (b - c).abs() > 1e-9 * b.abs().max(1.0) => {
+                    fail(format!("kernel {key:?}: per-unit {field} changed {b} -> {c}"));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Noisy measured side, rank-aggregated: Σflops, Σbytes, Σseconds per
+    // compute kernel; gated when the aggregate GB/s or GF/s drops below
+    // baseline by more than the tolerance.
+    let aggregate = |rows: &[Value]| -> std::collections::BTreeMap<String, (f64, f64, f64)> {
+        let mut agg = std::collections::BTreeMap::new();
+        for row in rows {
+            let Some(kernel) = row.get("kernel").and_then(Value::as_str) else { continue };
+            let f = |field: &str| row.get(field).and_then(Value::as_f64).unwrap_or(0.0);
+            let e = agg.entry(kernel.to_string()).or_insert((0.0, 0.0, 0.0));
+            e.0 += f("flops");
+            e.1 += f("bytes");
+            e.2 += f("seconds");
+        }
+        agg
+    };
+    let base_agg = aggregate(base_kernels);
+    let cur_agg = aggregate(cur_kernels);
+    for (kernel, &(bf, bb, bs)) in &base_agg {
+        if bf <= 0.0 || bs < min_seconds {
+            continue; // comm span or below the noise floor: not gated
+        }
+        let Some(&(cf, cb, cs)) = cur_agg.get(kernel) else { continue };
+        if cs <= 0.0 {
+            continue;
+        }
+        for (field, b, c) in
+            [("GB/s", bb / bs, cb / cs), ("GF/s", bf / bs, cf / cs)]
+        {
+            if b > 0.0 && c < b * (1.0 - tolerance_pct / 100.0) {
+                fail(format!(
+                    "kernel {kernel}: aggregate {field} dropped {:.2}% \
+                     ({b:.3} -> {c:.3}, tolerance {tolerance_pct}%)",
+                    100.0 * (1.0 - c / b)
+                ));
+            }
+        }
+    }
+
+    // Convergence must not degrade: iteration-count growth beyond the
+    // tolerance is an algorithmic regression, not noise.
+    let iters = |v: &Value| v.get("convergence")?.get("iterations")?.as_f64();
+    if let (Some(b), Some(c)) = (iters(&base), iters(&cur)) {
+        if b > 0.0 && c > b * (1.0 + tolerance_pct / 100.0) {
+            fail(format!("iterations grew {b} -> {c} (tolerance {tolerance_pct}%)"));
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("ledger_diff: {failures} regression(s) vs {}", args[1]);
+        ExitCode::from(1)
+    } else {
+        println!(
+            "ledger_diff: OK ({} baseline kernel rows checked, tolerance {tolerance_pct}%)",
+            base_kernels.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,112 @@
+//! Paired solve-ledger overhead guard.
+//!
+//! The ledger machinery rides along on *every* adapter solve: model
+//! registration at plan time, the `armed()` check at solve entry, and —
+//! when armed — forced span collection plus the rank-0 assemble/publish.
+//! Disarmed, all of that must stay invisible (<2% against the stored
+//! baseline, checked cross-process by `scripts/bench_smoke.sh`); armed,
+//! the cost is an opt-in diagnostic and is reported for the record. A
+//! two-window A/B cannot resolve a 2% bound on a drifting shared
+//! machine, so like the other `*_guard` bins this one alternates
+//! disarmed against armed in order-swapped pairs and reports median
+//! per-pair ratios on a 4-rank CG+ILU(0) adapter solve — the exact
+//! workload the ledger acceptance test instruments.
+//!
+//! Output: one JSON object on stdout; consumed by `scripts/bench_smoke.sh`
+//! into `BENCH_ledger_overhead.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lisi::{SparseSolverPort, RkspAdapter, STATUS_LEN};
+use rcomm::Universe;
+use rsparse::{generate, BlockRowPartition, CsrMatrix};
+
+fn adapter_cg_workload(a: &CsrMatrix, b: &[f64]) -> f64 {
+    let n = a.rows();
+    Universe::run(4, |comm| {
+        let part = BlockRowPartition::even(n, comm.size());
+        let range = part.range(comm.rank());
+        let local = a.row_block(range.start, range.end).unwrap();
+        let solver = RkspAdapter::new();
+        solver.initialize(comm.dup().unwrap()).unwrap();
+        solver.set_start_row(range.start).unwrap();
+        solver.set_local_rows(range.len()).unwrap();
+        solver.set_global_cols(n).unwrap();
+        solver.set("solver", "cg").unwrap();
+        solver.set("preconditioner", "ilu").unwrap();
+        solver.set("tol", "1e-10").unwrap();
+        solver
+            .setup_matrix(
+                local.values(),
+                local.row_ptr(),
+                local.col_idx(),
+                lisi::SparseStruct::Csr,
+            )
+            .unwrap();
+        solver.setup_rhs(&b[range.clone()], 1).unwrap();
+        let mut x = vec![0.0; range.len()];
+        let mut status = [0.0; STATUS_LEN];
+        solver.solve(&mut x, &mut status).unwrap();
+        status[2]
+    })[0]
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Run the workload in alternating disarmed/armed pairs and return
+/// `(disarmed_median_s, armed_median_s, overhead_pct)`.
+fn paired(trials: usize, dest: &str, mut work: impl FnMut() -> f64) -> (f64, f64, f64) {
+    let mut sink = 0.0;
+    for _ in 0..2 {
+        sink += work(); // warm-up
+    }
+    let mut off_s = Vec::with_capacity(trials);
+    let mut on_s = Vec::with_capacity(trials);
+    let mut ratios = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let on_first = t % 2 == 1;
+        let mut pair = [0.0f64; 2]; // [disarmed, armed]
+        for step in 0..2 {
+            let on = (step == 1) != on_first;
+            probe::ledger::set_destination(if on { dest } else { "off" });
+            probe::reset();
+            let t0 = Instant::now();
+            sink += work();
+            sink += work();
+            pair[usize::from(on)] = t0.elapsed().as_secs_f64() / 2.0;
+        }
+        off_s.push(pair[0]);
+        on_s.push(pair[1]);
+        ratios.push(pair[1] / pair[0]);
+    }
+    probe::ledger::clear_destination(); // restore the default
+    black_box(sink);
+    let pct = 100.0 * (median(&mut ratios) - 1.0);
+    (median(&mut off_s), median(&mut on_s), pct)
+}
+
+fn main() {
+    let trials: usize = std::env::var("LEDGER_GUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let dir = std::env::temp_dir().join(format!("ledger_guard_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for armed-window ledgers");
+    let dest = dir.join("solve_ledger.json");
+    let a = generate::laplacian_2d(120);
+    let b = vec![1.0; a.rows()];
+    let (off, on, pct) =
+        paired(trials, dest.to_str().unwrap(), || adapter_cg_workload(&a, &b));
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "{{\"trials\":{trials},\
+\"adapter_cg\":{{\"workload\":\"dist4 m=120 rksp cg+ilu\",\
+\"disarmed_median_ns\":{:.1},\"armed_median_ns\":{:.1},\"overhead_pct\":{pct:.4}}}}}",
+        off * 1e9,
+        on * 1e9,
+    );
+}

@@ -1,0 +1,79 @@
+//! Produce one fresh `solve_ledger.json` for the regression sentinel.
+//!
+//! Runs the acceptance workload — a 4-rank CG+ILU(0) solve of the 2-D
+//! Laplacian through the RKSP adapter — with the ledger armed, repeated
+//! `LEDGER_PROBE_REPS` times (default 5), and keeps the ledger of the
+//! *fastest* solve at the path given as the first argument (default
+//! `solve_ledger.json`), then prints that path. Best-of-K damps shared-
+//! machine load spikes the way min-of-N timing always has, so the
+//! efficiency figures `scripts/regression_sentinel.sh` gates against the
+//! stored baseline reflect the machine, not the moment.
+
+use lisi::{RkspAdapter, SparseSolverPort, STATUS_LEN};
+use rcomm::Universe;
+use rsparse::{generate, BlockRowPartition, CsrMatrix};
+
+fn run_once(a: &CsrMatrix, b: &[f64], dest: &str) -> (bool, f64) {
+    let n = a.rows();
+    probe::reset();
+    probe::ledger::set_destination(dest);
+    let out = Universe::run(4, |comm| {
+        let part = BlockRowPartition::even(n, comm.size());
+        let range = part.range(comm.rank());
+        let local = a.row_block(range.start, range.end).unwrap();
+        let solver = RkspAdapter::new();
+        solver.initialize(comm.dup().unwrap()).unwrap();
+        solver.set_start_row(range.start).unwrap();
+        solver.set_local_rows(range.len()).unwrap();
+        solver.set_global_cols(n).unwrap();
+        solver.set("solver", "cg").unwrap();
+        solver.set("preconditioner", "ilu").unwrap();
+        solver.set("tol", "1e-10").unwrap();
+        solver
+            .setup_matrix(
+                local.values(),
+                local.row_ptr(),
+                local.col_idx(),
+                lisi::SparseStruct::Csr,
+            )
+            .unwrap();
+        solver.setup_rhs(&b[range.clone()], 1).unwrap();
+        let mut x = vec![0.0; range.len()];
+        let mut status = [0.0; STATUS_LEN];
+        solver.solve(&mut x, &mut status).unwrap();
+        (status[0] != 0.0, status[4])
+    });
+    out[0]
+}
+
+fn main() {
+    let dest = std::env::args().nth(1).unwrap_or_else(|| "solve_ledger.json".into());
+    let m: usize = std::env::var("LEDGER_PROBE_M")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let reps: usize = std::env::var("LEDGER_PROBE_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let a = generate::laplacian_2d(m);
+    let b = vec![1.0; a.rows()];
+    let dir = std::env::temp_dir().join(format!("ledger_probe_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for candidate ledgers");
+    let mut best: Option<(f64, std::path::PathBuf)> = None;
+    for rep in 0..reps {
+        let candidate = dir.join(format!("candidate_{rep}.json"));
+        let (converged, solve_seconds) =
+            run_once(&a, &b, candidate.to_str().unwrap());
+        assert!(converged, "ledger probe workload failed to converge");
+        if best.as_ref().is_none_or(|(s, _)| solve_seconds < *s) {
+            best = Some((solve_seconds, candidate));
+        }
+    }
+    probe::ledger::clear_destination();
+    let (_, winner) = best.expect("reps >= 1");
+    std::fs::copy(&winner, &dest).expect("copy best-of-K ledger to destination");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("{dest}");
+}

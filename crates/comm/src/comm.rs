@@ -662,6 +662,7 @@ impl Communicator {
     {
         self.stats.allreduce();
         self.note_collective("allreduce");
+        probe::add(probe::Counter::ReducedBytes, std::mem::size_of::<T>() as u64);
         // Reduction time is wait-attributed: under the probe it shows up
         // as the "allreduce" span (time blocked riding the reduction),
         // and the same interval feeds the collective latency histogram.
@@ -688,6 +689,10 @@ impl Communicator {
     {
         self.stats.allreduce();
         self.note_collective("allreduce");
+        probe::add(
+            probe::Counter::ReducedBytes,
+            std::mem::size_of_val(values) as u64,
+        );
         let _lat = probe::hist::HistTimer::start(probe::hist::Hist::Collective);
         let _wait = probe::span!("allreduce");
         if let Some(FaultAction::Corrupt { seed, call }) =

@@ -153,6 +153,16 @@ macro_rules! lisi_common_methods {
                 probe::trace::set_armed(armed);
                 return Ok(());
             }
+            // Reserved key: "ledger" routes the per-solve efficiency
+            // ledger (work models + measured times + convergence
+            // analytics) to a path — the programmatic twin of
+            // `RSPARSE_LEDGER`. The grammar is infallible: off|0|none
+            // disables, 1|on selects the default path, anything else is
+            // the target path.
+            if key == "ledger" {
+                probe::ledger::set_destination(value);
+                return Ok(());
+            }
             // Reserved key: "format" selects the SpMV storage format the
             // next setupMatrix plans with (csr|sell|bcsr|auto). All
             // formats are bit-identical, so this is purely a performance

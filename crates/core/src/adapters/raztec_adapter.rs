@@ -109,6 +109,7 @@ impl SparseSolverPort for RaztecAdapter {
     fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
         let st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
+        crate::ledger::arm();
         let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
@@ -165,6 +166,21 @@ impl SparseSolverPort for RaztecAdapter {
             };
         }
         report.solve_seconds = solve_t.stop();
+        crate::ledger::emit(
+            comm,
+            &crate::ledger::SolveInfo {
+                backend: Self::PACKAGE_NAME,
+                report: &report,
+                ksp: st.options.get_first(&["solver", "az_solver"]),
+                pc: st.options.get_first(&["preconditioner", "az_precond"]),
+                rtol: st
+                    .options
+                    .get_first(&["tol", "az_tol"])
+                    .and_then(|v| v.parse().ok()),
+                cond_estimate: None,
+                initial_residual: None,
+            },
+        );
         report.write_into(status)?;
         if report.converged {
             Ok(())

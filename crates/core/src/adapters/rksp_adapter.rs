@@ -67,6 +67,7 @@ impl SparseSolverPort for RkspAdapter {
     fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
         let st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
+        crate::ledger::arm();
         let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
@@ -133,6 +134,8 @@ impl SparseSolverPort for RkspAdapter {
             setup_seconds: setup_seconds + st.convert_seconds,
             ..Default::default()
         };
+        let mut cond_estimate = None;
+        let mut initial_residual = None;
         for k in 0..n_rhs {
             let b = DistVector::from_local(
                 partition.clone(),
@@ -148,6 +151,8 @@ impl SparseSolverPort for RkspAdapter {
                 .solve_with_pc(comm, operator.as_ref(), pc.as_ref(), &b, &mut x)
                 .map_err(LisiError::from)?;
             solution[k * local_rows..(k + 1) * local_rows].copy_from_slice(x.local());
+            cond_estimate = res.cond_estimate.or(cond_estimate);
+            initial_residual = Some(res.initial_residual);
             report.converged &= res.converged();
             report.iterations = report.iterations.max(res.iterations);
             report.residual = report.residual.max(res.final_residual);
@@ -162,6 +167,21 @@ impl SparseSolverPort for RkspAdapter {
             };
         }
         report.solve_seconds = solve_t.stop();
+        crate::ledger::emit(
+            comm,
+            &crate::ledger::SolveInfo {
+                backend: Self::PACKAGE_NAME,
+                report: &report,
+                ksp: st.options.get("solver"),
+                pc: st.options.get("preconditioner"),
+                rtol: st
+                    .options
+                    .get_first(&["ksp_rtol", "tol", "rtol"])
+                    .and_then(|v| v.parse().ok()),
+                cond_estimate,
+                initial_residual,
+            },
+        );
         report.write_into(status)?;
         if report.converged {
             Ok(())

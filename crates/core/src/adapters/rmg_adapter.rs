@@ -105,6 +105,7 @@ impl SparseSolverPort for RmgAdapter {
                 "RMG builds Galerkin coarse operators and needs assembled entries".into(),
             ));
         }
+        crate::ledger::arm();
         let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
@@ -188,6 +189,21 @@ impl SparseSolverPort for RmgAdapter {
             }
         }
         report.solve_seconds = solve_t.stop();
+        crate::ledger::emit(
+            comm,
+            &crate::ledger::SolveInfo {
+                backend: Self::PACKAGE_NAME,
+                report: &report,
+                ksp: Some("multigrid".into()),
+                pc: st.options.get("smoother"),
+                rtol: st
+                    .options
+                    .get_first(&["tol", "rtol"])
+                    .and_then(|v| v.parse().ok()),
+                cond_estimate: None,
+                initial_residual: None,
+            },
+        );
         report.write_into(status)?;
         if report.converged {
             Ok(())

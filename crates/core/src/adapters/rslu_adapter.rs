@@ -67,6 +67,7 @@ impl SparseSolverPort for RsluAdapter {
                 "a direct solver cannot run matrix-free (it factors explicit entries)".into(),
             ));
         }
+        crate::ledger::arm();
         let setup_t = probe::SectionTimer::start("lisi_setup");
         let partition = st.build_partition()?;
         let comm = st.comm()?;
@@ -125,6 +126,18 @@ impl SparseSolverPort for RsluAdapter {
             reason: 1,
             ..SolveReport::default()
         };
+        crate::ledger::emit(
+            comm,
+            &crate::ledger::SolveInfo {
+                backend: Self::PACKAGE_NAME,
+                report: &report,
+                ksp: None,
+                pc: None,
+                rtol: None,
+                cond_estimate: None,
+                initial_residual: None,
+            },
+        );
         report.write_into(status)?;
         Ok(())
     }

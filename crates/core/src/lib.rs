@@ -32,6 +32,7 @@
 pub mod adapters;
 pub mod components;
 pub mod error;
+pub mod ledger;
 pub mod postmortem;
 pub mod resilient;
 pub mod state;

@@ -242,6 +242,7 @@ pub fn assemble(
          \"fault_plan\": {fault_plan},\n  \"fault_rules_fired\": [{}],\n  \"report\": {},\n  \
          \"cohort_change\": {cohort_change},\n  \
          \"critical_path\": {},\n  \
+         \"ledger\": {},\n  \
          \"rank_tails\": [\n    {}\n  ]\n}}\n",
         json_escape(trigger),
         json_escape(policy_spec),
@@ -249,6 +250,7 @@ pub fn assemble(
         fired.join(", "),
         report_json(report),
         probe::critpath::latest_json(),
+        probe::ledger::latest_json(),
         fragments.join(",\n    "),
     )
 }

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod checkpoint;
 pub mod operator;
 pub mod options;

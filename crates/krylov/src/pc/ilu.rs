@@ -90,6 +90,25 @@ impl Ilu0 {
             }
         }
         let sched = SweepSchedules::for_combined(&lu);
+        // Static traffic model for the two triangular sweeps of one
+        // apply, from the factor cached here at setup: every stored
+        // entry is read once per sweep pair (value + column index +
+        // solution gather), plus the row pointers, the rhs read, the
+        // solution write and the n diagonal divides.
+        {
+            let nnz = lu.nnz() as u64;
+            let rows = n as u64;
+            probe::model::register(
+                "sptrsv",
+                probe::model::KernelModel {
+                    span: "sptrsv",
+                    flops: 2 * nnz + rows,
+                    bytes: 24 * nnz + 16 * rows + 8,
+                    unit: probe::model::WorkUnit::SpanCalls,
+                    time: probe::model::TimeBase::Total,
+                },
+            );
+        }
         Ok(Ilu0 { lu, diag_pos, sched })
     }
 
@@ -104,6 +123,7 @@ impl Ilu0 {
     /// serial sweeps otherwise. Row arithmetic is identical on both paths,
     /// so results are bit-equal at every thread count.
     pub fn solve_local_with(&self, r: &[f64], z: &mut [f64], threads: usize) {
+        let _span = probe::span!("sptrsv");
         let n = self.diag_pos.len();
         debug_assert_eq!(r.len(), n);
         debug_assert_eq!(z.len(), n);

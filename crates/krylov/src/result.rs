@@ -78,6 +78,10 @@ pub struct KspResult {
     pub final_residual: f64,
     /// Residual norm per iteration (entry 0 is the initial residual).
     pub history: Vec<f64>,
+    /// Condition-number estimate of the preconditioned operator from the
+    /// CG Lanczos coefficients (see [`crate::analytics`]); `None` for
+    /// methods that don't build the tridiagonal, or too-short solves.
+    pub cond_estimate: Option<f64>,
 }
 
 impl KspResult {

@@ -41,6 +41,11 @@ pub(crate) fn solve(
 
     let mut iterations = 0usize;
     let mut rnorm = r0;
+    // The CG scalars double as Lanczos coefficients; keep them so the
+    // result can carry a condition-number estimate (see
+    // [`crate::analytics`]).
+    let mut alphas: Vec<f64> = Vec::new();
+    let mut betas: Vec<f64> = Vec::new();
     let reason = loop {
         iterations += 1;
         op.apply(comm, &p, &mut q)?;
@@ -49,6 +54,7 @@ pub(crate) fn solve(
             break ConvergedReason::Breakdown;
         }
         let alpha = rz / pq;
+        alphas.push(alpha);
         x.axpy(alpha, &p)?;
         r.axpy(-alpha, &q)?;
         let rz_new;
@@ -99,9 +105,12 @@ pub(crate) fn solve(
             break ConvergedReason::Breakdown;
         }
         let beta = rz_new / rz;
+        betas.push(beta);
         rz = rz_new;
         // p ← z + β·p (threaded elementwise kernel; same arithmetic).
         rsparse::dense::xpby(z.local(), beta, p.local_mut());
     };
-    Ok(mon.finish(reason, iterations, r0, rnorm))
+    let mut result = mon.finish(reason, iterations, r0, rnorm);
+    result.cond_estimate = crate::analytics::cond_estimate_from_cg(&alphas, &betas);
+    Ok(result)
 }

@@ -100,6 +100,10 @@ pub(crate) fn solve(
                 h_cols.push(vec![0.0f64; m + 2]);
             }
             let hcol = &mut h_cols[j];
+            // Both orthogonalization flavours record under one span; the
+            // matching "gram_schmidt" work model is registered by the
+            // dispatcher.
+            let gs_span = probe::span!("gram_schmidt");
             if cfg.fused_reductions {
                 // Classical Gram–Schmidt: project against the *unmodified*
                 // w, so all j+1 coefficients batch into a single
@@ -124,6 +128,7 @@ pub(crate) fn solve(
                     w.axpy(-hij, vi)?;
                 }
             }
+            drop(gs_span);
             let hnext = mon.guarded_norm2(&w)?;
             hcol[j + 1] = hnext;
             // Apply accumulated rotations to the new column.

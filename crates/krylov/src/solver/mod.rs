@@ -453,6 +453,7 @@ impl<'a, 'b> Monitor<'a, 'b> {
             initial_residual: r0,
             final_residual: rfinal,
             history: std::mem::take(&mut self.history),
+            cond_estimate: None,
         };
         // Every solve path funnels through finish, so this is the single
         // verdict-transition event the flight recorder sees.
@@ -578,6 +579,57 @@ impl Ksp {
         let _trace = probe::trace::solve_guard();
         let _span = probe::span!("ksp_solve");
         let cfg = &self.config;
+        // Work models for the solver-owned kernels, from the config and
+        // the operator's partition. The collective payload model joins
+        // with the ReducedBytes counter (message sizes vary per call);
+        // the CG vector-op model rides the ksp_solve *self* time — the
+        // matvec/sptrsv/allreduce children carry their own models.
+        {
+            use probe::model::{register, KernelModel, TimeBase, WorkUnit};
+            let n = op.partition().local_rows(comm.rank()) as u64;
+            register(
+                "allreduce",
+                KernelModel {
+                    span: "allreduce",
+                    flops: 0,
+                    bytes: 1,
+                    unit: WorkUnit::Counter(probe::Counter::ReducedBytes),
+                    time: TimeBase::Total,
+                },
+            );
+            match cfg.ksp_type {
+                // Per CG iteration: 3 axpy-shaped updates (2 flops, 3
+                // streams each) and 3 dot-shaped reductions (2 flops, 2
+                // streams each) over the local length.
+                KspType::Cg => register(
+                    "krylov_vec_ops",
+                    KernelModel {
+                        span: "ksp_solve",
+                        flops: 12 * n,
+                        bytes: 120 * n,
+                        unit: WorkUnit::Counter(probe::Counter::KspIterations),
+                        time: TimeBase::SelfTime,
+                    },
+                ),
+                // Per inner GMRES iteration, averaged over a restart
+                // cycle of depth m: (m+1)/2 projections, each one dot
+                // plus one axpy.
+                KspType::Gmres | KspType::Fgmres => {
+                    let proj = (cfg.restart as u64).div_ceil(2);
+                    register(
+                        "gram_schmidt",
+                        KernelModel {
+                            span: "gram_schmidt",
+                            flops: 4 * n * proj,
+                            bytes: 40 * n * proj,
+                            unit: WorkUnit::SpanCalls,
+                            time: TimeBase::Total,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
         match cfg.ksp_type {
             KspType::Cg => cg::solve(comm, op, pc, b, x, cfg, cb),
             KspType::BiCgStab => bicgstab::solve(comm, op, pc, b, x, cfg, cb),

@@ -118,10 +118,13 @@ pub enum Counter {
     /// Communicator shrinks performed by the elastic recovery path (one
     /// per successful `Communicator::shrink`-based repartition).
     CohortShrinks,
+    /// Payload bytes fed through `allreduce`/`allreduce_vec` (per-rank
+    /// contribution size; the unit the collective work model joins with).
+    ReducedBytes,
 }
 
 /// Number of counter variants (recorder slot-array length).
-pub(crate) const COUNTER_COUNT: usize = 44;
+pub(crate) const COUNTER_COUNT: usize = 45;
 
 impl Counter {
     /// All variants, in declaration order (matching slot indices).
@@ -170,6 +173,7 @@ impl Counter {
         Counter::FormatConversionNs,
         Counter::RanksLost,
         Counter::CohortShrinks,
+        Counter::ReducedBytes,
     ];
 
     /// Stable snake_case name used by the JSON and summary sinks.
@@ -219,6 +223,7 @@ impl Counter {
             Counter::FormatConversionNs => "format_conversion_ns",
             Counter::RanksLost => "ranks_lost",
             Counter::CohortShrinks => "cohort_shrinks",
+            Counter::ReducedBytes => "reduced_bytes",
         }
     }
 

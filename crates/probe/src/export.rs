@@ -34,7 +34,9 @@ pub fn snapshot() -> String {
     render(&aggregate())
 }
 
-/// Render the Prometheus exposition for pre-aggregated reports.
+/// Render the Prometheus exposition for pre-aggregated reports. Every
+/// metric family carries `# HELP` and `# TYPE` metadata so strict
+/// scrapers parse the page.
 pub fn render(reports: &[RankReport]) -> String {
     let mut out = String::new();
     // Counters: one family per probe counter with any nonzero value.
@@ -42,6 +44,11 @@ pub fn render(reports: &[RankReport]) -> String {
         if reports.iter().all(|rep| rep.counter(c) == 0) {
             continue;
         }
+        out.push_str(&format!(
+            "# HELP rsparse_{}_total Probe counter `{}`, accumulated per rank.\n",
+            c.name(),
+            c.name()
+        ));
         out.push_str(&format!("# TYPE rsparse_{}_total counter\n", c.name()));
         for rep in reports {
             let v = rep.counter(c);
@@ -56,7 +63,11 @@ pub fn render(reports: &[RankReport]) -> String {
     }
     // Spans: total seconds and call counts.
     if reports.iter().any(|rep| !rep.spans.is_empty()) {
+        out.push_str(
+            "# HELP rsparse_span_seconds_total Inclusive wall-clock seconds per probe span.\n",
+        );
         out.push_str("# TYPE rsparse_span_seconds_total counter\n");
+        out.push_str("# HELP rsparse_span_calls_total Times each probe span closed.\n");
         out.push_str("# TYPE rsparse_span_calls_total counter\n");
         for rep in reports {
             for s in &rep.spans {
@@ -77,6 +88,11 @@ pub fn render(reports: &[RankReport]) -> String {
         if reports.iter().all(|rep| rep.hist(h).count == 0) {
             continue;
         }
+        out.push_str(&format!(
+            "# HELP rsparse_{}_seconds Log2-bucketed `{}` latency in seconds.\n",
+            h.name(),
+            h.name()
+        ));
         out.push_str(&format!("# TYPE rsparse_{}_seconds histogram\n", h.name()));
         for rep in reports {
             let (buckets, sum_ns) = rep.hist_buckets(h);
@@ -113,6 +129,58 @@ pub fn render(reports: &[RankReport]) -> String {
                 h.name()
             ));
         }
+    }
+    // Kernel efficiency: the static work models joined with measured span
+    // times (see `crate::model`), one gauge family per derived column.
+    let roofline = crate::model::roofline();
+    let eff: Vec<(String, crate::model::KernelEfficiency)> = reports
+        .iter()
+        .flat_map(|rep| {
+            let rank = rank_value(rep);
+            rep.kernel_efficiency(roofline.as_ref())
+                .into_iter()
+                .map(move |e| (rank.clone(), e))
+        })
+        .collect();
+    if !eff.is_empty() {
+        let gauge = |out: &mut String, name: &str, help: &str, pick: &dyn Fn(&crate::model::KernelEfficiency) -> Option<f64>| {
+            let mut wrote_meta = false;
+            for (rank, e) in &eff {
+                let Some(v) = pick(e) else { continue };
+                if !wrote_meta {
+                    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+                    wrote_meta = true;
+                }
+                out.push_str(&format!(
+                    "{name}{{rank=\"{rank}\",kernel=\"{}\"}} {v:e}\n",
+                    e.name
+                ));
+            }
+        };
+        gauge(
+            &mut out,
+            "rsparse_kernel_gflops",
+            "Achieved GF/s per modelled kernel (model flops / measured seconds).",
+            &|e| Some(e.gflops),
+        );
+        gauge(
+            &mut out,
+            "rsparse_kernel_gbs",
+            "Achieved GB/s per modelled kernel (model bytes / measured seconds).",
+            &|e| Some(e.gbs),
+        );
+        gauge(
+            &mut out,
+            "rsparse_kernel_ai",
+            "Arithmetic intensity per modelled kernel (flops per byte).",
+            &|e| Some(e.ai),
+        );
+        gauge(
+            &mut out,
+            "rsparse_kernel_roofline_pct",
+            "Achieved GB/s as a percentage of the calibrated copy-bandwidth roofline.",
+            &|e| e.pct_of_roofline,
+        );
     }
     out
 }

@@ -69,6 +69,8 @@ pub mod critpath;
 pub mod export;
 pub mod flight;
 pub mod hist;
+pub mod ledger;
+pub mod model;
 mod monitor;
 mod recorder;
 mod sink;
@@ -76,14 +78,16 @@ mod span;
 pub mod trace;
 
 pub use counter::{add, get, incr, Counter};
+pub use model::{KernelEfficiency, KernelModel, Roofline, TimeBase, WorkUnit};
 pub use monitor::{JsonlMonitor, ResidualHistory, SolveMonitor};
 pub use recorder::{
-    enabled, mode, mode_from_env, note, reset, set_mode, set_rank, PeerStat, ProbeMode,
+    enabled, mode, mode_from_env, note, reset, set_forced, set_mode, set_rank, PeerStat, ProbeMode,
 };
 pub use sink::{
-    aggregate, chrome_trace_json, comm_matrix, local_report, render_breakdown, render_comm_matrix,
-    render_flight, render_imbalance, render_jsonl, render_summary, render_wait_attribution,
-    write_chrome_trace, CommMatrix, RankReport, SpanSummary,
+    aggregate, chrome_trace_json, comm_matrix, kernel_efficiency_json, local_report,
+    render_breakdown, render_comm_matrix, render_flight, render_imbalance, render_jsonl,
+    render_summary, render_wait_attribution, write_chrome_trace, CommMatrix, RankReport,
+    SpanSummary,
 };
 pub use span::{timed, SectionTimer, SpanGuard};
 

@@ -104,15 +104,27 @@ pub fn set_mode(m: ProbeMode) {
     MODE.store(m as u8, Ordering::Relaxed);
 }
 
-/// Whether span timing is currently active (`mode() != Off`).
+/// Collection forced on independently of the mode (see [`set_forced`]).
+static FORCED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Force span collection on regardless of the probe mode. The solve
+/// ledger sets this when armed: a ledger needs span timings to join its
+/// work models against even when no probe *sink* was requested. Purely
+/// additive — it never turns an explicitly chosen mode off.
+pub fn set_forced(on: bool) {
+    FORCED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span timing is currently active (`mode() != Off`, or forced
+/// on by an armed solve ledger).
 #[inline]
 pub fn enabled() -> bool {
     // Single relaxed load on the hot path once initialized.
     let raw = MODE.load(Ordering::Relaxed);
     if raw == MODE_UNSET {
-        return mode() != ProbeMode::Off;
+        return mode() != ProbeMode::Off || FORCED.load(Ordering::Relaxed);
     }
-    raw != ProbeMode::Off as u8
+    raw != ProbeMode::Off as u8 || FORCED.load(Ordering::Relaxed)
 }
 
 #[inline]
@@ -210,6 +222,9 @@ pub(crate) struct Recorder {
     pub(crate) trace: Mutex<Vec<TraceRecord>>,
     /// Trace records dropped after the global budget was exhausted.
     pub(crate) dropped_trace: AtomicU64,
+    /// Static work/traffic models registered at setup time (kernel name
+    /// → model; see [`crate::model`]). Last registration wins.
+    models: Mutex<BTreeMap<&'static str, crate::model::KernelModel>>,
 }
 
 impl Recorder {
@@ -229,6 +244,7 @@ impl Recorder {
             hist_sums: std::array::from_fn(|_| AtomicU64::new(0)),
             trace: Mutex::new(Vec::new()),
             dropped_trace: AtomicU64::new(0),
+            models: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -328,6 +344,16 @@ impl Recorder {
         self.trace.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
+    /// Register (or replace) a kernel work model.
+    pub(crate) fn set_model(&self, name: &'static str, m: crate::model::KernelModel) {
+        self.models.lock().unwrap_or_else(|e| e.into_inner()).insert(name, m);
+    }
+
+    /// Snapshot of the registered kernel models.
+    pub(crate) fn models_snapshot(&self) -> BTreeMap<&'static str, crate::model::KernelModel> {
+        self.models.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
     fn clear(&self) {
         self.rank.store(RANK_UNSET, Ordering::Relaxed);
         for c in &self.counters {
@@ -350,6 +376,7 @@ impl Recorder {
         }
         self.trace.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.dropped_trace.store(0, Ordering::Relaxed);
+        self.models.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 

@@ -8,6 +8,7 @@ use std::path::Path;
 
 use crate::counter::{Counter, COUNTER_COUNT};
 use crate::hist::{self, Hist, HistSummary, BUCKETS, HIST_COUNT};
+use crate::model::{KernelEfficiency, KernelModel, Roofline, TimeBase, WorkUnit};
 use crate::recorder::{self, PeerStat, Recorder};
 
 /// Aggregated statistics for one span name (see [`RankReport::spans`]).
@@ -48,6 +49,9 @@ pub struct RankReport {
     hist_counts: [[u64; BUCKETS]; HIST_COUNT],
     /// Total recorded nanoseconds per [`Hist`] family.
     hist_sums: [u64; HIST_COUNT],
+    /// Static kernel work models registered via [`crate::model::register`]
+    /// (kernel name → model; merged last-wins across recorders).
+    pub models: BTreeMap<&'static str, KernelModel>,
 }
 
 impl RankReport {
@@ -87,6 +91,56 @@ impl RankReport {
         (self.hist_counts[h as usize], self.hist_sums[h as usize])
     }
 
+    /// Join every registered kernel model with this rank's measurements:
+    /// units executed (span calls or a counter, per the model), measured
+    /// seconds (span total or self time), modelled flops/bytes and the
+    /// derived GF/s, GB/s, arithmetic intensity and — when a roofline is
+    /// supplied — percentage of attainable bandwidth. Kernels with no
+    /// recorded units are skipped.
+    pub fn kernel_efficiency(&self, roofline: Option<&Roofline>) -> Vec<KernelEfficiency> {
+        let mut rows = Vec::new();
+        for (&name, model) in &self.models {
+            let units = match model.unit {
+                WorkUnit::SpanCalls => self.span(model.span).map(|s| s.calls).unwrap_or(0),
+                WorkUnit::Counter(c) => self.counter(c),
+            };
+            if units == 0 {
+                continue;
+            }
+            let seconds = self
+                .span(model.span)
+                .map(|s| match model.time {
+                    TimeBase::Total => s.total_s,
+                    TimeBase::SelfTime => s.self_s,
+                })
+                .unwrap_or(0.0);
+            let flops = units * model.flops;
+            let bytes = units * model.bytes;
+            let (gflops, gbs) = if seconds > 0.0 {
+                (flops as f64 / seconds / 1e9, bytes as f64 / seconds / 1e9)
+            } else {
+                (0.0, 0.0)
+            };
+            let ai = if bytes > 0 { flops as f64 / bytes as f64 } else { 0.0 };
+            let pct_of_roofline = roofline
+                .filter(|r| r.copy_gbs > 0.0)
+                .map(|r| 100.0 * gbs / r.copy_gbs);
+            rows.push(KernelEfficiency {
+                name,
+                span: model.span,
+                units,
+                seconds,
+                flops,
+                bytes,
+                gflops,
+                gbs,
+                ai,
+                pct_of_roofline,
+            });
+        }
+        rows
+    }
+
     fn is_empty(&self) -> bool {
         self.spans.is_empty() && self.counters.iter().all(|&c| c == 0)
     }
@@ -101,6 +155,7 @@ impl RankReport {
         notes: BTreeMap<&'static str, String>,
         hist_counts: [[u64; BUCKETS]; HIST_COUNT],
         hist_sums: [u64; HIST_COUNT],
+        models: BTreeMap<&'static str, KernelModel>,
     ) -> RankReport {
         let mut report = RankReport {
             rank,
@@ -111,6 +166,7 @@ impl RankReport {
             notes,
             hist_counts,
             hist_sums,
+            models,
         };
         // Name order, not time order: output must be stable across runs.
         report.spans.sort_by(|a, b| a.name.cmp(b.name));
@@ -130,6 +186,7 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
     let mut notes: BTreeMap<&'static str, String> = BTreeMap::new();
     let mut hist_counts = [[0u64; BUCKETS]; HIST_COUNT];
     let mut hist_sums = [0u64; HIST_COUNT];
+    let mut models: BTreeMap<&'static str, KernelModel> = BTreeMap::new();
     for r in recorders {
         for c in Counter::ALL {
             counters[c as usize] += r.counter(c);
@@ -161,6 +218,11 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
             }
             hist_sums[h as usize] += sum;
         }
+        // Like notes: last recorder wins per kernel (repeated setups on
+        // one rank re-register the model for the operator now in use).
+        for (name, m) in r.models_snapshot() {
+            models.insert(name, m);
+        }
     }
     let spans = spans
         .into_iter()
@@ -172,7 +234,7 @@ fn snapshot(recorders: &[std::sync::Arc<Recorder>], rank: Option<usize>) -> Rank
         })
         .collect();
     RankReport::from_parts(
-        rank, counters, spans, peer_sends, peer_recvs, notes, hist_counts, hist_sums,
+        rank, counters, spans, peer_sends, peer_recvs, notes, hist_counts, hist_sums, models,
     )
 }
 
@@ -227,6 +289,7 @@ pub fn render_summary(reports: &[RankReport]) -> String {
     if reports.is_empty() {
         return "probe: nothing recorded\n".to_string();
     }
+    let roofline = crate::model::roofline();
     for rep in reports {
         let _ = writeln!(out, "== probe summary: {} ==", rank_label(rep.rank));
         if !rep.notes.is_empty() {
@@ -282,6 +345,32 @@ pub fn render_summary(reports: &[RankReport]) -> String {
                     s.p90_s,
                     s.p99_s,
                     s.max_s
+                );
+            }
+        }
+        let eff = rep.kernel_efficiency(roofline.as_ref());
+        if !eff.is_empty() {
+            let _ = writeln!(
+                out,
+                "  kernels: {:<18} {:>8} {:>11} {:>8} {:>8} {:>7} {:>7}",
+                "name", "units", "seconds", "GF/s", "GB/s", "AI", "%roof"
+            );
+            for e in &eff {
+                let pct = match e.pct_of_roofline {
+                    Some(p) => format!("{p:>6.1}%"),
+                    None => "-".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "           {:<18} {:>8} {:>11.6} {:>8.3} {:>8.3} {:>7.3} {:>7}",
+                    e.name, e.units, e.seconds, e.gflops, e.gbs, e.ai, pct
+                );
+            }
+            if let Some(r) = &roofline {
+                let _ = writeln!(
+                    out,
+                    "           (roofline: {:.1} GB/s copy, {:.1} GB/s triad)",
+                    r.copy_gbs, r.triad_gbs
                 );
             }
         }
@@ -678,8 +767,51 @@ pub fn chrome_trace_json() -> String {
     }
     let _ = write!(
         out,
-        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped}}}}}"
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped},\
+         \"kernelEfficiency\":{}}}}}",
+        kernel_efficiency_json(&aggregate())
     );
+    out
+}
+
+/// Per-rank kernel-efficiency rows as a JSON array (embedded into the
+/// chrome trace's `otherData` and reusable by other structured sinks).
+pub fn kernel_efficiency_json(reports: &[RankReport]) -> String {
+    let roofline = crate::model::roofline();
+    let mut out = String::from("[");
+    let mut first = true;
+    for rep in reports {
+        for e in rep.kernel_efficiency(roofline.as_ref()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let rank = match rep.rank {
+                Some(r) => r.to_string(),
+                None => "null".to_string(),
+            };
+            let pct = match e.pct_of_roofline {
+                Some(p) => format!("{p:.3}"),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{{\"rank\":{rank},\"kernel\":\"{}\",\"span\":\"{}\",\"units\":{},\
+                 \"seconds\":{:e},\"flops\":{},\"bytes\":{},\"gflops\":{:.6},\"gbs\":{:.6},\
+                 \"ai\":{:.6},\"pct_of_roofline\":{pct}}}",
+                escape_json(e.name),
+                escape_json(e.span),
+                e.units,
+                e.seconds,
+                e.flops,
+                e.bytes,
+                e.gflops,
+                e.gbs,
+                e.ai,
+            );
+        }
+    }
+    out.push(']');
     out
 }
 

@@ -569,6 +569,56 @@ impl DistCsrMatrix {
         //    convert the kernel pieces once, here at plan-build time.
         let chosen = autotune::plan(&local, policy);
         autotune::record_choice(chosen);
+
+        // Static work/traffic models, computed once here at plan build and
+        // joined with the measured spans at report time. All SpMV models
+        // derive from the *logical* CSR pattern, so SELL-C-σ and BCSR
+        // plans of the same matrix carry bit-identical flops/bytes —
+        // format efficiency comparisons share one denominator.
+        {
+            use probe::model::{csr_traffic, register, KernelModel, TimeBase, WorkUnit};
+            let spmv = |span, rows, nnz| {
+                let (flops, bytes) = csr_traffic(rows, nnz);
+                KernelModel {
+                    span,
+                    flops,
+                    bytes,
+                    unit: WorkUnit::SpanCalls,
+                    time: TimeBase::Total,
+                }
+            };
+            register("spmv", spmv("matvec", n_local, local.nnz()));
+            register(
+                "spmv_interior",
+                spmv("spmv_interior", split.interior.rows(), split.interior.nnz()),
+            );
+            register(
+                "spmv_boundary",
+                spmv("spmv_boundary", split.boundary.rows(), split.boundary.nnz()),
+            );
+            let send_bytes: u64 =
+                plan.sends.iter().map(|(_, idxs)| 8 * idxs.len() as u64).sum();
+            register(
+                "halo_send",
+                KernelModel {
+                    span: "halo_post",
+                    flops: 0,
+                    bytes: send_bytes,
+                    unit: WorkUnit::SpanCalls,
+                    time: TimeBase::Total,
+                },
+            );
+            register(
+                "halo_recv",
+                KernelModel {
+                    span: "halo_drain",
+                    flops: 0,
+                    bytes: 8 * plan.n_ghosts as u64,
+                    unit: WorkUnit::SpanCalls,
+                    time: TimeBase::Total,
+                },
+            );
+        }
         let kernel = if chosen == Format::Csr {
             None
         } else {

@@ -63,6 +63,9 @@ cargo run -q -p lisi-bench --release --bin trace_guard > "$OUT_DIR/trace_guard.j
 echo "== Krylov-checkpoint overhead guard (paired) =="
 cargo run -q -p lisi-bench --release --bin checkpoint_guard > "$OUT_DIR/checkpoint_guard.json"
 
+echo "== solve-ledger overhead guard (paired) =="
+cargo run -q -p lisi-bench --release --bin ledger_guard > "$OUT_DIR/ledger_guard.json"
+
 echo "== triangular-solve speedup guard (paired) =="
 cargo run -q -p lisi-bench --release --bin trsv_guard > "$OUT_DIR/trsv_guard.json"
 
@@ -367,6 +370,74 @@ verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
 print(f"checkpoint every-10 vs off (fused_cg): {rec['overhead_pct']:+.2f}% "
       f"(target < {CKPT_ON_TARGET_PCT}%) -> {verdict}")
 print(f"recorded {ckpt_file}")
+
+# Solve-ledger guards (two distinct budgets, mirroring the trace
+# guards):
+#   * disabled path (<2%): with no ledger destination armed the per-solve
+#     cost is one relaxed atomic load at solve entry plus the model
+#     registrations already paid at plan time, so this run's fresh
+#     disarmed adapter-CG median must sit within 2% of the one stored by
+#     the previous run of this script. Cross-process, so a miss WARNs; a
+#     *missing* baseline fails loudly (unless
+#     BENCH_ALLOW_MISSING_BASELINE=1) so the gate cannot silently rot.
+#   * armed (<10%, diagnostic): the paired ledger_guard measurement
+#     bounds forced span collection + rank-0 assembly + the JSON write —
+#     only paid when a user asks for a ledger.
+with open(os.path.join(out_dir, "ledger_guard.json")) as f:
+    lg = json.load(f)
+
+LEDGER_DISABLED_TARGET_PCT = 2.0
+LEDGER_ARMED_TARGET_PCT = 10.0
+ledger_file = "BENCH_ledger_overhead.json"
+prev_ledger = None
+if os.path.exists(ledger_file):
+    with open(ledger_file) as f:
+        prev_ledger = json.load(f)
+
+w = lg["adapter_cg"]
+ledger_rec = {
+    "trials": lg["trials"],
+    "armed": {
+        "target_pct": LEDGER_ARMED_TARGET_PCT,
+        **w,
+        "pass": w["overhead_pct"] < LEDGER_ARMED_TARGET_PCT,
+    },
+    "disabled": {"target_pct": LEDGER_DISABLED_TARGET_PCT},
+}
+prev_ns = (prev_ledger or {}).get("armed", {}).get("disarmed_median_ns")
+if prev_ns:
+    slowdown_pct = 100.0 * (w["disarmed_median_ns"] / prev_ns - 1.0)
+    ledger_rec["disabled"].update({
+        "baseline_disarmed_median_ns": prev_ns,
+        "current_disarmed_median_ns": w["disarmed_median_ns"],
+        "slowdown_pct": slowdown_pct,
+        "pass": slowdown_pct < LEDGER_DISABLED_TARGET_PCT,
+    })
+with open(ledger_file, "w") as f:
+    json.dump(ledger_rec, f, indent=2)
+    f.write("\n")
+
+if prev_ns:
+    rec = ledger_rec["disabled"]
+    verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+    print(f"ledger disabled-path vs stored baseline: "
+          f"{rec['slowdown_pct']:+.2f}% "
+          f"(target < {LEDGER_DISABLED_TARGET_PCT}%) -> {verdict}")
+elif os.environ.get("BENCH_ALLOW_MISSING_BASELINE") == "1":
+    print("ledger disabled-path: no stored baseline to compare against "
+          "(recorded one for next time; allowed by "
+          "BENCH_ALLOW_MISSING_BASELINE=1)")
+else:
+    print(f"ERROR: no stored disarmed baseline in {ledger_file}; the "
+          f"ledger disabled-path gate cannot run. Re-run with "
+          f"BENCH_ALLOW_MISSING_BASELINE=1 to record a first baseline.",
+          file=sys.stderr)
+    sys.exit(1)
+rec = ledger_rec["armed"]
+verdict = "PASS" if rec["pass"] else "WARN (noisy machine or a regression)"
+print(f"ledger armed-vs-disarmed (adapter_cg): {rec['overhead_pct']:+.2f}% "
+      f"(target < {LEDGER_ARMED_TARGET_PCT}%) -> {verdict}")
+print(f"recorded {ledger_file}")
 
 # Triangular-solve guard: level-scheduled ILU(0) apply vs the serial
 # sweeps on the paper's 200×200 problem, paired and order-alternated.

@@ -52,6 +52,16 @@ grep -q "critical path" <<<"$traced_out"
 echo "== telemetry exporter smoke (std TcpStream, curl-free) =="
 cargo run -q -p lisi-bench --release --bin export_smoke
 
+echo "== bench regression sentinel (solve ledger + BENCH_*.json) =="
+# First-ever run records baselines instead of gating; later runs diff the
+# fresh ledger and the stored bench records against baselines/ and fail
+# on efficiency regressions.
+if [[ -f baselines/solve_ledger.json ]]; then
+  scripts/regression_sentinel.sh
+else
+  BENCH_ALLOW_MISSING_BASELINE=1 scripts/regression_sentinel.sh
+fi
+
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

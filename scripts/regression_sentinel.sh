@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Bench regression sentinel: diff a freshly produced solve ledger and the
+# stored BENCH_*.json records against baselines under baselines/, with
+# tolerances, and exit nonzero on efficiency regressions.
+#
+# What runs:
+#   1. `ledger_probe` produces a fresh solve_ledger.json (4-rank CG+ILU(0)
+#      on the 2-D Laplacian through the RKSP adapter);
+#   2. `ledger_diff` compares it against baselines/solve_ledger.json —
+#      per-unit modeled flops/bytes must match exactly (the work model is
+#      deterministic), rank-aggregated compute-kernel GB/s / GF/s may not
+#      drop by more than $LEDGER_TOLERANCE_PCT (default 15);
+#   3. a self-test feeds `ledger_diff` a doctored copy of the baseline
+#      whose kernel times are inflated by 1.25x — a 20% efficiency drop
+#      everywhere — and asserts it FAILS, so a broken diff can never wave
+#      regressions through;
+#   4. every BENCH_*.json with a counterpart under baselines/ is checked:
+#      numeric leaves named *_pct must not exceed baseline + tolerance,
+#      `pass` flags must not flip to false.
+#
+# First run: no baselines exist. That is a hard ERROR unless
+# BENCH_ALLOW_MISSING_BASELINE=1, in which case the fresh ledger and the
+# current BENCH_*.json records are installed as baselines for next time.
+#
+# Usage: scripts/regression_sentinel.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_DIR="${BASELINE_DIR:-baselines}"
+TOL="${LEDGER_TOLERANCE_PCT:-15}"
+FRESH="$(mktemp -d)"
+trap 'rm -rf "$FRESH"' EXIT
+
+echo "== regression sentinel (baselines: $BASELINE_DIR, tolerance: ${TOL}%) =="
+
+echo "-- producing a fresh solve ledger"
+cargo run -q -p lisi-bench --release --bin ledger_probe -- "$FRESH/solve_ledger.json" \
+  > /dev/null
+DIFF=(cargo run -q -p lisi-bench --release --bin ledger_diff --)
+
+if [[ ! -f "$BASELINE_DIR/solve_ledger.json" ]]; then
+  if [[ "${BENCH_ALLOW_MISSING_BASELINE:-0}" == "1" ]]; then
+    mkdir -p "$BASELINE_DIR"
+    cp "$FRESH/solve_ledger.json" "$BASELINE_DIR/solve_ledger.json"
+    for b in BENCH_*.json; do
+      [[ -f "$b" ]] && cp "$b" "$BASELINE_DIR/$b"
+    done
+    echo "no ledger baseline; installed fresh baselines into $BASELINE_DIR/" \
+         "(allowed by BENCH_ALLOW_MISSING_BASELINE=1)"
+    exit 0
+  fi
+  echo "ERROR: no baseline at $BASELINE_DIR/solve_ledger.json; the sentinel" \
+       "cannot gate. Re-run with BENCH_ALLOW_MISSING_BASELINE=1 to record" \
+       "first baselines." >&2
+  exit 1
+fi
+
+echo "-- ledger diff vs baseline"
+"${DIFF[@]}" "$BASELINE_DIR/solve_ledger.json" "$FRESH/solve_ledger.json" "$TOL"
+
+echo "-- self-test: doctored ledger (20% efficiency drop) must FAIL"
+python3 - "$BASELINE_DIR/solve_ledger.json" "$FRESH/doctored.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+# Inflate every kernel's time by 1.25x: same modeled work over 25% more
+# seconds is exactly a 20% drop in achieved GB/s and GF/s.
+for row in doc.get("kernels", []):
+    if isinstance(row.get("seconds"), (int, float)):
+        row["seconds"] *= 1.25
+    for field in ("gbs", "gflops"):
+        if isinstance(row.get(field), (int, float)):
+            row[field] *= 0.8
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+EOF
+if "${DIFF[@]}" "$BASELINE_DIR/solve_ledger.json" "$FRESH/doctored.json" "$TOL" \
+    > /dev/null 2>&1; then
+  echo "ERROR: ledger_diff accepted a 20% doctored efficiency drop — the" \
+       "sentinel is broken." >&2
+  exit 1
+fi
+echo "self-test OK: doctored drop rejected"
+
+echo "-- BENCH_*.json vs stored baselines"
+python3 - "$BASELINE_DIR" "$TOL" <<'EOF'
+import glob, json, os, sys
+
+baseline_dir, tol = sys.argv[1], float(sys.argv[2])
+failures = []
+checked = 0
+
+def walk(base, cur, path):
+    global checked
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for k, v in base.items():
+            if k in cur:
+                walk(v, cur[k], f"{path}.{k}")
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        for i, (b, c) in enumerate(zip(base, cur)):
+            walk(b, c, f"{path}[{i}]")
+        return
+    leaf = path.rsplit(".", 1)[-1]
+    # Overhead percentages may not exceed baseline by more than the
+    # tolerance (in points); pass verdicts may not flip to false.
+    if leaf.endswith("_pct") and "target" not in leaf \
+            and isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        checked += 1
+        if cur > base + tol:
+            failures.append(f"{path}: {base:+.2f}% -> {cur:+.2f}% "
+                            f"(tolerance +{tol} points)")
+    elif leaf == "pass" and base is True and cur is False:
+        checked += 1
+        failures.append(f"{path}: pass flipped true -> false")
+
+for bench in sorted(glob.glob("BENCH_*.json")):
+    stored = os.path.join(baseline_dir, bench)
+    if not os.path.exists(stored):
+        print(f"(no baseline for {bench}; skipped)")
+        continue
+    with open(stored) as f:
+        base = json.load(f)
+    with open(bench) as f:
+        cur = json.load(f)
+    walk(base, cur, bench)
+
+if failures:
+    print(f"{len(failures)} bench regression(s):", file=sys.stderr)
+    for f_ in failures:
+        print(f"  REGRESSION: {f_}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench records OK ({checked} gated leaves compared)")
+EOF
+
+echo "SENTINEL PASSED"
