@@ -26,11 +26,16 @@ fn load(path: &str) -> Result<Value, String> {
     serde_json::from_str(&text).map_err(|e| format!("{path}: parse error: {e:?}"))
 }
 
-/// Key a kernel row by (rank, kernel name).
-fn kernel_key(row: &Value) -> Option<(u64, String)> {
+/// Key a kernel row by (rank, kernel name, batch width). Batched
+/// kernels amortize the matrix read across `nrhs` vector streams, so an
+/// `nrhs=8` SpMV legitimately has different per-unit flops/bytes than
+/// an `nrhs=1` one — rows only compare like with like. Ledgers written
+/// before the field existed default to a width of 1.
+fn kernel_key(row: &Value) -> Option<(u64, String, u64)> {
     Some((
         row.get("rank")?.as_u64()?,
         row.get("kernel")?.as_str()?.to_string(),
+        row.get("nrhs").and_then(Value::as_u64).unwrap_or(1),
     ))
 }
 
@@ -103,12 +108,13 @@ fn main() -> ExitCode {
     // Noisy measured side, rank-aggregated: Σflops, Σbytes, Σseconds per
     // compute kernel; gated when the aggregate GB/s or GF/s drops below
     // baseline by more than the tolerance.
-    let aggregate = |rows: &[Value]| -> std::collections::BTreeMap<String, (f64, f64, f64)> {
+    let aggregate = |rows: &[Value]| -> std::collections::BTreeMap<(String, u64), (f64, f64, f64)> {
         let mut agg = std::collections::BTreeMap::new();
         for row in rows {
             let Some(kernel) = row.get("kernel").and_then(Value::as_str) else { continue };
+            let nrhs = row.get("nrhs").and_then(Value::as_u64).unwrap_or(1);
             let f = |field: &str| row.get(field).and_then(Value::as_f64).unwrap_or(0.0);
-            let e = agg.entry(kernel.to_string()).or_insert((0.0, 0.0, 0.0));
+            let e = agg.entry((kernel.to_string(), nrhs)).or_insert((0.0, 0.0, 0.0));
             e.0 += f("flops");
             e.1 += f("bytes");
             e.2 += f("seconds");
@@ -117,20 +123,21 @@ fn main() -> ExitCode {
     };
     let base_agg = aggregate(base_kernels);
     let cur_agg = aggregate(cur_kernels);
-    for (kernel, &(bf, bb, bs)) in &base_agg {
+    for (key, &(bf, bb, bs)) in &base_agg {
         if bf <= 0.0 || bs < min_seconds {
             continue; // comm span or below the noise floor: not gated
         }
-        let Some(&(cf, cb, cs)) = cur_agg.get(kernel) else { continue };
+        let Some(&(cf, cb, cs)) = cur_agg.get(key) else { continue };
         if cs <= 0.0 {
             continue;
         }
+        let (kernel, nrhs) = key;
         for (field, b, c) in
             [("GB/s", bb / bs, cb / cs), ("GF/s", bf / bs, cf / cs)]
         {
             if b > 0.0 && c < b * (1.0 - tolerance_pct / 100.0) {
                 fail(format!(
-                    "kernel {kernel}: aggregate {field} dropped {:.2}% \
+                    "kernel {kernel} (nrhs={nrhs}): aggregate {field} dropped {:.2}% \
                      ({b:.3} -> {c:.3}, tolerance {tolerance_pct}%)",
                     100.0 * (1.0 - c / b)
                 ));

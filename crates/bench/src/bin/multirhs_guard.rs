@@ -1,0 +1,203 @@
+//! Paired batched-vs-sequential multi-RHS guard.
+//!
+//! Two gates for the session layer, measured on the 4-rank RKSP adapter
+//! over the 2-D Laplacian:
+//!
+//! 1. **Batched throughput**: one `solve_batch` call over `k` right-hand
+//!    sides (default 8) against `k` single `solve` calls, in alternating
+//!    pairs with the order swapped every trial so machine-load drift
+//!    cancels. On a collective-dominated launch the batched driver fuses
+//!    the per-iteration reductions of all `k` columns into one exchange,
+//!    so the median paired speedup must clear ≥1.8×. The batched
+//!    solution is also checked bit-identical to the sequential one,
+//!    column by column.
+//!
+//! 2. **Warm-session setup**: each trial performs one cold RSLU setup
+//!    (a fresh option fingerprint, so the session cache misses and the
+//!    adapter runs the full sparse LU factorization) and one warm setup
+//!    (a second adapter instance over the same fingerprint — the cache
+//!    hits, `lisi_setup` never opens, and the only remaining cost is
+//!    ingesting the caller's CSR arrays). The median warm setup must
+//!    cost <5% of the median cold setup.
+//!
+//! Output: one JSON object on stdout; `scripts/bench_smoke.sh` records
+//! it as `BENCH_multirhs.json` and the regression sentinel gates it.
+
+use std::time::Instant;
+
+use lisi::{RkspAdapter, SparseSolverPort, SparseStruct, STATUS_LEN};
+use lisi::status::STATUS_SETUP_SECONDS;
+use rcomm::{Communicator, Universe};
+use rsparse::{generate, BlockRowPartition, CsrMatrix};
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Wire one adapter over this rank's row block.
+fn wire(
+    comm: &Communicator,
+    a: &CsrMatrix,
+    n: usize,
+    tag: &str,
+    pc: &str,
+) -> (RkspAdapter, std::ops::Range<usize>) {
+    let part = BlockRowPartition::even(n, comm.size());
+    let range = part.range(comm.rank());
+    let local = a.row_block(range.start, range.end).unwrap();
+    let solver = RkspAdapter::new();
+    solver.initialize(comm.dup().unwrap()).unwrap();
+    solver.set_start_row(range.start).unwrap();
+    solver.set_local_rows(range.len()).unwrap();
+    solver.set_global_cols(n).unwrap();
+    solver.set("solver", "cg").unwrap();
+    solver.set("preconditioner", pc).unwrap();
+    solver.set("tol", "1e-10").unwrap();
+    solver.set("session_tag", tag).unwrap();
+    solver
+        .setup_matrix(local.values(), local.row_ptr(), local.col_idx(), SparseStruct::Csr)
+        .unwrap();
+    (solver, range)
+}
+
+fn main() {
+    let trials: usize = std::env::var("MULTIRHS_GUARD_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9)
+        .max(1);
+    let k: usize = std::env::var("MULTIRHS_GUARD_K")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+    let n_side: usize = std::env::var("MULTIRHS_GUARD_M")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let n = n_side * n_side;
+    let a = generate::laplacian_2d(n_side);
+    let rhs_full: Vec<f64> = (0..k * n).map(|i| 1.0 + ((i % 13) as f64 - 6.0) / 6.0).collect();
+
+    let out = Universe::run(4, |comm| {
+        // --- Gate 1: batched vs sequential solve time (paired). -------
+        // One shared session: setup is cached after the first solve, so
+        // the timed windows isolate the solve phase both ways.
+        let (solver, range) = wire(comm, &a, n, "multirhs_solve", "jacobi");
+        let rows = range.len();
+        let mut local_rhs = Vec::with_capacity(k * rows);
+        for j in 0..k {
+            local_rhs.extend_from_slice(&rhs_full[j * n..][range.clone()]);
+        }
+
+        let run_batched = |x: &mut [f64]| {
+            solver.set_int("nrhs", k as i64).unwrap();
+            solver.setup_rhs(&local_rhs, k).unwrap();
+            let mut status = [0.0; STATUS_LEN];
+            solver.solve_batch(x, &mut status).unwrap();
+        };
+        let run_sequential = |x: &mut [f64]| {
+            solver.set_int("nrhs", 1).unwrap();
+            for j in 0..k {
+                solver.setup_rhs(&local_rhs[j * rows..(j + 1) * rows], 1).unwrap();
+                let mut status = [0.0; STATUS_LEN];
+                solver.solve(&mut x[j * rows..(j + 1) * rows], &mut status).unwrap();
+            }
+        };
+
+        // Correctness first: the batched bits must equal the sequential
+        // bits column by column. This also warms the session cache.
+        let mut x_batch = vec![0.0; k * rows];
+        let mut x_seq = vec![0.0; k * rows];
+        run_batched(&mut x_batch);
+        run_sequential(&mut x_seq);
+        let bit_identical = x_batch
+            .iter()
+            .zip(&x_seq)
+            .all(|(p, q)| p.to_bits() == q.to_bits());
+
+        let mut seq_s = Vec::with_capacity(trials);
+        let mut batch_s = Vec::with_capacity(trials);
+        let mut speedups = Vec::with_capacity(trials);
+        let mut x = vec![0.0; k * rows];
+        for trial in 0..trials {
+            let mut pair = [0.0f64; 2]; // [sequential, batched]
+            let order = if trial % 2 == 0 { [0usize, 1] } else { [1, 0] };
+            for which in order {
+                comm.barrier().unwrap();
+                let t0 = Instant::now();
+                if which == 0 {
+                    run_sequential(&mut x);
+                } else {
+                    run_batched(&mut x);
+                }
+                comm.barrier().unwrap();
+                pair[which] = t0.elapsed().as_secs_f64();
+            }
+            seq_s.push(pair[0]);
+            batch_s.push(pair[1]);
+            speedups.push(pair[0] / pair[1]);
+        }
+
+        // --- Gate 2: cold vs warm session setup (paired). -------------
+        // A fresh fingerprint per trial forces a cold RSLU setup (the
+        // full sparse LU factorization); a second instance over the same
+        // fingerprint must hit the cache and skip all of it, leaving
+        // only the CSR ingest cost.
+        let mut cold_s = Vec::with_capacity(trials);
+        let mut warm_s = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let tag = format!("multirhs_setup_{trial}");
+            let setup_seconds = |tag: &str| {
+                let part = BlockRowPartition::even(n, comm.size());
+                let range = part.range(comm.rank());
+                let local = a.row_block(range.start, range.end).unwrap();
+                let s = lisi::RsluAdapter::new();
+                s.initialize(comm.dup().unwrap()).unwrap();
+                s.set_start_row(range.start).unwrap();
+                s.set_local_rows(range.len()).unwrap();
+                s.set_global_cols(n).unwrap();
+                s.set("session_tag", tag).unwrap();
+                s.setup_matrix(
+                    local.values(),
+                    local.row_ptr(),
+                    local.col_idx(),
+                    SparseStruct::Csr,
+                )
+                .unwrap();
+                s.setup_rhs(&rhs_full[range.clone()], 1).unwrap();
+                let mut x = vec![0.0; range.len()];
+                let mut status = [0.0; STATUS_LEN];
+                s.solve(&mut x, &mut status).unwrap();
+                status[STATUS_SETUP_SECONDS]
+            };
+            cold_s.push(setup_seconds(&tag));
+            warm_s.push(setup_seconds(&tag));
+        }
+
+        if comm.rank() == 0 {
+            Some((seq_s, batch_s, speedups, bit_identical, cold_s, warm_s))
+        } else {
+            None
+        }
+    });
+    let (mut seq_s, mut batch_s, mut speedups, bit_identical, mut cold_s, mut warm_s) =
+        out.into_iter().flatten().next().expect("rank 0 reports");
+
+    let cold = median(&mut cold_s);
+    let warm = median(&mut warm_s);
+    println!(
+        "{{\"workload\":\"adapter cg dist4 n={n} k={k}\",\"trials\":{trials},\
+\"sequential_median_ns\":{:.1},\"batched_median_ns\":{:.1},\
+\"speedup\":{:.4},\"bit_identical\":{bit_identical},\
+\"setup\":{{\"cold_median_ns\":{:.1},\"warm_median_ns\":{:.1},\
+\"warm_over_cold_pct\":{:.4}}}}}",
+        median(&mut seq_s) * 1e9,
+        median(&mut batch_s) * 1e9,
+        median(&mut speedups),
+        cold * 1e9,
+        warm * 1e9,
+        100.0 * warm / cold,
+    );
+}

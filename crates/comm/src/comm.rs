@@ -705,6 +705,29 @@ impl Communicator {
         crate::collectives::allreduce_vec(self, values, op)
     }
 
+    /// Batched element-wise all-reduce: the segments are concatenated,
+    /// reduced in **one** collective, and split back — `k` columns'
+    /// reductions for a single collective latency (the k-wide reduction
+    /// of the batched Krylov drivers). Element `i` of segment `s`
+    /// reduces over exactly the rank-ordered tree
+    /// `allreduce_vec(segments[s])[i]` would use, so batching never
+    /// changes a result bit.
+    pub fn allreduce_batch<T, F>(&self, segments: &[&[T]], op: F) -> CommResult<Vec<Vec<T>>>
+    where
+        T: Send + Clone + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let flat: Vec<T> = segments.iter().flat_map(|s| s.iter().cloned()).collect();
+        let reduced = self.allreduce_vec(&flat, op)?;
+        let mut out = Vec::with_capacity(segments.len());
+        let mut off = 0;
+        for s in segments {
+            out.push(reduced[off..off + s.len()].to_vec());
+            off += s.len();
+        }
+        Ok(out)
+    }
+
     /// Gather one value per rank onto `root` (rank order); `None` elsewhere.
     pub fn gather<T: Send + Clone + 'static>(
         &self,

@@ -179,12 +179,35 @@ macro_rules! lisi_common_methods {
                 rsparse::autotune::set_policy(policy);
                 return Ok(());
             }
+            // Reserved key: "nrhs" opts subsequent solves into the
+            // batched multi-RHS path — any value ≥ 2 makes `solve`
+            // process all columns of the current right-hand-side block
+            // through the batched drivers (one fused reduction / halo
+            // exchange per step instead of one per column); 1 restores
+            // column-at-a-time solves. Validated here, stored as an
+            // ordinary option so it participates in the session
+            // fingerprint.
+            if key == "nrhs" {
+                let n: usize = value.parse().map_err(|_| {
+                    crate::error::LisiError::BadParameter {
+                        key: "nrhs".into(),
+                        reason: format!("expected a positive batch width, got '{value}'"),
+                    }
+                })?;
+                if n == 0 {
+                    return Err(crate::error::LisiError::BadParameter {
+                        key: "nrhs".into(),
+                        reason: "batch width must be ≥ 1".into(),
+                    });
+                }
+                // Falls through: kept in the option table.
+            }
             self.state.lock().options.set(key, value);
             Ok(())
         }
 
         fn set_int(&self, key: &str, value: i64) -> crate::error::LisiResult<()> {
-            if key == "threads" {
+            if key == "threads" || key == "nrhs" {
                 return self.set(key, &value.to_string());
             }
             self.state.lock().options.set_int(key, value);

@@ -9,10 +9,21 @@ use rcomm::Communicator;
 use raztec::{AztecOO, AztecOptions, AzConv, AzPrecond, AzSolver, AzWhy, CrsMatrix, Map, RowMatrix, Vector};
 
 use crate::error::{LisiError, LisiResult};
+use crate::service::{self, SolverService};
 use crate::state::LisiState;
 use crate::status::SolveReport;
 use crate::traits::{MatrixFreePort, SparseSolverPort};
 use crate::types::OperatorId;
+
+/// Session-cached setup: the row map and the imported `CrsMatrix`
+/// (whose construction includes the off-rank column import plan).
+/// Matrix-free operators are built fresh per solve — a user closure has
+/// no fingerprint — so only assembled systems land in the cache.
+struct RaztecArtifact {
+    partition: rsparse::BlockRowPartition,
+    map: Map,
+    operator: Box<dyn RowMatrix + Send + Sync>,
+}
 
 /// LISI over the RAztec iterative package.
 #[derive(Default)]
@@ -101,38 +112,99 @@ impl RaztecAdapter {
         }
         Ok(opts)
     }
-}
 
-impl SparseSolverPort for RaztecAdapter {
-    super::lisi_common_methods!();
+    /// Multi-RHS entry point: delegates to the common path and records
+    /// the batch in the probe counters (RAztec's drivers are
+    /// column-at-a-time; the amortized work is the cached setup).
+    pub fn solve_batch(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        self.solve_impl(solution, status, true)
+    }
 
-    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+    fn solve_impl(
+        &self,
+        solution: &mut [f64],
+        status: &mut [f64],
+        force_batch: bool,
+    ) -> LisiResult<()> {
         let st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
         crate::ledger::arm();
-        let setup_t = probe::SectionTimer::start("lisi_setup");
-        let partition = st.build_partition()?;
         let comm = st.comm()?;
         let rank = comm.rank();
-        let local_rows = partition.local_rows(rank);
-        let map = Map::from_partition(partition, rank);
         let opts = Self::aztec_options(&st)?;
 
-        let operator: Box<dyn RowMatrix> = if super::matrix_free_requested(&st) {
-            let port = super::require_matrix_free(&st)?;
-            Box::new(MfRowMatrix { map: map.clone(), port })
-        } else {
-            let (matrix, _) = st.require_system()?;
-            Box::new(
-                CrsMatrix::from_local_rows(comm, map.clone(), matrix.clone())
-                    .map_err(LisiError::from)?,
-            )
-        };
-        let setup_seconds = setup_t.stop();
+        // Admission, then the cohort-agreed warm/cold branch (see the
+        // RKSP adapter for the full rationale).
+        let svc = SolverService::global();
+        let ticket = svc.admit();
+        let admitted = comm.allgather(ticket.is_ok())?.into_iter().all(|ok| ok);
+        if !admitted {
+            return Err(ticket.err().unwrap_or_else(|| {
+                LisiError::Busy("a peer rank was refused admission".into())
+            }));
+        }
+        let _ticket = ticket.expect("cohort agreed all ranks were admitted");
+
+        let (artifact, setup_seconds): (Arc<RaztecArtifact>, f64) =
+            if super::matrix_free_requested(&st) {
+                let setup_t = probe::SectionTimer::start("lisi_setup");
+                let partition = st.build_partition()?;
+                let map = Map::from_partition(partition.clone(), rank);
+                let port = super::require_matrix_free(&st)?;
+                let operator: Box<dyn RowMatrix + Send + Sync> =
+                    Box::new(MfRowMatrix { map: map.clone(), port });
+                (Arc::new(RaztecArtifact { partition, map, operator }), setup_t.stop())
+            } else {
+                let (matrix, _) = st.require_system()?;
+                let key = service::SessionKey {
+                    backend: Self::PACKAGE_NAME,
+                    rank,
+                    size: comm.size(),
+                    fingerprint: service::fingerprint(
+                        rank,
+                        comm.size(),
+                        st.start_row.unwrap_or(0),
+                        st.global_cols.unwrap_or(0),
+                        matrix.row_ptr(),
+                        matrix.col_idx(),
+                        matrix.values(),
+                        &st.options.dump(),
+                    ),
+                };
+                let hit = svc.lookup::<RaztecArtifact>(&key);
+                let warm = comm.allgather(hit.is_some())?.into_iter().all(|h| h);
+                svc.record_outcome(warm);
+                if warm {
+                    (hit.expect("cohort agreed every rank hit"), 0.0)
+                } else {
+                    let setup_t = probe::SectionTimer::start("lisi_setup");
+                    let partition = st.build_partition()?;
+                    let map = Map::from_partition(partition.clone(), rank);
+                    let crs = CrsMatrix::from_local_rows(comm, map.clone(), matrix.clone())
+                        .map_err(LisiError::from)?;
+                    let bytes =
+                        service::approx_csr_bytes(matrix.nnz(), partition.local_rows(rank));
+                    let artifact = Arc::new(RaztecArtifact {
+                        partition,
+                        map,
+                        operator: Box::new(crs),
+                    });
+                    svc.insert(key, Arc::clone(&artifact) as Arc<_>, bytes);
+                    (artifact, setup_t.stop())
+                }
+            };
+        let map = artifact.map.clone();
+        let local_rows = artifact.partition.local_rows(rank);
 
         let rhs = st.require_rhs()?;
         let n_rhs = st.n_rhs;
-        let mut az = AztecOO::new(operator.as_ref());
+        let batch_width: usize =
+            st.options.get("nrhs").and_then(|v| v.parse().ok()).unwrap_or(1);
+        if (force_batch || batch_width >= 2) && n_rhs >= 1 {
+            probe::add(probe::Counter::RhsBatched, n_rhs as u64);
+            probe::note("batch", format!("nrhs={n_rhs}"));
+        }
+        let mut az = AztecOO::new(artifact.operator.as_ref());
         az.set_options(opts);
 
         let solve_t = probe::SectionTimer::start("lisi_solve");
@@ -190,6 +262,14 @@ impl SparseSolverPort for RaztecAdapter {
                 report.reason
             )))
         }
+    }
+}
+
+impl SparseSolverPort for RaztecAdapter {
+    super::lisi_common_methods!();
+
+    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        self.solve_impl(solution, status, false)
     }
 }
 

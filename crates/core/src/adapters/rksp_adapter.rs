@@ -9,26 +9,28 @@ use rkrylov::{Ksp, KspConfig, LinearOperator, MatOperator, Preconditioner, Shell
 use rsparse::{DistCsrMatrix, DistVector};
 
 use crate::error::{LisiError, LisiResult};
+use crate::service::{self, SolverService};
 use crate::state::LisiState;
 use crate::status::SolveReport;
 use crate::traits::{MatrixFreePort, SparseSolverPort};
 use crate::types::OperatorId;
 
-/// Cached per-epoch objects so repeated solves reuse the distributed
-/// matrix and preconditioner (paper §5.2 b/c).
-#[derive(Default)]
-struct Cache {
-    /// `(matrix_epoch, options fingerprint)` the cache was built for.
-    key: Option<(u64, String)>,
-    operator: Option<Arc<MatOperator>>,
-    pc: Option<Arc<dyn Preconditioner>>,
+/// Setup artifacts cached in the process-wide [`SolverService`]: a
+/// second solve of a fingerprint-identical system (same pattern, same
+/// value bits, same options, same distribution) reuses all three and
+/// performs *zero* setup — no partition allgather, no halo plan, no
+/// format conversion, no preconditioner factorization (paper §5.2 b/c,
+/// extended across component instances).
+struct RkspArtifact {
+    partition: rsparse::BlockRowPartition,
+    operator: Arc<MatOperator>,
+    pc: Arc<dyn Preconditioner>,
 }
 
 /// LISI over the RKSP iterative package.
 #[derive(Default)]
 pub struct RkspAdapter {
     state: Mutex<LisiState>,
-    cache: Mutex<Cache>,
 }
 
 super::lisi_adapter_boilerplate!(RkspAdapter);
@@ -59,20 +61,26 @@ impl RkspAdapter {
         }
         Arc::new(MfPc { port })
     }
-}
 
-impl SparseSolverPort for RkspAdapter {
-    super::lisi_common_methods!();
+    /// Solve all right-hand-side columns through the batched Krylov
+    /// drivers regardless of the `nrhs` option — the explicit multi-RHS
+    /// entry point (the `nrhs` option is the declarative twin that makes
+    /// plain [`SparseSolverPort::solve`] take this path).
+    pub fn solve_batch(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        self.solve_impl(solution, status, true)
+    }
 
-    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+    fn solve_impl(
+        &self,
+        solution: &mut [f64],
+        status: &mut [f64],
+        force_batch: bool,
+    ) -> LisiResult<()> {
         let st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
         crate::ledger::arm();
-        let setup_t = probe::SectionTimer::start("lisi_setup");
-        let partition = st.build_partition()?;
         let comm = st.comm()?;
         let rank = comm.rank();
-        let local_rows = partition.local_rows(rank);
 
         let matrix_free = super::matrix_free_requested(&st);
         let mf_pc = matrix_free
@@ -88,10 +96,37 @@ impl SparseSolverPort for RkspAdapter {
         };
         let ksp = Ksp::new(cfg).map_err(LisiError::from)?;
 
-        // Build (or reuse) the operator and preconditioner.
-        let fingerprint = st.options.dump();
-        let (operator, pc): (Arc<dyn LinearOperator>, Arc<dyn Preconditioner>) = if matrix_free
-        {
+        // Admission control: each rank takes a ticket, then the cohort
+        // agrees — if any peer was refused, everyone returns Busy rather
+        // than leaving the refused rank's peers stranded in a collective.
+        // Agreement uses allgather, not allreduce: fault plans address
+        // allreduce calls by index, and the session layer must not shift
+        // the numbering of the solver's own reductions.
+        let svc = SolverService::global();
+        let ticket = svc.admit();
+        let admitted = comm.allgather(ticket.is_ok())?.into_iter().all(|ok| ok);
+        if !admitted {
+            return Err(ticket.err().unwrap_or_else(|| {
+                LisiError::Busy("a peer rank was refused admission".into())
+            }));
+        }
+        let _ticket = ticket.expect("cohort agreed all ranks were admitted");
+
+        // Resolve the operator and preconditioner: matrix-free operators
+        // bypass the session cache (the closure's identity cannot be
+        // fingerprinted); assembled systems are keyed by matrix + option
+        // fingerprint so a warm session performs zero setup — the
+        // "lisi_setup" span is never even opened. The warm/cold decision
+        // is collective: a rank whose entry was evicted must not drag its
+        // warm peers into a setup collective they would skip.
+        let (operator, pc, partition, setup_seconds): (
+            Arc<dyn LinearOperator>,
+            Arc<dyn Preconditioner>,
+            rsparse::BlockRowPartition,
+            f64,
+        ) = if matrix_free {
+            let setup_t = probe::SectionTimer::start("lisi_setup");
+            let partition = st.build_partition()?;
             let port = super::require_matrix_free(&st)?;
             let apply_port = Arc::clone(&port);
             let shell = ShellOperator::new(partition.clone(), move |_, x, y| {
@@ -106,28 +141,66 @@ impl SparseSolverPort for RkspAdapter {
                     ksp.make_pc(&shell).map_err(LisiError::from)?.into()
                 };
             let op: Arc<dyn LinearOperator> = Arc::new(shell);
-            (op, pc)
+            (op, pc, partition, setup_t.stop())
         } else {
-            let mut cache = self.cache.lock();
-            let key = (st.matrix_epoch, fingerprint.clone());
-            if cache.key.as_ref() != Some(&key) {
-                let (matrix, _) = st.require_system()?;
+            let (matrix, _) = st.require_system()?;
+            let key = service::SessionKey {
+                backend: Self::PACKAGE_NAME,
+                rank,
+                size: comm.size(),
+                fingerprint: service::fingerprint(
+                    rank,
+                    comm.size(),
+                    st.start_row.unwrap_or(0),
+                    st.global_cols.unwrap_or(0),
+                    matrix.row_ptr(),
+                    matrix.col_idx(),
+                    matrix.values(),
+                    &st.options.dump(),
+                ),
+            };
+            let hit = svc.lookup::<RkspArtifact>(&key);
+            let warm = comm.allgather(hit.is_some())?.into_iter().all(|h| h);
+            svc.record_outcome(warm);
+            if warm {
+                let art = hit.expect("cohort agreed every rank hit");
+                (
+                    Arc::clone(&art.operator) as Arc<dyn LinearOperator>,
+                    Arc::clone(&art.pc),
+                    art.partition.clone(),
+                    0.0,
+                )
+            } else {
+                let setup_t = probe::SectionTimer::start("lisi_setup");
+                let partition = st.build_partition()?;
                 let dist =
                     DistCsrMatrix::from_local_rows(comm, partition.clone(), matrix.clone())?;
                 let op = Arc::new(MatOperator::new(dist));
                 let pc: Arc<dyn Preconditioner> =
                     ksp.make_pc(op.as_ref()).map_err(LisiError::from)?.into();
-                cache.key = Some(key);
-                cache.operator = Some(op);
-                cache.pc = Some(pc);
+                let bytes = service::approx_csr_bytes(matrix.nnz(), partition.local_rows(rank));
+                svc.insert(
+                    key,
+                    Arc::new(RkspArtifact {
+                        partition: partition.clone(),
+                        operator: Arc::clone(&op),
+                        pc: Arc::clone(&pc),
+                    }),
+                    bytes,
+                );
+                (op as Arc<dyn LinearOperator>, pc, partition, setup_t.stop())
             }
-            let op: Arc<dyn LinearOperator> = cache.operator.clone().expect("filled above");
-            (op, cache.pc.clone().expect("filled above"))
         };
-        let setup_seconds = setup_t.stop();
+        let local_rows = partition.local_rows(rank);
 
         let rhs = st.require_rhs()?.to_vec();
         let n_rhs = st.n_rhs;
+        let batch_width: usize = st
+            .options
+            .get("nrhs")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let use_batch = (force_batch || batch_width >= 2) && n_rhs >= 1;
         let solve_t = probe::SectionTimer::start("lisi_solve");
         let mut report = SolveReport {
             converged: true,
@@ -136,21 +209,7 @@ impl SparseSolverPort for RkspAdapter {
         };
         let mut cond_estimate = None;
         let mut initial_residual = None;
-        for k in 0..n_rhs {
-            let b = DistVector::from_local(
-                partition.clone(),
-                rank,
-                rhs[k * local_rows..(k + 1) * local_rows].to_vec(),
-            )?;
-            let mut x = DistVector::from_local(
-                partition.clone(),
-                rank,
-                solution[k * local_rows..(k + 1) * local_rows].to_vec(),
-            )?;
-            let res = ksp
-                .solve_with_pc(comm, operator.as_ref(), pc.as_ref(), &b, &mut x)
-                .map_err(LisiError::from)?;
-            solution[k * local_rows..(k + 1) * local_rows].copy_from_slice(x.local());
+        let mut fold = |report: &mut SolveReport, res: &rkrylov::KspResult| {
             cond_estimate = res.cond_estimate.or(cond_estimate);
             initial_residual = Some(res.initial_residual);
             report.converged &= res.converged();
@@ -165,6 +224,42 @@ impl SparseSolverPort for RkspAdapter {
                 rkrylov::ConvergedReason::Stagnated => -4,
                 rkrylov::ConvergedReason::TimedOut => -5,
             };
+        };
+        if use_batch {
+            // One batched call: fused multi-vector SpMV plus per-step
+            // reductions batched across all columns (k collectives → 1).
+            probe::note("batch", format!("nrhs={n_rhs}"));
+            let results = ksp
+                .solve_batch_with_pc(
+                    comm,
+                    operator.as_ref(),
+                    pc.as_ref(),
+                    &rhs,
+                    solution,
+                    n_rhs,
+                )
+                .map_err(LisiError::from)?;
+            for res in &results {
+                fold(&mut report, res);
+            }
+        } else {
+            for k in 0..n_rhs {
+                let b = DistVector::from_local(
+                    partition.clone(),
+                    rank,
+                    rhs[k * local_rows..(k + 1) * local_rows].to_vec(),
+                )?;
+                let mut x = DistVector::from_local(
+                    partition.clone(),
+                    rank,
+                    solution[k * local_rows..(k + 1) * local_rows].to_vec(),
+                )?;
+                let res = ksp
+                    .solve_with_pc(comm, operator.as_ref(), pc.as_ref(), &b, &mut x)
+                    .map_err(LisiError::from)?;
+                solution[k * local_rows..(k + 1) * local_rows].copy_from_slice(x.local());
+                fold(&mut report, &res);
+            }
         }
         report.solve_seconds = solve_t.stop();
         crate::ledger::emit(
@@ -191,6 +286,14 @@ impl SparseSolverPort for RkspAdapter {
                 report.reason
             )))
         }
+    }
+}
+
+impl SparseSolverPort for RkspAdapter {
+    super::lisi_common_methods!();
+
+    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        self.solve_impl(solution, status, false)
     }
 }
 

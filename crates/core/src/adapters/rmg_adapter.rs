@@ -12,9 +12,21 @@ use rmg::{CoarseOperator, CoarseSolver, CycleType, Hierarchy, MgConfig, RmgSolve
 use rsparse::CsrMatrix;
 
 use crate::error::{LisiError, LisiResult};
+use crate::service::{self, SolverService};
 use crate::state::LisiState;
 use crate::status::SolveReport;
 use crate::traits::SparseSolverPort;
+
+/// Session-cached setup: the partition and, on rank 0, the prebuilt
+/// multigrid hierarchy (the Galerkin coarse operators are by far the
+/// expensive part of RMG setup). The hierarchy is independent of the
+/// pluggable coarse-grid *solver*, which binds per solve via
+/// [`MgConfig`], so caching it is safe even across instances with
+/// different coarse callbacks.
+struct RmgArtifact {
+    partition: rsparse::BlockRowPartition,
+    hierarchy: Option<Hierarchy>,
+}
 
 /// Signature of a pluggable coarse-grid solver.
 pub type CoarseFn =
@@ -92,12 +104,20 @@ impl RmgAdapter {
         }
         Ok(cfg)
     }
-}
 
-impl SparseSolverPort for RmgAdapter {
-    super::lisi_common_methods!();
+    /// Multi-RHS entry point: the hierarchy is shared across all columns
+    /// either way; this delegates to the common path and records the
+    /// batch in the probe counters.
+    pub fn solve_batch(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        self.solve_impl(solution, status, true)
+    }
 
-    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+    fn solve_impl(
+        &self,
+        solution: &mut [f64],
+        status: &mut [f64],
+        force_batch: bool,
+    ) -> LisiResult<()> {
         let st = self.state.lock();
         st.check_solve_buffers(solution, status)?;
         if super::matrix_free_requested(&st) {
@@ -106,12 +126,9 @@ impl SparseSolverPort for RmgAdapter {
             ));
         }
         crate::ledger::arm();
-        let setup_t = probe::SectionTimer::start("lisi_setup");
-        let partition = st.build_partition()?;
         let comm = st.comm()?;
         let rank = comm.rank();
-        let local_rows = partition.local_rows(rank);
-        let n = partition.global_rows();
+        let n = st.global_cols.unwrap_or(0);
         let m = (n as f64).sqrt().round() as usize;
         if m * m != n {
             return Err(LisiError::Unsupported(format!(
@@ -119,16 +136,81 @@ impl SparseSolverPort for RmgAdapter {
             )));
         }
 
-        // Gather the system to rank 0 (multigrid here is the serial
-        // member of the family; see DESIGN.md).
+        // Admission, then the cohort-agreed warm/cold branch (see the
+        // RKSP adapter for the full rationale).
+        let svc = SolverService::global();
+        let ticket = svc.admit();
+        let admitted = comm.allgather(ticket.is_ok())?.into_iter().all(|ok| ok);
+        if !admitted {
+            return Err(ticket.err().unwrap_or_else(|| {
+                LisiError::Busy("a peer rank was refused admission".into())
+            }));
+        }
+        let _ticket = ticket.expect("cohort agreed all ranks were admitted");
+
         let (matrix, _) = st.require_system()?;
-        let dist =
-            rsparse::DistCsrMatrix::from_local_rows(comm, partition.clone(), matrix.clone())?;
-        let global = dist.gather_to_root(comm, 0)?;
-        let setup_seconds = setup_t.stop();
+        let key = service::SessionKey {
+            backend: Self::PACKAGE_NAME,
+            rank,
+            size: comm.size(),
+            fingerprint: service::fingerprint(
+                rank,
+                comm.size(),
+                st.start_row.unwrap_or(0),
+                n,
+                matrix.row_ptr(),
+                matrix.col_idx(),
+                matrix.values(),
+                &st.options.dump(),
+            ),
+        };
+        let hit = svc.lookup::<RmgArtifact>(&key);
+        let warm = comm.allgather(hit.is_some())?.into_iter().all(|h| h);
+        svc.record_outcome(warm);
+        let (artifact, setup_seconds) = if warm {
+            (hit.expect("cohort agreed every rank hit"), 0.0)
+        } else {
+            // Cold: gather the system to rank 0 (multigrid here is the
+            // serial member of the family; see DESIGN.md) and build the
+            // hierarchy once — previously rebuilt per right-hand side,
+            // now amortized across every column and every warm solve.
+            let setup_t = probe::SectionTimer::start("lisi_setup");
+            let partition = st.build_partition()?;
+            let dist = rsparse::DistCsrMatrix::from_local_rows(
+                comm,
+                partition.clone(),
+                matrix.clone(),
+            )?;
+            let global = dist.gather_to_root(comm, 0)?;
+            let hierarchy = match &global {
+                Some(a) => Some(
+                    Hierarchy::build(a.clone(), m, CoarseOperator::Galerkin, 20, 1, None)
+                        .map_err(LisiError::from)?,
+                ),
+                None => None,
+            };
+            // The hierarchy's coarse operators sum to O(nnz) ×
+            // levels; bill rank 0 for the gathered footprint.
+            let bytes = if rank == 0 {
+                service::approx_csr_bytes(matrix.nnz().saturating_mul(comm.size()), n)
+            } else {
+                service::approx_csr_bytes(matrix.nnz(), partition.local_rows(rank))
+            };
+            let artifact = Arc::new(RmgArtifact { partition, hierarchy });
+            svc.insert(key, Arc::clone(&artifact) as Arc<_>, bytes);
+            (artifact, setup_t.stop())
+        };
+        let partition = artifact.partition.clone();
+        let local_rows = partition.local_rows(rank);
 
         let rhs = st.require_rhs()?;
         let n_rhs = st.n_rhs;
+        let batch_width: usize =
+            st.options.get("nrhs").and_then(|v| v.parse().ok()).unwrap_or(1);
+        if (force_batch || batch_width >= 2) && n_rhs >= 1 {
+            probe::add(probe::Counter::RhsBatched, n_rhs as u64);
+            probe::note("batch", format!("nrhs={n_rhs}"));
+        }
         let coarse = self.coarse.lock().clone();
         let solve_t = probe::SectionTimer::start("lisi_solve");
         let mut report = SolveReport {
@@ -144,17 +226,9 @@ impl SparseSolverPort for RmgAdapter {
             let x0_full = comm.gatherv(0, x0_local)?;
             // Rank 0 runs the cycle; outcome (solution + stats) scatters.
             let root_out: Option<(Vec<Vec<f64>>, usize, bool, f64)> = if comm.rank() == 0 {
-                let a = global.as_ref().expect("root holds the gathered matrix");
                 let cfg = Self::mg_config(&st, coarse.clone())?;
-                let hierarchy = Hierarchy::build(
-                    a.clone(),
-                    m,
-                    CoarseOperator::Galerkin,
-                    20,
-                    1,
-                    None,
-                )
-                .map_err(LisiError::from)?;
+                let hierarchy =
+                    artifact.hierarchy.clone().expect("root holds the cached hierarchy");
                 let solver = RmgSolver::new(hierarchy, cfg).map_err(LisiError::from)?;
                 let mut x = x0_full.expect("root gathered the guess");
                 let res = solver.solve(&b_full.expect("root gathered rhs"), &mut x)
@@ -210,6 +284,14 @@ impl SparseSolverPort for RmgAdapter {
         } else {
             Err(LisiError::Package("RMG did not converge".into()))
         }
+    }
+}
+
+impl SparseSolverPort for RmgAdapter {
+    super::lisi_common_methods!();
+
+    fn solve(&self, solution: &mut [f64], status: &mut [f64]) -> LisiResult<()> {
+        self.solve_impl(solution, status, false)
     }
 }
 

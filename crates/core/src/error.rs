@@ -27,6 +27,9 @@ pub enum LisiError {
         /// What went wrong.
         reason: String,
     },
+    /// The solver service's admission queue is full — the caller should
+    /// back off and retry (backpressure, not failure of the solve itself).
+    Busy(String),
 }
 
 impl LisiError {
@@ -40,6 +43,7 @@ impl LisiError {
             LisiError::Unsupported(_) => -4,
             LisiError::Package(_) => -5,
             LisiError::BadParameter { .. } => -6,
+            LisiError::Busy(_) => -7,
         }
     }
 }
@@ -55,6 +59,7 @@ impl fmt::Display for LisiError {
             LisiError::BadParameter { key, reason } => {
                 write!(f, "bad parameter '{key}': {reason}")
             }
+            LisiError::Busy(m) => write!(f, "solver service busy: {m}"),
         }
     }
 }
@@ -110,6 +115,7 @@ mod tests {
             LisiError::Unsupported("x".into()),
             LisiError::Package("x".into()),
             LisiError::BadParameter { key: "k".into(), reason: "r".into() },
+            LisiError::Busy("x".into()),
         ];
         let codes: Vec<i32> = errs.iter().map(|e| e.code()).collect();
         assert!(codes.iter().all(|&c| c < 0));

@@ -184,6 +184,21 @@ pub fn assemble(ranks: usize, info: &SolveInfo<'_>) -> String {
         "\"comm\":{{\"ranks\":{:?},\"msgs\":{:?},\"bytes\":{:?}}},",
         m.ranks, m.msgs, m.bytes
     );
+    // Session-layer accounting: cache traffic from the long-lived
+    // `SolverService` plus the batch width the adapter actually ran.
+    let batch = reports
+        .iter()
+        .find_map(|r| r.note("batch").map(str::to_string));
+    let _ = writeln!(
+        doc,
+        "\"session\":{{\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+         \"rhs_batched\":{},\"batch\":{}}},",
+        counter_sum(probe::Counter::SessionCacheHits),
+        counter_sum(probe::Counter::SessionCacheMisses),
+        counter_sum(probe::Counter::SessionCacheEvictions),
+        counter_sum(probe::Counter::RhsBatched),
+        opt_str(&batch),
+    );
     let _ = writeln!(
         doc,
         "\"cohort\":{{\"ranks_lost\":{},\"cohort_shrinks\":{},\"faults_injected\":{}}}",

@@ -35,6 +35,7 @@ pub mod error;
 pub mod ledger;
 pub mod postmortem;
 pub mod resilient;
+pub mod service;
 pub mod state;
 pub mod status;
 pub mod traits;
@@ -46,6 +47,7 @@ pub use components::{
 };
 pub use error::{LisiError, LisiResult};
 pub use postmortem::CohortChange;
+pub use service::{SessionKey, SessionTicket, SolverService};
 pub use resilient::{
     AttemptSpec, BackendSwitch, FrameworkSwitch, ResilientSolver, ResilientSolverComponent,
     RetryPolicy, StaticSwitch, BACKEND_PORT,

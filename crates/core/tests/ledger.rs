@@ -131,6 +131,12 @@ fn ledger_matches_schema_and_reconciles_with_the_plan_model() {
     let commsec = doc.get("comm").and_then(Value::as_object).expect("comm section");
     assert_eq!(commsec.get("ranks").and_then(Value::as_array).unwrap().len(), 4);
     doc.get("cohort").and_then(Value::as_object).expect("cohort section");
+    let session = doc.get("session").and_then(Value::as_object).expect("session section");
+    let misses = session.get("cache_misses").and_then(Value::as_u64).expect("miss counter");
+    assert!(misses >= 1, "a fresh solve is a session-cache miss");
+    for key in ["cache_hits", "cache_evictions", "rhs_batched"] {
+        session.get(key).and_then(Value::as_u64).unwrap_or_else(|| panic!("session.{key}"));
+    }
 
     // Per-kernel reconciliation, exact: the SpMV rows must equal
     // units × the traffic recomputed from each rank's logical CSR shape.

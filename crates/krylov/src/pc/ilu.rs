@@ -106,6 +106,7 @@ impl Ilu0 {
                     bytes: 24 * nnz + 16 * rows + 8,
                     unit: probe::model::WorkUnit::SpanCalls,
                     time: probe::model::TimeBase::Total,
+                    nrhs: 1,
                 },
             );
         }

@@ -219,7 +219,7 @@ pub(crate) fn solve(
 }
 
 /// Stable Givens rotation `(c, s)` with `c·a + s·b = r`, `−s·a + c·b = 0`.
-fn givens(a: f64, b: f64) -> (f64, f64) {
+pub(crate) fn givens(a: f64, b: f64) -> (f64, f64) {
     if b == 0.0 {
         (1.0, 0.0)
     } else if a.abs() < b.abs() {

@@ -121,10 +121,22 @@ pub enum Counter {
     /// Payload bytes fed through `allreduce`/`allreduce_vec` (per-rank
     /// contribution size; the unit the collective work model joins with).
     ReducedBytes,
+    /// Solver-service session lookups that found a cached setup (halo
+    /// plan, format plan, factorization) for the requested fingerprint.
+    SessionCacheHits,
+    /// Solver-service session lookups that had to build setup artifacts
+    /// from scratch.
+    SessionCacheMisses,
+    /// Cached sessions evicted to respect the LRU byte budget
+    /// (`RSPARSE_SESSION_CACHE_MB`).
+    SessionCacheEvictions,
+    /// Right-hand sides solved through the batched (multi-RHS) drivers;
+    /// each `solve_batch` adds its column count.
+    RhsBatched,
 }
 
 /// Number of counter variants (recorder slot-array length).
-pub(crate) const COUNTER_COUNT: usize = 45;
+pub(crate) const COUNTER_COUNT: usize = 49;
 
 impl Counter {
     /// All variants, in declaration order (matching slot indices).
@@ -174,6 +186,10 @@ impl Counter {
         Counter::RanksLost,
         Counter::CohortShrinks,
         Counter::ReducedBytes,
+        Counter::SessionCacheHits,
+        Counter::SessionCacheMisses,
+        Counter::SessionCacheEvictions,
+        Counter::RhsBatched,
     ];
 
     /// Stable snake_case name used by the JSON and summary sinks.
@@ -224,6 +240,10 @@ impl Counter {
             Counter::RanksLost => "ranks_lost",
             Counter::CohortShrinks => "cohort_shrinks",
             Counter::ReducedBytes => "reduced_bytes",
+            Counter::SessionCacheHits => "session_cache_hits",
+            Counter::SessionCacheMisses => "session_cache_misses",
+            Counter::SessionCacheEvictions => "session_cache_evictions",
+            Counter::RhsBatched => "rhs_batched",
         }
     }
 

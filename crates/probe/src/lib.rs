@@ -81,7 +81,8 @@ pub use counter::{add, get, incr, Counter};
 pub use model::{KernelEfficiency, KernelModel, Roofline, TimeBase, WorkUnit};
 pub use monitor::{JsonlMonitor, ResidualHistory, SolveMonitor};
 pub use recorder::{
-    enabled, mode, mode_from_env, note, reset, set_forced, set_mode, set_rank, PeerStat, ProbeMode,
+    enabled, mode, mode_from_env, note, reset, reset_epoch, set_forced, set_mode, set_rank,
+    PeerStat, ProbeMode,
 };
 pub use sink::{
     aggregate, chrome_trace_json, comm_matrix, kernel_efficiency_json, local_report,

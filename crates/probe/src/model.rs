@@ -60,6 +60,12 @@ pub struct KernelModel {
     pub unit: WorkUnit,
     /// Time base for the join.
     pub time: TimeBase,
+    /// Right-hand sides the modelled unit sweeps over (1 for single-RHS
+    /// kernels). Batched kernels amortize the matrix read across `nrhs`
+    /// vector streams, so their per-unit flops/bytes are NOT `nrhs`
+    /// multiples of the single-RHS model — diffs must key on
+    /// `(kernel, nrhs)` to compare like with like.
+    pub nrhs: u64,
 }
 
 /// Register (or replace) the model for kernel `name` on the current
@@ -81,6 +87,19 @@ pub fn csr_traffic(rows: usize, nnz: usize) -> (u64, u64) {
     let flops = 2 * nnz as u64;
     let bytes = 24 * nnz as u64 + 16 * rows as u64 + 8;
     (flops, bytes)
+}
+
+/// Streaming-traffic model of one fused multi-vector sweep over `k`
+/// right-hand sides: the matrix streams (values, column indices, row
+/// pointers) are read **once**, while the source gathers and destination
+/// writes scale with `k` — the whole point of the batched kernels.
+/// Reduces to [`csr_traffic`] at `k = 1`.
+pub fn csr_traffic_multi(rows: usize, nnz: usize, k: usize) -> (u64, u64) {
+    let k = k as u64;
+    let flops = 2 * k * nnz as u64;
+    let matrix = 16 * nnz as u64 + 8 * rows as u64 + 8;
+    let vectors = k * (8 * nnz as u64 + 8 * rows as u64);
+    (flops, matrix + vectors)
 }
 
 // ---------------------------------------------------------------------------
@@ -224,6 +243,9 @@ pub struct KernelEfficiency {
     /// Achieved GB/s as a percentage of the roofline copy bandwidth;
     /// `None` when no calibration is available.
     pub pct_of_roofline: Option<f64>,
+    /// Right-hand sides per modelled unit (from the model; 1 for
+    /// single-RHS kernels).
+    pub nrhs: u64,
 }
 
 #[cfg(test)]
@@ -236,6 +258,20 @@ mod tests {
         assert_eq!(flops, 100);
         // 24·nnz + 16·rows + 8 row-pointer tail.
         assert_eq!(bytes, 24 * 50 + 16 * 10 + 8);
+    }
+
+    #[test]
+    fn csr_traffic_multi_amortizes_the_matrix_read() {
+        // k = 1 reduces exactly to the single-RHS model.
+        assert_eq!(csr_traffic_multi(10, 50, 1), csr_traffic(10, 50));
+        // k = 8: flops scale with k, but only the vector streams do —
+        // the matrix (values + indices + row pointers) is read once.
+        let (flops, bytes) = csr_traffic_multi(10, 50, 8);
+        assert_eq!(flops, 8 * 100);
+        let matrix = 16 * 50 + 8 * 10 + 8;
+        let vectors = 8 * (8 * 50 + 8 * 10);
+        assert_eq!(bytes, matrix + vectors);
+        assert!(bytes < 8 * csr_traffic(10, 50).1);
     }
 
     #[test]
@@ -261,6 +297,7 @@ mod tests {
             bytes: 11,
             unit: WorkUnit::SpanCalls,
             time: TimeBase::Total,
+            nrhs: 1,
         };
         register("test_kernel", model);
         register("test_kernel", KernelModel { bytes: 13, ..model });

@@ -441,4 +441,15 @@ pub fn reset() {
         r.clear();
     }
     EVENTS_TOTAL.store(0, Ordering::Relaxed);
+    RESET_EPOCH.fetch_add(1, Ordering::Relaxed);
 }
+
+/// Number of [`reset`] calls so far. Session caches fold this into their
+/// fingerprints: a reset wipes the registered kernel work models, so any
+/// solve after it must run cold setup again to re-register them — a
+/// warm solve would otherwise assemble a ledger with no kernel rows.
+pub fn reset_epoch() -> u64 {
+    RESET_EPOCH.load(Ordering::Relaxed)
+}
+
+static RESET_EPOCH: AtomicU64 = AtomicU64::new(0);

@@ -136,6 +136,7 @@ impl RankReport {
                 gbs,
                 ai,
                 pct_of_roofline,
+                nrhs: model.nrhs,
             });
         }
         rows
@@ -797,11 +798,12 @@ pub fn kernel_efficiency_json(reports: &[RankReport]) -> String {
             let _ = write!(
                 out,
                 "{{\"rank\":{rank},\"kernel\":\"{}\",\"span\":\"{}\",\"units\":{},\
-                 \"seconds\":{:e},\"flops\":{},\"bytes\":{},\"gflops\":{:.6},\"gbs\":{:.6},\
-                 \"ai\":{:.6},\"pct_of_roofline\":{pct}}}",
+                 \"nrhs\":{},\"seconds\":{:e},\"flops\":{},\"bytes\":{},\"gflops\":{:.6},\
+                 \"gbs\":{:.6},\"ai\":{:.6},\"pct_of_roofline\":{pct}}}",
                 escape_json(e.name),
                 escape_json(e.span),
                 e.units,
+                e.nrhs,
                 e.seconds,
                 e.flops,
                 e.bytes,

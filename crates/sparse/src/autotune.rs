@@ -453,6 +453,54 @@ impl FormatMatrix {
             FormatMatrix::Bcsr(m) => m.spmv_scatter(rows_map, x, y, threads),
         }
     }
+
+    /// Multi-vector scatter SpMV: row `r` against `k` input columns
+    /// (column `q` at `xs[q·x_stride..]`), each result written to
+    /// `y[q·y_stride + rows_map[r]]`. One matrix sweep per
+    /// [`crate::csr::MULTI_CHUNK`]-column group in every format;
+    /// per-column results are bit-identical to [`Self::spmv_scatter`] at
+    /// any thread count (threads get disjoint row/slice/block-row
+    /// chunks, exactly as in the single-vector scatter).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spmv_scatter_multi(
+        &self,
+        rows_map: &[usize],
+        xs: &[f64],
+        x_stride: usize,
+        y: &SharedMutSlice<'_>,
+        y_stride: usize,
+        k: usize,
+        threads: usize,
+    ) {
+        match self {
+            FormatMatrix::Csr(m) => {
+                crate::dist::spmv_rows_multi_threaded(
+                    m, rows_map, xs, x_stride, y, y_stride, k, threads,
+                );
+            }
+            FormatMatrix::Sell(m) => {
+                let kernel = |s0: usize, s1: usize| {
+                    m.spmv_slices_multi(s0, s1, xs, x_stride, y, y_stride, k, Some(rows_map));
+                };
+                if threads > 1 && m.rows() >= 2048 {
+                    crate::threads::for_each_chunk(m.n_slices(), threads, kernel);
+                } else {
+                    kernel(0, m.n_slices());
+                }
+            }
+            FormatMatrix::Bcsr(m) => {
+                let mb = m.rows().div_ceil(m.block_shape().0);
+                let kernel = |b0: usize, b1: usize| {
+                    m.spmv_block_rows_multi(b0, b1, xs, x_stride, y, y_stride, k, Some(rows_map));
+                };
+                if threads > 1 && m.rows() >= 2048 {
+                    crate::threads::for_each_chunk(mb, threads, kernel);
+                } else {
+                    kernel(0, mb);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -437,6 +437,70 @@ impl BcsrMatrix {
             self.spmv_block_rows(0, self.mb(), x, y, Some(rows_map));
         }
     }
+
+    /// Multi-vector block-row-range kernel: every scalar row of block
+    /// rows `b0..b1` against `k` input columns (column `q` at
+    /// `xs[q·x_stride..]`), each result written to
+    /// `y[q·y_stride + map(row)]`. The tiles are swept once per group of
+    /// [`crate::csr::MULTI_CHUNK`] columns; each column visits stored
+    /// (and fill) positions in exactly the single-vector kernel's order,
+    /// so per-column results are bit-identical for finite data.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spmv_block_rows_multi(
+        &self,
+        b0: usize,
+        b1: usize,
+        xs: &[f64],
+        x_stride: usize,
+        y: &SharedMutSlice<'_>,
+        y_stride: usize,
+        k: usize,
+        scatter: Option<&[usize]>,
+    ) {
+        use crate::csr::MULTI_CHUNK;
+        let tile = self.br * self.bc;
+        let bptr = &self.block_ptr;
+        let bcols = &self.block_cols;
+        let blocks = &self.blocks;
+        let mut q0 = 0;
+        while q0 < k {
+            let kc = (k - q0).min(MULTI_CHUNK);
+            for bi in b0..b1 {
+                let r0 = bi * self.br;
+                let rh = self.br.min(self.rows - r0);
+                for ii in 0..rh {
+                    let mut acc = [0.0f64; MULTI_CHUNK];
+                    let (ks, ke) = (bptr[bi], bptr[bi + 1]);
+                    for (kb, &bcol) in
+                        bcols[ks..ke].iter().enumerate().map(|(d, b)| (ks + d, b))
+                    {
+                        let c0 = bcol * self.bc;
+                        let w = self.bc.min(self.cols - c0);
+                        let base = kb * tile + ii * self.bc;
+                        for jj in 0..w {
+                            let v = blocks[base + jj];
+                            let col = c0 + jj;
+                            for (q, a) in acc.iter_mut().enumerate().take(kc) {
+                                *a += v * xs[(q0 + q) * x_stride + col];
+                            }
+                        }
+                    }
+                    let row = r0 + ii;
+                    let idx = match scatter {
+                        Some(map) => map[row],
+                        None => row,
+                    };
+                    for (q, &a) in acc.iter().enumerate().take(kc) {
+                        // SAFETY: disjoint block-row ranges → disjoint
+                        // rows → disjoint (injectively mapped) output
+                        // elements, one per column segment.
+                        unsafe { y.set((q0 + q) * y_stride + idx, a) };
+                    }
+                }
+            }
+            q0 += kc;
+        }
+    }
 }
 
 #[cfg(test)]

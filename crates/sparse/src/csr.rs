@@ -24,6 +24,42 @@ pub(crate) fn row_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
     acc
 }
 
+/// Column-group width of the multi-vector kernels: each sweep over a
+/// row's entries feeds up to this many right-hand sides from stack
+/// accumulators, so the matrix is read once per group instead of once
+/// per vector.
+pub(crate) const MULTI_CHUNK: usize = 8;
+
+/// One row's dot products against `acc.len()` input vectors stored as
+/// contiguous columns of `xs` (column `l` at `xs[l·x_stride..]`). Each
+/// column accumulates in exactly [`row_dot`]'s entry order from a `+0.0`
+/// start, so per-column results are bit-identical to the single-vector
+/// kernel. Columns are processed in groups of [`MULTI_CHUNK`] with stack
+/// accumulators.
+#[inline]
+pub(crate) fn row_dot_multi(
+    cols: &[usize],
+    vals: &[f64],
+    xs: &[f64],
+    x_stride: usize,
+    acc: &mut [f64],
+) {
+    let k = acc.len();
+    let mut l0 = 0;
+    while l0 < k {
+        let kc = (k - l0).min(MULTI_CHUNK);
+        let mut a = [0.0f64; MULTI_CHUNK];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let base = l0 * x_stride + c;
+            for (l, al) in a.iter_mut().enumerate().take(kc) {
+                *al += v * xs[base + l * x_stride];
+            }
+        }
+        acc[l0..l0 + kc].copy_from_slice(&a[..kc]);
+        l0 += kc;
+    }
+}
+
 /// A sparse matrix in CSR form with the usual invariants: `row_ptr` has
 /// `rows + 1` monotone entries, `col_idx`/`values` have `nnz` entries, and
 /// column indices are strictly increasing within each row.

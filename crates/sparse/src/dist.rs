@@ -40,6 +40,11 @@ use crate::threads::{self, SharedMutSlice};
 /// Reserved user-level tag for halo traffic.
 const TAG_HALO: rcomm::Tag = 7001;
 
+/// Reserved user-level tag for batched (multi-RHS) halo traffic — kept
+/// distinct from [`TAG_HALO`] so interleaved single and multi matvecs
+/// can never consume each other's payloads.
+const TAG_HALO_MULTI: rcomm::Tag = 7002;
+
 /// Whether to overlap interior compute with the halo drain (default yes).
 fn overlap_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
@@ -283,6 +288,69 @@ impl MatvecWorkspace {
     }
 }
 
+/// Persistent scratch for [`DistCsrMatrix::matvec_multi_into`]: the
+/// ghost-extended staging for `k` interleaved vectors plus the batched
+/// halo bookkeeping. Rebuilt (lazily) whenever a batch arrives with a
+/// different `k`; single-RHS matvecs never touch it.
+#[derive(Debug)]
+struct MultiWorkspace {
+    /// Batch width this workspace was built for.
+    k: usize,
+    /// `k` ghost-extended columns, column `q` at `q·(n_local+n_ghosts)`.
+    ext: Vec<f64>,
+    /// Per-send-slot buffer pools (payload = `k` interleaved column
+    /// segments), parallel to `HaloPlan::sends`.
+    send_pools: Vec<Vec<Arc<Vec<f64>>>>,
+    /// Per-recv "not yet drained this matvec" flags.
+    recv_pending: Vec<bool>,
+}
+
+impl MultiWorkspace {
+    fn new(n_local: usize, plan: &HaloPlan, k: usize) -> Self {
+        MultiWorkspace {
+            k,
+            ext: vec![0.0; k * (n_local + plan.n_ghosts)],
+            // Two buffers per destination, as in `MatvecWorkspace`.
+            send_pools: plan
+                .sends
+                .iter()
+                .map(|(_, idxs)| {
+                    (0..2).map(|_| Arc::new(vec![0.0; k * idxs.len()])).collect()
+                })
+                .collect(),
+            recv_pending: vec![false; plan.recvs.len()],
+        }
+    }
+
+    /// Stage the batched payload for send slot `slot`: column `q` of the
+    /// gathered entries lands at `payload[q·idxs.len()..]`.
+    fn stage_send(
+        &mut self,
+        slot: usize,
+        idxs: &[usize],
+        xs: &[f64],
+        x_stride: usize,
+    ) -> Arc<Vec<f64>> {
+        let k = self.k;
+        let pool = &mut self.send_pools[slot];
+        let pos = match pool.iter().position(|b| Arc::strong_count(b) == 1) {
+            Some(p) => p,
+            None => {
+                pool.push(Arc::new(vec![0.0; k * idxs.len()]));
+                pool.len() - 1
+            }
+        };
+        let buf = Arc::get_mut(&mut pool[pos])
+            .expect("buffer uniqueness was just checked; only this rank clones it");
+        for q in 0..k {
+            for (j, &i) in idxs.iter().enumerate() {
+                buf[q * idxs.len() + j] = xs[q * x_stride + i];
+            }
+        }
+        Arc::clone(&pool[pos])
+    }
+}
+
 /// Minimum scatter-row count before `spmv_rows` dispatches to the thread
 /// pool; below this the synchronization outweighs the row work.
 const PAR_SCATTER_MIN_ROWS: usize = 2048;
@@ -321,6 +389,51 @@ fn spmv_rows(mat: &CsrMatrix, rows: &[usize], x: &[f64], y: &mut [f64]) {
     spmv_rows_threaded(mat, rows, x, &ys, threads::active());
 }
 
+/// Multi-vector CSR scatter: `y[q·y_stride + rows[i]] = mat.row(i) ·
+/// xs_q` for each of the `k` input columns (column `q` at
+/// `xs[q·x_stride..]`). One sweep over the matrix per
+/// [`crate::csr::MULTI_CHUNK`]-column group; per-column accumulation
+/// order matches [`spmv_rows_threaded`] exactly, so each column is
+/// bit-identical to the single-vector kernel at any thread count. Also
+/// the CSR arm of [`FormatMatrix::spmv_scatter_multi`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spmv_rows_multi_threaded(
+    mat: &CsrMatrix,
+    rows: &[usize],
+    xs: &[f64],
+    x_stride: usize,
+    ys: &SharedMutSlice<'_>,
+    y_stride: usize,
+    k: usize,
+    threads: usize,
+) {
+    let scatter = |lo: usize, hi: usize| {
+        let mut acc = [0.0f64; crate::csr::MULTI_CHUNK];
+        let mut big;
+        let accs: &mut [f64] = if k <= crate::csr::MULTI_CHUNK {
+            &mut acc[..k]
+        } else {
+            big = vec![0.0f64; k];
+            &mut big
+        };
+        for (i, &r) in rows[lo..hi].iter().enumerate() {
+            let (cols, vals) = mat.row(lo + i);
+            crate::csr::row_dot_multi(cols, vals, xs, x_stride, accs);
+            for (q, &a) in accs.iter().enumerate() {
+                // SAFETY: `rows` holds unique local indices and chunks
+                // are disjoint, so each (column, row) output has exactly
+                // one writer.
+                unsafe { ys.set(q * y_stride + r, a) };
+            }
+        }
+    };
+    if threads > 1 && rows.len() >= PAR_SCATTER_MIN_ROWS {
+        threads::for_each_chunk(rows.len(), threads, scatter);
+    } else {
+        scatter(0, rows.len());
+    }
+}
+
 /// The interior/boundary pieces converted into the plan's chosen SpMV
 /// format. Absent when the plan chose CSR: the split pieces already are
 /// CSR, so the legacy path runs unchanged with zero conversion cost.
@@ -351,6 +464,10 @@ pub struct DistCsrMatrix {
     /// Reusable matvec scratch; interior mutability so the hot path takes
     /// `&self` (each rank owns its matrix, so the lock is uncontended).
     workspace: Mutex<MatvecWorkspace>,
+    /// Reusable batched-matvec scratch, built lazily on the first
+    /// [`Self::matvec_multi_into`] call and rebuilt when the batch width
+    /// changes.
+    multi_workspace: Mutex<Option<MultiWorkspace>>,
 }
 
 impl Clone for DistCsrMatrix {
@@ -364,6 +481,7 @@ impl Clone for DistCsrMatrix {
             chosen: self.chosen,
             kernel: self.kernel.clone(),
             workspace: Mutex::new(MatvecWorkspace::new(self.local_rows(), &self.plan)),
+            multi_workspace: Mutex::new(None),
         }
     }
 }
@@ -585,6 +703,7 @@ impl DistCsrMatrix {
                     bytes,
                     unit: WorkUnit::SpanCalls,
                     time: TimeBase::Total,
+                    nrhs: 1,
                 }
             };
             register("spmv", spmv("matvec", n_local, local.nnz()));
@@ -606,6 +725,7 @@ impl DistCsrMatrix {
                     bytes: send_bytes,
                     unit: WorkUnit::SpanCalls,
                     time: TimeBase::Total,
+                    nrhs: 1,
                 },
             );
             register(
@@ -616,6 +736,7 @@ impl DistCsrMatrix {
                     bytes: 8 * plan.n_ghosts as u64,
                     unit: WorkUnit::SpanCalls,
                     time: TimeBase::Total,
+                    nrhs: 1,
                 },
             );
         }
@@ -638,6 +759,7 @@ impl DistCsrMatrix {
             chosen,
             kernel,
             workspace,
+            multi_workspace: Mutex::new(None),
         })
     }
 
@@ -700,6 +822,262 @@ impl DistCsrMatrix {
             }
             None => spmv_rows(&self.split.boundary, &self.split.boundary_rows, ext, yl),
         }
+    }
+
+    /// Interior multi-vector scatter kernel in the chosen format.
+    fn spmv_interior_multi(&self, xs: &[f64], x_stride: usize, ys: &SharedMutSlice<'_>, k: usize) {
+        let n_local = self.local_rows();
+        match &self.kernel {
+            Some(fk) => fk.interior.spmv_scatter_multi(
+                &self.split.interior_rows,
+                xs,
+                x_stride,
+                ys,
+                n_local,
+                k,
+                threads::active(),
+            ),
+            None => spmv_rows_multi_threaded(
+                &self.split.interior,
+                &self.split.interior_rows,
+                xs,
+                x_stride,
+                ys,
+                n_local,
+                k,
+                threads::active(),
+            ),
+        }
+    }
+
+    /// Boundary multi-vector scatter kernel against the ghost-extended
+    /// columns, in the chosen format.
+    fn spmv_boundary_multi(&self, ext: &[f64], ext_stride: usize, ys: &SharedMutSlice<'_>, k: usize) {
+        let n_local = self.local_rows();
+        match &self.kernel {
+            Some(fk) => fk.boundary.spmv_scatter_multi(
+                &self.split.boundary_rows,
+                ext,
+                ext_stride,
+                ys,
+                n_local,
+                k,
+                threads::active(),
+            ),
+            None => spmv_rows_multi_threaded(
+                &self.split.boundary,
+                &self.split.boundary_rows,
+                ext,
+                ext_stride,
+                ys,
+                n_local,
+                k,
+                threads::active(),
+            ),
+        }
+    }
+
+    /// Batched parallel matvec: `ys` column `q` ← A · `xs` column `q`
+    /// for `k` right-hand sides laid out as contiguous local columns
+    /// (column `q` at `[q·local_rows .. (q+1)·local_rows]`). Collective.
+    ///
+    /// One halo exchange ships all `k` boundary columns in a single
+    /// message per neighbour, and the interior/boundary kernels sweep
+    /// the matrix once per [`crate::csr::MULTI_CHUNK`]-column group
+    /// instead of once per column — the amortization the §17 work model
+    /// [`probe::model::csr_traffic_multi`] describes. Each column's
+    /// result is bit-identical to a [`Self::matvec_into`] call on that
+    /// column alone (same kernels' per-column accumulation order, same
+    /// halo values).
+    pub fn matvec_multi_into(
+        &self,
+        comm: &Communicator,
+        xs: &[f64],
+        ys: &mut [f64],
+        k: usize,
+    ) -> SparseResult<()> {
+        let n_local = self.local_rows();
+        if k == 0 || xs.len() != k * n_local {
+            return Err(SparseError::LengthMismatch {
+                what: "batched matvec input",
+                expected: k.max(1) * n_local,
+                got: xs.len(),
+            });
+        }
+        if ys.len() != k * n_local {
+            return Err(SparseError::LengthMismatch {
+                what: "batched matvec output",
+                expected: k * n_local,
+                got: ys.len(),
+            });
+        }
+        let mut guard = self.multi_workspace.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.as_ref().map(|w| w.k) != Some(k) {
+            *guard = Some(MultiWorkspace::new(n_local, &self.plan, k));
+            self.register_multi_models(k);
+        }
+        let ws = guard.as_mut().expect("workspace was just installed");
+        let overlap = overlap_enabled();
+        probe::add(probe::Counter::MatvecCalls, k as u64);
+        let _matvec_span = probe::span!("matvec_multi");
+
+        // 1. Post batched halo sends (k column segments per payload).
+        {
+            let _s = probe::span!("halo_post_multi");
+            for (slot, (dest, idxs)) in self.plan.sends.iter().enumerate() {
+                let payload = ws.stage_send(slot, idxs, xs, n_local);
+                probe::incr(probe::Counter::HaloMessages);
+                probe::add(
+                    probe::Counter::HaloBytes,
+                    (k * idxs.len() * std::mem::size_of::<f64>()) as u64,
+                );
+                comm.send(*dest, TAG_HALO_MULTI, payload)?;
+            }
+        }
+
+        // 2. Interior rows while the halos are in flight.
+        let ys_shared = SharedMutSlice::new(ys);
+        if overlap {
+            let _s = probe::span!("spmv_multi_interior");
+            self.spmv_interior_multi(xs, n_local, &ys_shared, k);
+        }
+
+        // 3. Drain the batched receives into the ghost-extended columns.
+        let ext_stride = n_local + self.plan.n_ghosts;
+        for q in 0..k {
+            ws.ext[q * ext_stride..q * ext_stride + n_local]
+                .copy_from_slice(&xs[q * n_local..(q + 1) * n_local]);
+        }
+        {
+            let _lat = probe::hist::HistTimer::start(probe::hist::Hist::HaloDrain);
+            let _s = probe::span!("halo_drain_multi");
+            self.drain_halos_multi(comm, ws)?;
+        }
+        if !overlap {
+            let _s = probe::span!("spmv_multi_interior");
+            self.spmv_interior_multi(xs, n_local, &ys_shared, k);
+        }
+
+        // 4. Boundary rows against the ghost-extended columns.
+        {
+            let _s = probe::span!("spmv_multi_boundary");
+            self.spmv_boundary_multi(&ws.ext, ext_stride, &ys_shared, k);
+        }
+        Ok(())
+    }
+
+    /// Register the §17 work models for the batched kernels at width
+    /// `k` — one matrix read amortized over `k` vector streams, not `k`
+    /// matrix reads (see [`probe::model::csr_traffic_multi`]).
+    fn register_multi_models(&self, k: usize) {
+        use probe::model::{csr_traffic_multi, register, KernelModel, TimeBase, WorkUnit};
+        let spmv = |span, rows, nnz| {
+            let (flops, bytes) = csr_traffic_multi(rows, nnz, k);
+            KernelModel {
+                span,
+                flops,
+                bytes,
+                unit: WorkUnit::SpanCalls,
+                time: TimeBase::Total,
+                nrhs: k as u64,
+            }
+        };
+        register("spmv_multi", spmv("matvec_multi", self.local_rows(), self.local_nnz()));
+        register(
+            "spmv_multi_interior",
+            spmv(
+                "spmv_multi_interior",
+                self.split.interior.rows(),
+                self.split.interior.nnz(),
+            ),
+        );
+        register(
+            "spmv_multi_boundary",
+            spmv(
+                "spmv_multi_boundary",
+                self.split.boundary.rows(),
+                self.split.boundary.nnz(),
+            ),
+        );
+        let send_bytes: u64 =
+            self.plan.sends.iter().map(|(_, idxs)| 8 * (k * idxs.len()) as u64).sum();
+        register(
+            "halo_send_multi",
+            KernelModel {
+                span: "halo_post_multi",
+                flops: 0,
+                bytes: send_bytes,
+                unit: WorkUnit::SpanCalls,
+                time: TimeBase::Total,
+                nrhs: k as u64,
+            },
+        );
+        register(
+            "halo_recv_multi",
+            KernelModel {
+                span: "halo_drain_multi",
+                flops: 0,
+                bytes: 8 * (k * self.plan.n_ghosts) as u64,
+                unit: WorkUnit::SpanCalls,
+                time: TimeBase::Total,
+                nrhs: k as u64,
+            },
+        );
+    }
+
+    /// Receive every batched halo payload for one multi matvec into
+    /// `ws.ext` (k column segments per payload; same out-of-order drain
+    /// discipline as [`Self::drain_halos`]).
+    fn drain_halos_multi(
+        &self,
+        comm: &Communicator,
+        ws: &mut MultiWorkspace,
+    ) -> SparseResult<()> {
+        let n_local = self.local_rows();
+        let ext_stride = n_local + self.plan.n_ghosts;
+        let k = ws.k;
+        let overlap = overlap_enabled();
+        for pending in ws.recv_pending.iter_mut() {
+            *pending = true;
+        }
+        let mut remaining = self.plan.recvs.len();
+        while remaining > 0 {
+            let mut received = None;
+            if overlap {
+                for (slot, &(src, ..)) in self.plan.recvs.iter().enumerate() {
+                    if ws.recv_pending[slot]
+                        && comm.iprobe(src as i32, TAG_HALO_MULTI)?.is_some()
+                    {
+                        received = Some(slot);
+                        break;
+                    }
+                }
+            }
+            let slot = received.unwrap_or_else(|| {
+                ws.recv_pending.iter().position(|&p| p).expect("remaining > 0")
+            });
+            let (src, offset, count) = self.plan.recvs[slot];
+            let vals: Arc<Vec<f64>> = comm.recv(src, TAG_HALO_MULTI)?;
+            if vals.len() != k * count {
+                return Err(SparseError::LengthMismatch {
+                    what: "batched halo payload",
+                    expected: k * count,
+                    got: vals.len(),
+                });
+            }
+            if vals.iter().any(|v| !v.is_finite()) {
+                probe::incr(probe::Counter::HaloNonFinite);
+            }
+            for q in 0..k {
+                let dst = q * ext_stride + n_local + offset;
+                ws.ext[dst..dst + count]
+                    .copy_from_slice(&vals[q * count..(q + 1) * count]);
+            }
+            drop(vals);
+            ws.recv_pending[slot] = false;
+            remaining -= 1;
+        }
+        Ok(())
     }
 
     /// This rank's square diagonal block (rows × owned columns, local
@@ -1289,6 +1667,72 @@ mod tests {
                     for (g, e) in y2.iter().zip(base2) {
                         assert_eq!(g.to_bits(), e.to_bits(), "p = {p} (post-update)");
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matvec_columns_match_single_bitwise() {
+        // Every format, several rank counts and batch widths: column q of
+        // the batched matvec must equal the single-RHS matvec of that
+        // column, bit for bit.
+        let a = generate::laplacian_2d(7); // 49 rows
+        let n = a.rows();
+        for p in [1usize, 3] {
+            for policy in [
+                FormatPolicy::Fixed(Format::Csr),
+                FormatPolicy::Fixed(Format::Sell),
+                FormatPolicy::Fixed(Format::Bcsr),
+            ] {
+                for k in [1usize, 2, 4, 8, 11] {
+                    let xs_global: Vec<Vec<f64>> = (0..k)
+                        .map(|q| {
+                            (0..n)
+                                .map(|i| ((i * (q + 3)) as f64 * 0.37).sin() + q as f64)
+                                .collect()
+                        })
+                        .collect();
+                    let ok = Universe::run(p, |comm| {
+                        let part = BlockRowPartition::even(n, comm.size());
+                        let r = part.range(comm.rank());
+                        let local = a.row_block(r.start, r.end).unwrap();
+                        let da = DistCsrMatrix::from_local_rows_with_format(
+                            comm,
+                            part.clone(),
+                            local,
+                            policy,
+                        )
+                        .unwrap();
+                        let n_local = da.local_rows();
+                        let mut xs = Vec::with_capacity(k * n_local);
+                        for col in &xs_global {
+                            xs.extend_from_slice(&col[r.clone()]);
+                        }
+                        let mut ys = vec![f64::NAN; k * n_local];
+                        da.matvec_multi_into(comm, &xs, &mut ys, k).unwrap();
+                        // Reference: one single-RHS matvec per column.
+                        let mut same = true;
+                        for (q, col) in xs_global.iter().enumerate() {
+                            let dx = DistVector::from_global(
+                                part.clone(),
+                                comm.rank(),
+                                col,
+                            )
+                            .unwrap();
+                            let dy = da.matvec(comm, &dx).unwrap();
+                            for (g, e) in
+                                ys[q * n_local..(q + 1) * n_local].iter().zip(dy.local())
+                            {
+                                same &= g.to_bits() == e.to_bits();
+                            }
+                        }
+                        same
+                    });
+                    assert!(
+                        ok.iter().all(|&s| s),
+                        "p={p} policy={policy:?} k={k}"
+                    );
                 }
             }
         }

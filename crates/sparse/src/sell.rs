@@ -435,6 +435,75 @@ impl SellMatrix {
             self.spmv_slices(0, self.n_slices(), x, y, Some(rows_map));
         }
     }
+
+    /// Multi-vector slice-range kernel: computes every row of slices
+    /// `s0..s1` against `k` input columns (column `q` at
+    /// `xs[q·x_stride..]`) and writes each result to
+    /// `y[q·y_stride + map(row)]`. One sweep over the slice storage per
+    /// group of [`crate::csr::MULTI_CHUNK`] columns; each column's lanes
+    /// accumulate in exactly [`Self::spmv_slices`]'s visit order, so
+    /// per-column results are bit-identical to the single-vector kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spmv_slices_multi(
+        &self,
+        s0: usize,
+        s1: usize,
+        xs: &[f64],
+        x_stride: usize,
+        y: &SharedMutSlice<'_>,
+        y_stride: usize,
+        k: usize,
+        scatter: Option<&[usize]>,
+    ) {
+        use crate::csr::MULTI_CHUNK;
+        let c = self.c;
+        let mut q0 = 0;
+        while q0 < k {
+            let kc = (k - q0).min(MULTI_CHUNK);
+            // One accumulator per (column, lane) pair; MAX_C·MULTI_CHUNK
+            // doubles fit comfortably on the stack.
+            let mut acc = [0.0f64; MAX_C * MULTI_CHUNK];
+            for s in s0..s1 {
+                let base = s * c;
+                let off = self.slice_ptr[s];
+                let width = (self.slice_ptr[s + 1] - off) / c;
+                let lanes = c.min(self.rows - base);
+                acc[..kc * c].fill(0.0);
+                let mut active = lanes;
+                while active > 0 && self.lens[base + active - 1] == 0 {
+                    active -= 1;
+                }
+                for j in 0..width {
+                    while active > 0 && self.lens[base + active - 1] <= j {
+                        active -= 1;
+                    }
+                    let row_off = off + j * c;
+                    for l in 0..active {
+                        let slot = row_off + l;
+                        let v = self.values[slot];
+                        let col = self.col_idx[slot];
+                        for q in 0..kc {
+                            acc[q * c + l] += v * xs[(q0 + q) * x_stride + col];
+                        }
+                    }
+                }
+                for l in 0..lanes {
+                    let row = self.perm[base + l];
+                    let idx = match scatter {
+                        Some(map) => map[row],
+                        None => row,
+                    };
+                    for q in 0..kc {
+                        // SAFETY: distinct slices → distinct rows →
+                        // distinct (injectively mapped) output elements,
+                        // one per column segment.
+                        unsafe { y.set((q0 + q) * y_stride + idx, acc[q * c + l]) };
+                    }
+                }
+            }
+            q0 += kc;
+        }
+    }
 }
 
 #[cfg(test)]

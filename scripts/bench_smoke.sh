@@ -72,6 +72,9 @@ cargo run -q -p lisi-bench --release --bin trsv_guard > "$OUT_DIR/trsv_guard.jso
 echo "== sparse-format speedup guard (paired) =="
 cargo run -q -p lisi-bench --release --bin format_guard > "$OUT_DIR/format_guard.json"
 
+echo "== multi-RHS batching + session-cache guard (paired) =="
+cargo run -q -p lisi-bench --release --bin multirhs_guard > "$OUT_DIR/multirhs_guard.json"
+
 python3 - "$LABEL" "$OUT_DIR" <<'EOF'
 import json, os, sys
 
@@ -521,4 +524,49 @@ for w in fmt_rec["formats"]:
         print(f"format check SKIPPED on {w['workload']}: autotuner kept csr "
               f"(bit-identity verified; measured {w['speedup']:.4f}x)")
 print("recorded BENCH_format.json")
+
+# Multi-RHS session guard: one batched solve over k right-hand sides vs
+# k single solves through the RKSP adapter (paired, order-alternated),
+# plus cold-vs-warm session setup through the RSLU adapter. Verdicts:
+#   * bit_identical: the batched solution must equal the sequential one
+#     bit-for-bit, column by column — a miss is a correctness bug, hard
+#     fail;
+#   * speedup (target ≥ 1.8×): the batched driver fuses each iteration's
+#     reductions across all k columns into one exchange;
+#   * warm setup (target < 5% of cold): a cache-hit session must skip
+#     partitioning, halo planning and factorization entirely, leaving
+#     only the caller's CSR ingest.
+with open(os.path.join(out_dir, "multirhs_guard.json")) as f:
+    mr = json.load(f)
+
+MULTIRHS_TARGET_SPEEDUP = 1.8
+WARM_SETUP_TARGET_PCT = 5.0
+mr_rec = {
+    **mr,
+    "target_speedup": MULTIRHS_TARGET_SPEEDUP,
+    "setup": {**mr["setup"], "target_pct": WARM_SETUP_TARGET_PCT,
+              "pass": mr["setup"]["warm_over_cold_pct"] < WARM_SETUP_TARGET_PCT},
+    "pass": bool(mr["bit_identical"]
+                 and mr["speedup"] >= MULTIRHS_TARGET_SPEEDUP
+                 and mr["setup"]["warm_over_cold_pct"] < WARM_SETUP_TARGET_PCT),
+}
+with open("BENCH_multirhs.json", "w") as f:
+    json.dump(mr_rec, f, indent=2)
+    f.write("\n")
+
+if not mr["bit_identical"]:
+    print("ERROR: batched multi-RHS solve is NOT bit-identical to the "
+          "sequential solves — determinism contract broken.", file=sys.stderr)
+    sys.exit(1)
+verdict = ("PASS" if mr["speedup"] >= MULTIRHS_TARGET_SPEEDUP
+           else "WARN (below target; noisy machine or a regression)")
+print(f"multi-RHS batched vs sequential ({mr['workload']}): "
+      f"{mr['speedup']:.2f}x (target >= {MULTIRHS_TARGET_SPEEDUP}x) "
+      f"-> {verdict}")
+setup = mr_rec["setup"]
+verdict = ("PASS" if setup["pass"]
+           else "WARN (above target; noisy machine or a regression)")
+print(f"warm session setup vs cold: {setup['warm_over_cold_pct']:.2f}% "
+      f"(target < {WARM_SETUP_TARGET_PCT}%) -> {verdict}")
+print("recorded BENCH_multirhs.json")
 EOF
